@@ -1,0 +1,86 @@
+// §IV-D ablation: BigMap's hash-up-to-last-nonzero rule.
+//
+// Demonstrates (a) the correctness problem the rule solves — the paper's
+// P1/P2/P3 example, where hashing up to used_key makes identical paths
+// hash differently after unrelated used_key growth — and (b) that the
+// rule's cost is negligible versus hashing the full condensed region.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/two_level_map.h"
+#include "util/hash.h"
+#include "util/timing.h"
+
+using namespace bigmap;
+
+namespace {
+
+// A "wrong" hash that goes up to used_key, for contrast.
+u32 hash_up_to_used_key(const TwoLevelCoverageMap& m) {
+  return crc32(m.used_region());
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "§IV-D ablation — hash-up-to-last-nonzero rule",
+      "hashing [0, used_key) gives wrong duplicates; hashing to the last "
+      "non-zero byte is stable and costs nothing");
+
+  // ---- correctness: the paper's P1/P2/P3 example --------------------------
+  MapOptions o;
+  o.map_size = 1u << 16;
+  o.huge_pages = false;
+  TwoLevelCoverageMap m(o);
+
+  // P1: A->B->C (two edges).
+  m.update(100);
+  m.update(200);
+  const u32 p1_rule = m.hash();
+  const u32 p1_naive = hash_up_to_used_key(m);
+
+  // P2: A->B->C->D (grows used_key to 3).
+  m.reset();
+  m.update(100);
+  m.update(200);
+  m.update(300);
+
+  // P3: A->B->C again.
+  m.reset();
+  m.update(100);
+  m.update(200);
+  const u32 p3_rule = m.hash();
+  const u32 p3_naive = hash_up_to_used_key(m);
+
+  std::printf("P1 vs P3 (same path, used_key grew in between):\n");
+  std::printf("  naive [0,used_key) hash: %08x vs %08x  -> %s\n", p1_naive,
+              p3_naive, p1_naive == p3_naive ? "match" : "MISMATCH (bug)");
+  std::printf("  last-non-zero rule:      %08x vs %08x  -> %s\n\n", p1_rule,
+              p3_rule, p1_rule == p3_rule ? "match (correct)" : "MISMATCH");
+
+  // ---- cost: rule vs. naive on a realistically-filled map -----------------
+  TwoLevelCoverageMap big(o);
+  for (u32 k = 0; k < 30000; ++k) big.update(k * 2654435761u);
+
+  const int iters = static_cast<int>(2000 * bench::scale());
+  u32 sink = 0;
+
+  u64 t0 = monotonic_ns();
+  for (int i = 0; i < iters; ++i) sink = sink ^ big.hash();
+  u64 t1 = monotonic_ns();
+  for (int i = 0; i < iters; ++i) sink = sink ^ hash_up_to_used_key(big);
+  u64 t2 = monotonic_ns();
+
+  std::printf("hash cost on %u used keys (%d iterations):\n",
+              big.used_key(), iters);
+  std::printf("  last-non-zero rule: %.2f us/hash\n",
+              static_cast<double>(t1 - t0) / iters / 1000.0);
+  std::printf("  naive used_key:     %.2f us/hash\n",
+              static_cast<double>(t2 - t1) / iters / 1000.0);
+  __asm__ volatile("" : : "r"(sink) : "memory");  // keep the loops alive
+  std::printf("\n(The rule scans backward over trailing zeros once per "
+              "hash — noise-level overhead.)\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Shared plumbing for the bench harnesses.
+//
+// Every bench binary regenerates one table or figure of the paper and
+// prints the corresponding rows/series. Campaign lengths scale with the
+// BIGMAP_BENCH_SCALE environment variable (default 1.0): 0.2 gives a quick
+// smoke pass, 5.0 a long high-fidelity run. Seeds-per-benchmark are capped
+// so multi-megabyte-map seed phases do not dominate short runs (the paper
+// amortizes them over 24 h); the cap is lifted proportionally with scale.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "fuzzer/campaign.h"
+#include "target/suite.h"
+#include "util/report.h"
+
+namespace bigmap::bench {
+
+inline double scale() {
+  static const double s = [] {
+    const char* env = std::getenv("BIGMAP_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    const double v = std::atof(env);
+    return v > 0.0 ? v : 1.0;
+  }();
+  return s;
+}
+
+// Seconds a single campaign configuration is given (base x scale).
+inline double config_seconds(double base) { return base * scale(); }
+
+// Execution budget scaled.
+inline u64 scaled_execs(u64 base) {
+  return static_cast<u64>(static_cast<double>(base) * scale());
+}
+
+// Cap on seeds fed to a campaign.
+inline u32 seed_cap() {
+  return static_cast<u32>(256 * (scale() < 1.0 ? 1.0 : scale()));
+}
+
+inline std::vector<Input> capped_seeds(const GeneratedTarget& target,
+                                       const BenchmarkInfo& info) {
+  auto seeds = benchmark_seeds(target, info);
+  if (seeds.size() > seed_cap()) seeds.resize(seed_cap());
+  return seeds;
+}
+
+// Standard campaign config for throughput-style benches.
+inline CampaignConfig throughput_config(MapScheme scheme, usize map_size,
+                                        double seconds, u64 seed = 1) {
+  CampaignConfig c;
+  c.scheme = scheme;
+  c.map.map_size = map_size;
+  c.max_execs = 0;
+  c.max_seconds = seconds;
+  c.seed = seed;
+  return c;
+}
+
+inline void print_header(const char* experiment, const char* claim) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("Paper claim: %s\n", claim);
+  std::printf("Scale: %.2f (set BIGMAP_BENCH_SCALE to adjust)\n", scale());
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace bigmap::bench

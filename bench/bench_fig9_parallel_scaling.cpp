@@ -1,0 +1,97 @@
+// Figure 9: scalability with concurrent fuzzing instances at a fixed 2MB
+// map. (a) throughput normalized to a single instance; (b) BigMap's speedup
+// over AFL at equal instance counts.
+//
+// This host has one physical core, so the 12-core experiment is reproduced
+// with the cache-contention simulator (private L1/L2 per instance, shared
+// 12MB L3, bandwidth-limited DRAM — see DESIGN.md substitutions). The
+// model's single-instance throughputs are calibrated per benchmark by its
+// used-key count and dynamic path length.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "cachesim/smp.h"
+
+using namespace bigmap;
+
+namespace {
+
+struct Profile {
+  const char* name;
+  usize used_keys;       // coverage keys the campaign exercises
+  usize edges_per_exec;  // dynamic path length
+};
+
+// Representative benchmarks spanning Table II's size range.
+constexpr Profile kProfiles[] = {
+    {"libpng", 1200, 12000},  {"proj4", 6400, 12000},
+    {"openssl", 10300, 8000}, {"sqlite3", 20000, 6000},
+    {"gvn", 52000, 5000},     {"instcombine", 105000, 5000},
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 9 — Parallel-fuzzing scalability at a 2MB map (simulated "
+      "12-core Xeon E5645)",
+      "AFL cannot maintain scaling (negative/flat slope past 4 instances); "
+      "BigMap stays near-linear; avg speedups 4.9x/9.2x/13.8x at 4/8/12");
+
+  const u32 counts[] = {1, 4, 8, 12};
+
+  TableWriter table({"Benchmark", "Scheme", "n=1", "n=4", "n=8", "n=12"});
+  double sum_speedup[4] = {0, 0, 0, 0};
+
+  for (const Profile& prof : kProfiles) {
+    double base[2] = {0, 0};
+    double agg[2][4];
+    for (MapScheme scheme : {MapScheme::kFlat, MapScheme::kTwoLevel}) {
+      const int i = scheme == MapScheme::kTwoLevel;
+      std::vector<std::string> row{prof.name, map_scheme_name(scheme)};
+      for (int ci = 0; ci < 4; ++ci) {
+        SmpParams p;
+        p.scheme = scheme;
+        p.map_size = 2u << 20;
+        p.used_keys = prof.used_keys;
+        p.edges_per_exec = prof.edges_per_exec;
+        p.instances = counts[ci];
+        p.execs_per_instance =
+            static_cast<u32>(6 * bench::scale()) < 3
+                ? 3
+                : static_cast<u32>(6 * bench::scale());
+        auto r = simulate_parallel_fuzzing(p);
+        agg[i][ci] = r.aggregate_throughput;
+        if (ci == 0) base[i] = r.aggregate_throughput;
+        row.push_back(fmt_double(r.aggregate_throughput / base[i], 2) +
+                      "x");
+      }
+      table.add_row(std::move(row));
+    }
+    for (int ci = 0; ci < 4; ++ci) {
+      sum_speedup[ci] += agg[1][ci] / agg[0][ci];
+    }
+  }
+  std::printf("(a) Aggregate throughput normalized to one instance:\n");
+  table.print(std::cout);
+
+  std::printf("\n(b) BigMap speedup over AFL at equal instance counts "
+              "(average over benchmarks):\n");
+  TableWriter sp({"Instances", "BigMap/AFL speedup", "Paper"});
+  const char* paper[] = {"-", "4.9x", "9.2x", "13.8x"};
+  constexpr int kNumProfiles = 6;
+  for (int ci = 0; ci < 4; ++ci) {
+    sp.add_row({std::to_string(counts[ci]),
+                fmt_double(sum_speedup[ci] / kNumProfiles, 1) + "x",
+                paper[ci]});
+  }
+  sp.print(std::cout);
+  std::printf(
+      "\nNote: the paper normalizes (b) to AFL at the same instance count; "
+      "absolute ratios here inherit this reproduction's single-instance "
+      "gap (see EXPERIMENTS.md). The shape to check: the ratio GROWS with "
+      "instance count, and AFL's (a) row flattens while BigMap's stays "
+      "near 1:1.\n");
+  return 0;
+}

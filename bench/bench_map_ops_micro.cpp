@@ -1,0 +1,133 @@
+// Microbenchmarks (google-benchmark) of the individual map operations —
+// the per-operation costs behind Listing 1 vs. Listing 2 and Figure 3.
+//
+// Naming: <Op>/<scheme>/<map_size>. The update benchmarks measure the
+// per-edge cost (AFL: one access; BigMap: predictable branch + two
+// accesses); the scan benchmarks show flat cost growing with map size
+// while two-level cost tracks the used-key count.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/flat_map.h"
+#include "core/two_level_map.h"
+#include "core/virgin.h"
+#include "util/rng.h"
+
+namespace bigmap {
+namespace {
+
+MapOptions opts(usize size) {
+  MapOptions o;
+  o.map_size = size;
+  o.huge_pages = true;
+  return o;
+}
+
+std::vector<u32> make_keys(usize count, usize map_size, u64 seed) {
+  Xoshiro256 rng(seed);
+  std::vector<u32> keys(count);
+  for (auto& k : keys) {
+    k = static_cast<u32>(rng.next()) & static_cast<u32>(map_size - 1);
+  }
+  return keys;
+}
+
+void BM_UpdateFlat(benchmark::State& state) {
+  const usize map_size = static_cast<usize>(state.range(0));
+  FlatCoverageMap map(opts(map_size));
+  auto keys = make_keys(4096, map_size, 1);
+  for (auto _ : state) {
+    for (u32 k : keys) map.update(k);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<i64>(keys.size()));
+}
+BENCHMARK(BM_UpdateFlat)->Arg(1 << 16)->Arg(2 << 20)->Arg(8 << 20);
+
+void BM_UpdateTwoLevel(benchmark::State& state) {
+  const usize map_size = static_cast<usize>(state.range(0));
+  TwoLevelCoverageMap map(opts(map_size));
+  auto keys = make_keys(4096, map_size, 1);
+  for (auto _ : state) {
+    for (u32 k : keys) map.update(k);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<i64>(keys.size()));
+}
+BENCHMARK(BM_UpdateTwoLevel)->Arg(1 << 16)->Arg(2 << 20)->Arg(8 << 20);
+
+template <class Map>
+void scan_bench(benchmark::State& state, usize used_keys,
+                void (*op)(Map&, VirginMap&)) {
+  const usize map_size = static_cast<usize>(state.range(0));
+  Map map(opts(map_size));
+  VirginMap virgin(Map::kScheme == MapScheme::kTwoLevel ? map_size
+                                                        : map_size);
+  auto keys = make_keys(used_keys, map_size, 2);
+  for (u32 k : keys) map.update(k);
+  for (auto _ : state) {
+    op(map, virgin);
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<i64>(map.scan_cost_bytes()));
+}
+
+void BM_ResetFlat(benchmark::State& state) {
+  scan_bench<FlatCoverageMap>(state, 20000,
+                              [](FlatCoverageMap& m, VirginMap&) {
+                                m.reset();
+                              });
+}
+BENCHMARK(BM_ResetFlat)->Arg(1 << 16)->Arg(2 << 20)->Arg(8 << 20);
+
+void BM_ResetTwoLevel(benchmark::State& state) {
+  scan_bench<TwoLevelCoverageMap>(state, 20000,
+                                  [](TwoLevelCoverageMap& m, VirginMap&) {
+                                    m.reset();
+                                  });
+}
+BENCHMARK(BM_ResetTwoLevel)->Arg(1 << 16)->Arg(2 << 20)->Arg(8 << 20);
+
+void BM_ClassifyCompareFlat(benchmark::State& state) {
+  scan_bench<FlatCoverageMap>(state, 20000,
+                              [](FlatCoverageMap& m, VirginMap& v) {
+                                m.classify_and_compare(v);
+                              });
+}
+BENCHMARK(BM_ClassifyCompareFlat)->Arg(1 << 16)->Arg(2 << 20)->Arg(8 << 20);
+
+void BM_ClassifyCompareTwoLevel(benchmark::State& state) {
+  scan_bench<TwoLevelCoverageMap>(
+      state, 20000, [](TwoLevelCoverageMap& m, VirginMap& v) {
+        m.classify_and_compare(v);
+      });
+}
+BENCHMARK(BM_ClassifyCompareTwoLevel)
+    ->Arg(1 << 16)
+    ->Arg(2 << 20)
+    ->Arg(8 << 20);
+
+void BM_HashFlat(benchmark::State& state) {
+  scan_bench<FlatCoverageMap>(state, 20000,
+                              [](FlatCoverageMap& m, VirginMap&) {
+                                benchmark::DoNotOptimize(m.hash());
+                              });
+}
+BENCHMARK(BM_HashFlat)->Arg(1 << 16)->Arg(2 << 20)->Arg(8 << 20);
+
+void BM_HashTwoLevel(benchmark::State& state) {
+  scan_bench<TwoLevelCoverageMap>(state, 20000,
+                                  [](TwoLevelCoverageMap& m, VirginMap&) {
+                                    benchmark::DoNotOptimize(m.hash());
+                                  });
+}
+BENCHMARK(BM_HashTwoLevel)->Arg(1 << 16)->Arg(2 << 20)->Arg(8 << 20);
+
+}  // namespace
+}  // namespace bigmap
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Table III: coverage-metric composition — laf-intel + N-gram(3) on the 13
+// LLVM harnesses, 64kB vs. 2MB maps, BOTH running BigMap (the experiment
+// isolates collision mitigation, not data-structure speed).
+//
+// The paper: collision rate drops from ~79% to ~7.5%, edge coverage stays
+// flat, unique crashes improve by 33% on average.
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/collision.h"
+#include "bench_common.h"
+#include "target/lafintel.h"
+
+using namespace bigmap;
+
+int main() {
+  bench::print_header(
+      "Table III — laf-intel + N-gram composition, 64kB vs 2MB (both "
+      "BigMap)",
+      "collision mitigation with a 2MB map uncovers ~33% more unique "
+      "crashes; edge coverage is unaffected");
+
+  TableWriter table({"Benchmark", "Coll%64k", "Coll%2M", "Keys 64k",
+                     "Keys 2M", "Crash 64k", "Crash 2M"});
+
+  double sum_crash_64k = 0, sum_crash_2m = 0;
+  double sum_keys_64k = 0, sum_keys_2m = 0;
+  int rows = 0;
+
+  for (const BenchmarkInfo& info : composition_suite()) {
+    auto target = build_benchmark(info);
+
+    // Apply the laf-intel pass — the composition's first ingredient.
+    LafIntelStats laf;
+    Program program = apply_laf_intel(target.program, &laf);
+    auto seeds = bench::capped_seeds(target, info);
+
+    u64 crashes[2] = {0, 0};
+    u64 keys[2] = {0, 0};
+    const usize sizes[2] = {64u << 10, 2u << 20};
+    for (int i = 0; i < 2; ++i) {
+      CampaignConfig c = bench::throughput_config(
+          MapScheme::kTwoLevel, sizes[i], bench::config_seconds(6.0),
+          /*seed=*/9);
+      c.metric = MetricKind::kNGram;  // the composition's second ingredient
+      auto r = run_campaign(program, seeds, c);
+      crashes[i] = r.crashes_crashwalk_unique;
+      keys[i] = r.used_key;  // distinct coverage keys observed
+    }
+
+    // Collision pressure from the distinct-key count at each map size.
+    // (Distinct keys at 2MB approximate the true key population.)
+    const double coll64 =
+        collision_rate(65536.0, static_cast<double>(keys[1])) * 100.0;
+    const double coll2m =
+        collision_rate(2.0 * 1024 * 1024, static_cast<double>(keys[1])) *
+        100.0;
+
+    table.add_row({info.name, fmt_double(coll64, 1), fmt_double(coll2m, 1),
+                   fmt_count(keys[0]), fmt_count(keys[1]),
+                   fmt_count(crashes[0]), fmt_count(crashes[1])});
+    sum_crash_64k += static_cast<double>(crashes[0]);
+    sum_crash_2m += static_cast<double>(crashes[1]);
+    sum_keys_64k += static_cast<double>(keys[0]);
+    sum_keys_2m += static_cast<double>(keys[1]);
+    ++rows;
+  }
+  table.print(std::cout);
+
+  if (rows > 0 && sum_crash_64k > 0) {
+    std::printf(
+        "\nAVERAGE: keys 64k=%.0f 2M=%.0f | crashes 64k=%.1f 2M=%.1f "
+        "(+%.0f%%; paper: +33%%)\n",
+        sum_keys_64k / rows, sum_keys_2m / rows, sum_crash_64k / rows,
+        sum_crash_2m / rows,
+        100.0 * (sum_crash_2m - sum_crash_64k) / sum_crash_64k);
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Coverage-metric composition (paper §V-C): stack the laf-intel
+// transformation with N-gram(3) coverage on a large target — the
+// combination that makes 64kB maps collide on ~80% of keys — and compare
+// a 64kB map against a 2MB map, both running BigMap.
+//
+//   ./build/examples/metric_composition [seconds-per-config]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/collision.h"
+#include "fuzzer/campaign.h"
+#include "target/lafintel.h"
+#include "target/suite.h"
+#include "util/report.h"
+
+using namespace bigmap;
+
+int main(int argc, char** argv) {
+  const double seconds = argc > 1 ? std::atof(argv[1]) : 4.0;
+
+  const BenchmarkInfo* info = find_benchmark("gvn+comp");
+  GeneratedTarget target = build_benchmark(*info);
+
+  // Ingredient 1: laf-intel — split multi-byte compares, switches, and
+  // string gates into single-byte cascades.
+  LafIntelStats laf;
+  Program program = apply_laf_intel(target.program, &laf);
+  std::printf("laf-intel: %zu -> %zu blocks, %zu -> %zu static edges "
+              "(%zu compares, %zu switches, %zu strgates split)\n",
+              laf.blocks_before, laf.blocks_after,
+              laf.static_edges_before, laf.static_edges_after,
+              laf.split_compares, laf.split_switches, laf.split_strgates);
+
+  std::vector<Input> seeds = benchmark_seeds(target, *info);
+  if (seeds.size() > 128) seeds.resize(128);
+
+  // Ingredient 2: N-gram(3) coverage, selected per campaign below.
+  TableWriter table({"Map", "Distinct keys", "Collision@64k", "Crashes",
+                     "Exec/s"});
+  for (usize size : {64u << 10, 2u << 20}) {
+    CampaignConfig config;
+    config.scheme = MapScheme::kTwoLevel;
+    config.metric = MetricKind::kNGram;
+    config.map.map_size = size;
+    config.max_seconds = seconds;
+    config.max_execs = 0;
+    config.seed = 3;
+    CampaignResult r = run_campaign(program, seeds, config);
+
+    table.add_row(
+        {fmt_bytes(size), fmt_count(r.used_key),
+         fmt_double(collision_rate(65536.0, r.used_key) * 100, 1) + "%",
+         fmt_count(r.crashes_crashwalk_unique),
+         fmt_double(r.steady_throughput(), 0)});
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nThe composition multiplies distinct coverage keys well past what "
+      "a 64kB map can hold; BigMap makes the 2MB map free, and the extra "
+      "feedback fidelity shows up as more unique crashes (paper: +33%%).\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Parallel fuzzing with corpus synchronization (paper §V-D): several
+// instances in the master-secondary configuration share interesting
+// inputs through a SyncHub, exactly like AFL's -M/-S output-directory
+// sync. Instances run as threads; each keeps its own map and queue.
+//
+//   ./build/examples/parallel_fuzzing [instances] [execs-per-instance]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "fuzzer/campaign.h"
+#include "fuzzer/sync.h"
+#include "target/generator.h"
+#include "util/report.h"
+
+using namespace bigmap;
+
+int main(int argc, char** argv) {
+  const u32 instances = argc > 1 ? static_cast<u32>(std::atoi(argv[1])) : 4;
+  const u64 execs = argc > 2 ? static_cast<u64>(std::atoll(argv[2])) : 30000;
+
+  GeneratorParams params;
+  params.name = "parallel-target";
+  params.seed = 77;
+  params.live_blocks = 3000;
+  params.num_bugs = 12;
+  params.bug_min_depth = 1;
+  params.bug_max_depth = 3;
+  GeneratedTarget target = generate_target(params);
+  std::vector<Input> seeds = make_seed_corpus(target, 8, 1);
+
+  std::printf("fuzzing '%s' with %u instances x %llu execs (2MB BigMap)\n\n",
+              params.name.c_str(), instances,
+              static_cast<unsigned long long>(execs));
+
+  SyncHub hub(instances);
+  std::vector<CampaignResult> results(instances);
+  std::vector<std::thread> threads;
+  for (u32 id = 0; id < instances; ++id) {
+    threads.emplace_back([&, id]() {
+      CampaignConfig config;
+      config.scheme = MapScheme::kTwoLevel;
+      config.map.map_size = 2u << 20;
+      config.max_execs = execs;
+      config.seed = 1000 + id;
+      config.sync = &hub;
+      config.sync_id = id;
+      config.sync_interval = 2048;
+      config.is_master = (id == 0);  // master runs deterministic stages
+      config.run_deterministic = (id == 0);
+      results[id] = run_campaign(target.program, seeds, config);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  TableWriter table({"Instance", "Role", "Execs", "Covered", "Corpus",
+                     "Crashes(cw)"});
+  std::unordered_set<u64> crash_union;
+  std::unordered_set<u32> bug_union;
+  for (u32 id = 0; id < instances; ++id) {
+    const auto& r = results[id];
+    table.add_row({std::to_string(id), id == 0 ? "master" : "secondary",
+                   fmt_count(r.execs), fmt_count(r.covered_positions),
+                   fmt_count(r.corpus_size),
+                   fmt_count(r.crashes_crashwalk_unique)});
+    crash_union.insert(r.found_stack_hashes.begin(),
+                       r.found_stack_hashes.end());
+    bug_union.insert(r.found_bug_ids.begin(), r.found_bug_ids.end());
+  }
+  table.print(std::cout);
+
+  std::printf("\nshared corpus entries published: %zu\n",
+              hub.total_published());
+  std::printf("union of unique crashes: %zu (Crashwalk), %zu of %u "
+              "planted bugs\n",
+              crash_union.size(), bug_union.size(),
+              target.program.num_bugs);
+  return 0;
+}

@@ -1,0 +1,45 @@
+#include "analysis/collafl.h"
+
+#include <bit>
+
+#include "util/hash.h"
+
+namespace bigmap {
+
+CollAflAssignment::CollAflAssignment(const Program& prog, usize map_size)
+    : map_size_(map_size) {
+  // Enumerate the static edge list in deterministic (block, successor)
+  // order and hand out sequential unique slots while they last. Real
+  // CollAFL partitions into single-predecessor blocks (direct IDs) and
+  // multi-predecessor blocks (solved hash parameters); the net effect — a
+  // collision-free assignment that needs as many slots as static edges —
+  // is what matters for the comparison.
+  u32 next = 0;
+  for (u32 b = 0; b < prog.blocks.size(); ++b) {
+    for (u32 t : prog.blocks[b].targets) {
+      const u64 key = edge_key(b, t);
+      if (slots_.contains(key)) continue;  // duplicate successor entry
+      ++num_static_edges_;
+      if (next < map_size_) {
+        slots_.emplace(key, next++);
+        ++uniquely_assigned_;
+      }
+    }
+  }
+}
+
+u32 CollAflAssignment::slot(u32 prev_block, u32 cur_block) const noexcept {
+  const auto it = slots_.find(edge_key(prev_block, cur_block));
+  if (it != slots_.end()) return it->second;
+  // Fallback: hash the pair into the map (CollAFL's runtime-computed IDs
+  // for unsolvable/indirect edges).
+  return static_cast<u32>(mix64(edge_key(prev_block, cur_block))) &
+         static_cast<u32>(map_size_ - 1);
+}
+
+usize CollAflAssignment::required_map_size(const Program& prog) noexcept {
+  const usize edges = prog.static_edge_count();
+  return std::bit_ceil(edges == 0 ? 1 : edges);
+}
+
+}  // namespace bigmap

@@ -1,0 +1,58 @@
+// CollAFL-style static edge-ID assignment (related work, paper §VI).
+//
+// CollAFL (Gan et al., S&P'18) removes hash collisions by assigning edge
+// IDs at link time: blocks with a single incoming edge get a statically
+// unique ID; remaining edges get IDs from per-function hash parameters
+// chosen to avoid conflicts. Its costs, which the paper contrasts with
+// BigMap: (a) the bitmap must be sized to the number of STATIC edges even
+// though only a fraction is ever visited, and (b) the technique is tied to
+// edge coverage — it cannot host N-gram or context-sensitive metrics.
+//
+// This module reproduces the scheme on our synthetic programs: a greedy
+// collision-free assignment over the static CFG edge list, with a hashed
+// fallback once the map is full, plus the statistics the §VI discussion
+// rests on (required map size vs. visited fraction).
+#pragma once
+
+#include <unordered_map>
+
+#include "target/program.h"
+#include "util/types.h"
+
+namespace bigmap {
+
+class CollAflAssignment {
+ public:
+  // Builds the assignment for `prog` with a map of `map_size` slots.
+  // Edges are assigned unique slots in a deterministic order until the map
+  // is exhausted; the remainder fall back to hashing (and may collide).
+  CollAflAssignment(const Program& prog, usize map_size);
+
+  // Map slot for the edge prev_block -> cur_block. Edges that were
+  // statically assigned return their unique slot; unknown/overflow edges
+  // hash into the map (collision possible, like CollAFL's fallback).
+  u32 slot(u32 prev_block, u32 cur_block) const noexcept;
+
+  // Statistics.
+  usize num_static_edges() const noexcept { return num_static_edges_; }
+  usize uniquely_assigned() const noexcept { return uniquely_assigned_; }
+  usize hashed_fallback() const noexcept {
+    return num_static_edges_ - uniquely_assigned_;
+  }
+
+  // Smallest power-of-two map that would fit every static edge uniquely —
+  // what CollAFL effectively requires for zero collisions.
+  static usize required_map_size(const Program& prog) noexcept;
+
+ private:
+  static u64 edge_key(u32 prev, u32 cur) noexcept {
+    return (static_cast<u64>(prev) << 32) | cur;
+  }
+
+  std::unordered_map<u64, u32> slots_;
+  usize map_size_;
+  usize num_static_edges_ = 0;
+  usize uniquely_assigned_ = 0;
+};
+
+}  // namespace bigmap

@@ -1,0 +1,79 @@
+#include "analysis/collision.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace bigmap {
+
+double collision_rate(double hash_space, double num_keys) noexcept {
+  if (hash_space <= 0.0 || num_keys <= 0.0) return 0.0;
+  // ((H-1)/H)^n computed in log space: exp(n * log1p(-1/H)).
+  const double pow_term = std::exp(num_keys * std::log1p(-1.0 / hash_space));
+  const double rate = 1.0 - (hash_space / num_keys) * (1.0 - pow_term);
+  return rate < 0.0 ? 0.0 : rate;
+}
+
+double expected_distinct_keys(double hash_space, double num_keys) noexcept {
+  if (hash_space <= 0.0 || num_keys <= 0.0) return 0.0;
+  const double pow_term = std::exp(num_keys * std::log1p(-1.0 / hash_space));
+  return hash_space * (1.0 - pow_term);
+}
+
+double birthday_collision_probability(double hash_space,
+                                      u64 num_keys) noexcept {
+  if (hash_space <= 0.0 || num_keys < 2) return 0.0;
+  if (static_cast<double>(num_keys) > hash_space) return 1.0;
+  // P(no collision) = prod_{i=1}^{n-1} (1 - i/H); evaluate in log space.
+  double log_no_collision = 0.0;
+  for (u64 i = 1; i < num_keys; ++i) {
+    log_no_collision += std::log1p(-static_cast<double>(i) / hash_space);
+    if (log_no_collision < -60.0) return 1.0;  // underflow: certainty
+  }
+  return 1.0 - std::exp(log_no_collision);
+}
+
+u64 keys_for_collision_probability(double hash_space, double p) noexcept {
+  if (hash_space <= 0.0 || p <= 0.0) return 0;
+  // Exponential search + binary refine on the monotone probability.
+  u64 lo = 2, hi = 2;
+  while (birthday_collision_probability(hash_space, hi) < p) {
+    lo = hi;
+    hi *= 2;
+    if (hi > static_cast<u64>(hash_space) + 2) {
+      hi = static_cast<u64>(hash_space) + 2;
+      break;
+    }
+  }
+  while (lo + 1 < hi) {
+    const u64 mid = lo + (hi - lo) / 2;
+    if (birthday_collision_probability(hash_space, mid) >= p) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+double monte_carlo_collision_rate(u64 hash_space, u64 num_keys, u64 seed,
+                                  u32 trials) {
+  if (hash_space == 0 || num_keys == 0 || trials == 0) return 0.0;
+  Xoshiro256 rng(seed);
+  double total = 0.0;
+  for (u32 t = 0; t < trials; ++t) {
+    std::unordered_set<u64> seen;
+    seen.reserve(num_keys * 2);
+    u64 collisions = 0;
+    for (u64 i = 0; i < num_keys; ++i) {
+      const u64 key = rng.next() % hash_space;
+      if (!seen.insert(key).second) ++collisions;
+    }
+    total += static_cast<double>(collisions) /
+             static_cast<double>(num_keys);
+  }
+  return total / trials;
+}
+
+}  // namespace bigmap

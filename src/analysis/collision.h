@@ -1,0 +1,38 @@
+// Hash-collision analytics (paper §II-B, §III, Figure 2).
+//
+// Equation 1:  CollisionRate(H, n) = 1 - (H/n) * [1 - ((H-1)/H)^n]
+//
+// where H is the hash-space size (coverage-bitmap entries) and n the number
+// of uniformly drawn keys (block/edge IDs). Also provides the exact
+// birthday-problem bound the paper cites ("~50% probability of at least one
+// collision after only 300 IDs in a 64 kB map") and a Monte-Carlo
+// cross-check used by tests and the Figure 2 bench.
+#pragma once
+
+#include "util/types.h"
+
+namespace bigmap {
+
+// Equation 1. Returns a rate in [0, 1). H must be > 0; n == 0 yields 0.
+double collision_rate(double hash_space, double num_keys) noexcept;
+
+// Expected number of *distinct* values after n uniform draws from H:
+// H * (1 - (1 - 1/H)^n). The complement view of Equation 1
+// (collision_rate == 1 - expected_distinct/n).
+double expected_distinct_keys(double hash_space, double num_keys) noexcept;
+
+// Probability of at least one collision among n uniform draws from H
+// (generalized birthday problem, exact product form evaluated in log
+// space).
+double birthday_collision_probability(double hash_space, u64 num_keys) noexcept;
+
+// Smallest n such that birthday_collision_probability(H, n) >= p.
+u64 keys_for_collision_probability(double hash_space, double p) noexcept;
+
+// Empirical collision rate: draws n keys uniformly from [0, H) and counts
+// draws that repeat an earlier value, divided by n (the paper's §II-B
+// definition: the {4,2,5,3,2} example has rate 1/5).
+double monte_carlo_collision_rate(u64 hash_space, u64 num_keys, u64 seed,
+                                  u32 trials = 3);
+
+}  // namespace bigmap

@@ -1,0 +1,159 @@
+#include "cachesim/smp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace bigmap {
+namespace {
+
+// Per-instance state: private L1/L2, its own address space, its own key
+// universe and RNG. The shared L3 lives in the Smp simulator.
+class Instance {
+ public:
+  Instance(const SmpParams& p, u32 id)
+      : p_(&p),
+        base_(static_cast<u64>(id + 1) << 40),
+        l1_({32 * 1024, 8, 64}),
+        l2_({256 * 1024, 8, 64}),
+        rng_(p.seed * 1000003 + id) {
+    const usize want = std::min(p.used_keys, p.map_size);
+    std::unordered_set<u32> seen;
+    keys_.reserve(want);
+    while (keys_.size() < want) {
+      const u32 k =
+          static_cast<u32>(rng_.next()) & static_cast<u32>(p.map_size - 1);
+      if (seen.insert(k).second) keys_.push_back(k);
+    }
+  }
+
+  // Runs one full fuzzing iteration (reset, execute+update, classify,
+  // compare, maybe hash), charging access latencies via `charge`.
+  template <class Charge>
+  void run_exec(u32 exec_index, Charge&& charge) {
+    const bool two_level = p_->scheme == MapScheme::kTwoLevel;
+    const usize scan = two_level ? keys_.size() : p_->map_size;
+    constexpr u64 kTrace = 0x1'0000'0000ULL;
+    constexpr u64 kIndex = 0x2'0000'0000ULL;
+    constexpr u64 kVirgin = 0x3'0000'0000ULL;
+    constexpr u64 kApp = 0x4'0000'0000ULL;
+
+    // reset
+    for (usize b = 0; b < scan; b += 8) charge(*this, base_ + kTrace + b);
+
+    // execute: app work + updates
+    const usize hot = std::max<usize>(1, keys_.size() / 64);
+    for (usize e = 0; e < p_->edges_per_exec; ++e) {
+      charge(*this, base_ + kApp + (rng_.next() % p_->app_ws_bytes));
+      charge(*this, base_ + kApp + (rng_.next() % p_->app_ws_bytes));
+      const u32 ki = rng_.chance(7, 8)
+                         ? static_cast<u32>(rng_.next() % hot)
+                         : static_cast<u32>(rng_.next() % keys_.size());
+      if (two_level) {
+        charge(*this, base_ + kIndex + static_cast<u64>(keys_[ki]) * 4);
+        charge(*this, base_ + kTrace + ki);
+      } else {
+        charge(*this, base_ + kTrace + keys_[ki]);
+      }
+    }
+
+    // classify + compare (+hash)
+    for (usize b = 0; b < scan; b += 8) charge(*this, base_ + kTrace + b);
+    for (usize b = 0; b < scan; b += 8) {
+      charge(*this, base_ + kTrace + b);
+      charge(*this, base_ + kVirgin + b);
+    }
+    if (p_->hash_every != 0 && exec_index % p_->hash_every == 0) {
+      for (usize b = 0; b < scan; b += 8) charge(*this, base_ + kTrace + b);
+    }
+  }
+
+  Cache& l1() noexcept { return l1_; }
+  Cache& l2() noexcept { return l2_; }
+
+ private:
+  const SmpParams* p_;
+  u64 base_;
+  Cache l1_, l2_;
+  Xoshiro256 rng_;
+  std::vector<u32> keys_;
+};
+
+}  // namespace
+
+SmpResult simulate_parallel_fuzzing(const SmpParams& params) {
+  SmpResult res;
+  res.instances = params.instances;
+
+  Cache l3({12 * 1024 * 1024, 16, 64});
+  std::vector<std::unique_ptr<Instance>> instances;
+  for (u32 i = 0; i < params.instances; ++i) {
+    instances.push_back(std::make_unique<Instance>(params, i));
+  }
+
+  double cache_ns = 0.0;   // latency excluding DRAM accesses
+  u64 mem_accesses = 0;    // accesses that missed all levels
+  u64 total_accesses = 0;
+
+  auto charge = [&](Instance& self, u64 addr) {
+    ++total_accesses;
+    if (self.l1().access(addr)) {
+      cache_ns += params.l1_ns;
+    } else if (self.l2().access(addr)) {
+      cache_ns += params.l2_ns;
+    } else if (l3.access(addr)) {
+      cache_ns += params.l3_ns;
+    } else {
+      ++mem_accesses;
+    }
+  };
+
+  // Interleave instances per execution round: all cores progress at the
+  // same rate, which is what concurrent same-binary fuzzers do. Within a
+  // round each instance runs one full iteration; the shared L3 sees the
+  // union of their footprints.
+  for (u32 e = 0; e < params.execs_per_instance; ++e) {
+    for (auto& inst : instances) {
+      inst->run_exec(e, charge);
+    }
+  }
+
+  const u64 total_execs =
+      static_cast<u64>(params.instances) * params.execs_per_instance;
+  const double cache_ns_per_exec =
+      cache_ns / static_cast<double>(total_execs);
+  const double mem_per_exec =
+      static_cast<double>(mem_accesses) / static_cast<double>(total_execs);
+  res.mem_bytes_per_exec = mem_per_exec * 64.0;
+
+  // Fixed-point solve for throughput under a shared memory controller:
+  // effective DRAM latency grows with utilization (open-queue M/M/1 style:
+  // lat = mem_ns / (1 - rho)), and utilization depends on throughput.
+  double ns_per_exec = cache_ns_per_exec + mem_per_exec * params.mem_ns;
+  double rho = 0.0;
+  for (int iter = 0; iter < 50; ++iter) {
+    const double agg_bytes_per_sec = params.instances *
+                                     (1e9 / ns_per_exec) *
+                                     res.mem_bytes_per_exec;
+    rho = std::min(0.97, agg_bytes_per_sec / params.mem_bandwidth);
+    const double eff_mem_ns = params.mem_ns / (1.0 - rho);
+    const double next = cache_ns_per_exec + mem_per_exec * eff_mem_ns;
+    if (std::abs(next - ns_per_exec) < 0.01 * ns_per_exec) {
+      ns_per_exec = next;
+      break;
+    }
+    ns_per_exec = 0.5 * (ns_per_exec + next);  // damped iteration
+  }
+
+  res.mem_utilization = rho;
+  res.ns_per_exec = ns_per_exec;
+  res.instance_throughput = 1e9 / ns_per_exec;
+  res.aggregate_throughput = res.instance_throughput * params.instances;
+  res.l3_miss_rate = l3.miss_rate();
+  return res;
+}
+
+}  // namespace bigmap

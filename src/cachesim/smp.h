@@ -1,0 +1,65 @@
+// Parallel-fuzzing cache-contention model (Figures 9 and 10).
+//
+// The paper runs 1-12 concurrent fuzzing instances, one per physical core,
+// all sharing a 12 MB L3. Scaling breaks down when the combined working
+// sets exceed the shared LLC — much earlier for AFL's whole-map scans than
+// for BigMap's used-region scans. This host has a single core, so the
+// experiment is reproduced in the simulator (a substitution documented in
+// DESIGN.md): n instances with private L1/L2 and a shared L3 interleave
+// their per-execution access streams, and a latency model converts hit
+// levels into a modeled time per execution.
+#pragma once
+
+#include <vector>
+
+#include "cachesim/cache.h"
+#include "core/map_options.h"
+#include "util/types.h"
+
+namespace bigmap {
+
+struct SmpParams {
+  MapScheme scheme = MapScheme::kFlat;
+  usize map_size = 2u << 20;
+  usize used_keys = 20000;      // distinct coverage keys per instance
+  usize edges_per_exec = 4000;  // dynamic edge events per execution
+  usize app_ws_bytes = 32 * 1024;
+  u32 instances = 1;
+  u32 execs_per_instance = 6;  // simulated executions per instance
+  u32 hash_every = 8;          // interesting-case hash frequency
+  u64 seed = 1;
+
+  // Latency model (ns per access at each hit level). Defaults approximate
+  // the Xeon E5645 generation.
+  double l1_ns = 1.2;
+  double l2_ns = 4.0;
+  double l3_ns = 14.0;
+  double mem_ns = 80.0;
+
+  // Shared DRAM bandwidth (bytes/s). Whole-map scans from many instances
+  // queue on the memory controller; effective memory latency grows with
+  // utilization (M/M/1-style), which is what bends AFL's scaling curve
+  // past ~4 instances in Figure 9(a).
+  double mem_bandwidth = 10e9;
+};
+
+struct SmpResult {
+  u32 instances = 0;
+  // Modeled nanoseconds per execution for one instance under contention.
+  double ns_per_exec = 0.0;
+  // Executions/second of one instance (each instance owns a core).
+  double instance_throughput = 0.0;
+  // All instances together.
+  double aggregate_throughput = 0.0;
+  // Shared-L3 statistics.
+  double l3_miss_rate = 0.0;
+  // Bytes of DRAM traffic per execution and modeled controller utilization.
+  double mem_bytes_per_exec = 0.0;
+  double mem_utilization = 0.0;
+};
+
+// Simulates `instances` concurrent fuzzing instances and returns the
+// modeled throughput. Deterministic in params.seed.
+SmpResult simulate_parallel_fuzzing(const SmpParams& params);
+
+}  // namespace bigmap

@@ -1,0 +1,127 @@
+#include "cachesim/tlb.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace bigmap {
+
+bool Tlb::Level::access(u64 vpn, u64 tick) noexcept {
+  const usize set = vpn % sets;
+  Way* base = &ways[set * assoc];
+  Way* victim = base;
+  for (u32 w = 0; w < assoc; ++w) {
+    if (base[w].vpn == vpn) {
+      base[w].lru = tick;
+      return true;
+    }
+    if (base[w].lru < victim->lru) victim = &base[w];
+  }
+  victim->vpn = vpn;
+  victim->lru = tick;
+  return false;
+}
+
+Tlb::Tlb(const TlbConfig& cfg)
+    : cfg_(cfg),
+      page_shift_(static_cast<u32>(
+          std::countr_zero(static_cast<u64>(cfg.page_size)))),
+      l1_(cfg.l1_entries, cfg.l1_ways),
+      l2_(cfg.l2_entries, cfg.l2_ways) {
+  if (!std::has_single_bit(cfg.page_size)) {
+    throw std::invalid_argument("page_size must be a power of two");
+  }
+  if (cfg.l1_entries % cfg.l1_ways != 0 ||
+      cfg.l2_entries % cfg.l2_ways != 0) {
+    throw std::invalid_argument("entries must be a multiple of ways");
+  }
+}
+
+TlbLevel Tlb::access(u64 addr) noexcept {
+  const u64 vpn = addr >> page_shift_;
+  ++accesses_;
+  ++tick_;
+  if (l1_.access(vpn, tick_)) {
+    ++l1_hits_;
+    return TlbLevel::kL1;
+  }
+  if (l2_.access(vpn, tick_)) {
+    ++l2_hits_;
+    return TlbLevel::kL2;
+  }
+  ++page_walks_;
+  return TlbLevel::kPageWalk;
+}
+
+void Tlb::reset() noexcept {
+  for (auto& w : l1_.ways) w = Way{};
+  for (auto& w : l2_.ways) w = Way{};
+  tick_ = 0;
+  accesses_ = 0;
+  l1_hits_ = 0;
+  l2_hits_ = 0;
+  page_walks_ = 0;
+}
+
+TlbSimResult simulate_map_tlb_pressure(bool two_level, usize map_size,
+                                       usize used_keys,
+                                       usize edges_per_exec,
+                                       usize page_size, u32 execs,
+                                       u64 seed) {
+  TlbConfig cfg;
+  cfg.page_size = page_size;
+  Tlb tlb(cfg);
+  Xoshiro256 rng(seed);
+
+  constexpr u64 kTrace = 0x1'0000'0000ULL;
+  constexpr u64 kIndex = 0x2'0000'0000ULL;
+  constexpr u64 kVirgin = 0x3'0000'0000ULL;
+
+  used_keys = std::min(used_keys, map_size);
+  std::vector<u32> keys;
+  {
+    std::unordered_set<u32> seen;
+    keys.reserve(used_keys);
+    while (keys.size() < used_keys) {
+      const u32 k =
+          static_cast<u32>(rng.next()) & static_cast<u32>(map_size - 1);
+      if (seen.insert(k).second) keys.push_back(k);
+    }
+  }
+
+  const usize scan = two_level ? used_keys : map_size;
+  const usize hot = std::max<usize>(1, keys.size() / 64);
+
+  for (u32 e = 0; e < execs; ++e) {
+    // reset + classify + compare scans (sequential: one access per page
+    // suffices for TLB pressure purposes, but we probe per cache line to
+    // mirror the real stride).
+    for (usize b = 0; b < scan; b += 64) tlb.access(kTrace + b);
+    for (usize i = 0; i < edges_per_exec; ++i) {
+      const u32 ki = rng.chance(7, 8)
+                         ? static_cast<u32>(rng.next() % hot)
+                         : static_cast<u32>(rng.next() % keys.size());
+      if (two_level) {
+        tlb.access(kIndex + static_cast<u64>(keys[ki]) * 4);
+        tlb.access(kTrace + ki);
+      } else {
+        tlb.access(kTrace + keys[ki]);
+      }
+    }
+    for (usize b = 0; b < scan; b += 64) tlb.access(kTrace + b);
+    for (usize b = 0; b < scan; b += 64) {
+      tlb.access(kTrace + b);
+      tlb.access(kVirgin + b);
+    }
+  }
+
+  TlbSimResult res;
+  res.walk_rate = tlb.walk_rate();
+  res.walks_per_exec = tlb.page_walks() / std::max<u64>(1, execs);
+  return res;
+}
+
+}  // namespace bigmap

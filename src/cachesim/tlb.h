@@ -1,0 +1,95 @@
+// DTLB model for the huge-page rationale (paper §IV-E).
+//
+// "There are limited numbers of slots on L1/L2 DTLB, and a large bitmap
+// can consume many of them, resulting in frequent page-walks caused by
+// DTLB misses. Allocating the bitmaps on a huge page reduces these
+// overheads."
+//
+// The model: a two-level DTLB (64-entry 4-way L1, 512-entry 8-way L2 —
+// Nehalem-era sizes) translating either 4 KiB or 2 MiB pages. An 8 MB map
+// spans 2048 small pages (swamping both levels on scattered access) but
+// only 4 huge pages.
+#pragma once
+
+#include <vector>
+
+#include "util/types.h"
+
+namespace bigmap {
+
+struct TlbConfig {
+  u32 l1_entries = 64;
+  u32 l1_ways = 4;
+  u32 l2_entries = 512;
+  u32 l2_ways = 8;
+  usize page_size = 4096;  // 4 KiB or 2 MiB
+};
+
+// Where a translation was satisfied.
+enum class TlbLevel : u8 { kL1, kL2, kPageWalk };
+
+class Tlb {
+ public:
+  explicit Tlb(const TlbConfig& cfg);
+
+  // Translates `addr`; fills on miss.
+  TlbLevel access(u64 addr) noexcept;
+
+  void reset() noexcept;
+
+  u64 accesses() const noexcept { return accesses_; }
+  u64 l1_hits() const noexcept { return l1_hits_; }
+  u64 l2_hits() const noexcept { return l2_hits_; }
+  u64 page_walks() const noexcept { return page_walks_; }
+  double walk_rate() const noexcept {
+    return accesses_ == 0
+               ? 0.0
+               : static_cast<double>(page_walks_) / accesses_;
+  }
+
+  const TlbConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct Way {
+    u64 vpn = ~0ULL;
+    u64 lru = 0;
+  };
+
+  struct Level {
+    Level(u32 entries, u32 ways_count)
+        : sets(entries / ways_count), assoc(ways_count),
+          ways(entries) {}
+    bool access(u64 vpn, u64 tick) noexcept;
+
+    usize sets;
+    u32 assoc;
+    std::vector<Way> ways;
+  };
+
+  TlbConfig cfg_;
+  u32 page_shift_;
+  Level l1_;
+  Level l2_;
+  u64 tick_ = 0;
+  u64 accesses_ = 0;
+  u64 l1_hits_ = 0;
+  u64 l2_hits_ = 0;
+  u64 page_walks_ = 0;
+};
+
+// Result of simulating one scheme's per-execution access stream through
+// a TLB with the given page size.
+struct TlbSimResult {
+  double walk_rate = 0.0;           // fraction of accesses that page-walk
+  u64 walks_per_exec = 0;           // absolute page walks per execution
+};
+
+// Simulates `execs` fuzzing iterations of the given scheme (same access
+// streams as mapsim) through a DTLB with `page_size`-sized pages covering
+// the map structures. Isolated from the cache model: the question here is
+// translation pressure only.
+TlbSimResult simulate_map_tlb_pressure(bool two_level, usize map_size,
+                                       usize used_keys, usize edges_per_exec,
+                                       usize page_size, u32 execs, u64 seed);
+
+}  // namespace bigmap

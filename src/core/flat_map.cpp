@@ -1,0 +1,65 @@
+#include "core/flat_map.h"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+#include "core/classify.h"
+#include "util/hash.h"
+
+namespace bigmap {
+
+void validate_map_options(const MapOptions& opt) {
+  if (opt.map_size < 8 || !std::has_single_bit(opt.map_size)) {
+    throw std::invalid_argument(
+        "MapOptions::map_size must be a power of two >= 8");
+  }
+  if (opt.condensed_size != 0 && opt.condensed_size % 8 != 0) {
+    throw std::invalid_argument(
+        "MapOptions::condensed_size must be a multiple of 8");
+  }
+}
+
+FlatCoverageMap::FlatCoverageMap(const MapOptions& opt)
+    : trace_((validate_map_options(opt), opt.map_size), opt.backing()),
+      mask_(static_cast<u32>(opt.map_size - 1)),
+      nontemporal_reset_(opt.nontemporal_reset),
+      merged_classify_compare_(opt.merged_classify_compare) {}
+
+void FlatCoverageMap::reset() noexcept {
+  if (nontemporal_reset_) {
+    memset_zero_nontemporal(trace_.data(), trace_.size());
+  } else {
+    std::memset(trace_.data(), 0, trace_.size());
+  }
+}
+
+void FlatCoverageMap::classify() noexcept {
+  classify_counts(trace_.data(), trace_.size());
+}
+
+NewBits FlatCoverageMap::compare_update(VirginMap& virgin) noexcept {
+  return compare_and_update_virgin(trace_.data(), virgin.data(),
+                                   trace_.size());
+}
+
+NewBits FlatCoverageMap::classify_and_compare(VirginMap& virgin) noexcept {
+  if (merged_classify_compare_) {
+    return classify_compare_update(trace_.data(), virgin.data(),
+                                   trace_.size());
+  }
+  classify();
+  return compare_update(virgin);
+}
+
+u32 FlatCoverageMap::hash() const noexcept { return crc32(trace_.span()); }
+
+usize FlatCoverageMap::count_nonzero() const noexcept {
+  usize n = 0;
+  for (usize i = 0; i < trace_.size(); ++i) {
+    if (trace_[i] != 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace bigmap

@@ -1,0 +1,76 @@
+// FlatCoverageMap: AFL's single-level coverage bitmap.
+//
+// This is the baseline the paper measures against. Every map operation
+// except update touches the *full* bitmap regardless of how much of it is
+// used, which is exactly the cost BigMap removes:
+//
+//   update    trace_bits[E]++              (sparse, random positions)
+//   reset     memset(trace_bits, 0, size)  (full map)
+//   classify  bucket every byte            (full map)
+//   compare   has_new_bits vs. virgin      (full map)
+//   hash      crc32(trace_bits, size)      (full map)
+#pragma once
+
+#include <span>
+
+#include "core/map_options.h"
+#include "core/virgin.h"
+#include "util/alloc.h"
+#include "util/types.h"
+
+namespace bigmap {
+
+class FlatCoverageMap {
+ public:
+  explicit FlatCoverageMap(const MapOptions& opt);
+
+  static constexpr MapScheme kScheme = MapScheme::kFlat;
+
+  usize map_size() const noexcept { return trace_.size(); }
+
+  // --- hot path -----------------------------------------------------------
+
+  // Records one hit of coverage key `key` (Listing 1, line 3). Keys are
+  // reduced modulo the (power-of-two) map size.
+  void update(u32 key) noexcept { ++trace_[key & mask_]; }
+
+  // --- per-test-case map operations ----------------------------------------
+
+  // Clears the trace bitmap. Full-map memset (non-temporal when enabled).
+  void reset() noexcept;
+
+  // Buckets every hit count in place. Full-map pass.
+  void classify() noexcept;
+
+  // Classified-trace vs. virgin comparison; clears matched virgin bits.
+  // Full-map pass. `virgin.size()` must equal map_size().
+  NewBits compare_update(VirginMap& virgin) noexcept;
+
+  // classify() + compare_update() — fused into one pass when
+  // merged_classify_compare is enabled (§IV-E), sequential otherwise.
+  NewBits classify_and_compare(VirginMap& virgin) noexcept;
+
+  // CRC-32 of the full trace bitmap (AFL's hash32 over MAP_SIZE).
+  u32 hash() const noexcept;
+
+  // --- introspection --------------------------------------------------------
+
+  std::span<const u8> trace() const noexcept { return trace_.span(); }
+  std::span<u8> mutable_trace() noexcept { return trace_.span(); }
+
+  // Bytes iterated by each whole-map scan (== map_size for this scheme).
+  usize scan_cost_bytes() const noexcept { return trace_.size(); }
+
+  // Number of distinct map positions currently non-zero.
+  usize count_nonzero() const noexcept;
+
+  PageBackingResult backing() const noexcept { return trace_.backing(); }
+
+ private:
+  PageBuffer trace_;
+  u32 mask_;
+  bool nontemporal_reset_;
+  bool merged_classify_compare_;
+};
+
+}  // namespace bigmap

@@ -1,0 +1,51 @@
+// Construction options shared by both coverage-map schemes.
+#pragma once
+
+#include "util/alloc.h"
+#include "util/types.h"
+
+namespace bigmap {
+
+// Which coverage-map data structure a fuzzing session uses.
+enum class MapScheme : u8 {
+  kFlat,      // AFL's single-level bitmap
+  kTwoLevel,  // BigMap's condensed two-level bitmap
+};
+
+inline const char* map_scheme_name(MapScheme s) noexcept {
+  return s == MapScheme::kFlat ? "AFL" : "BigMap";
+}
+
+// Options controlling map construction and the §IV-E optimizations. The
+// optimizations default to on for both schemes, matching the paper's
+// experimental setup ("Optimizations mentioned in Section IV-E applied to
+// both AFL and BigMap").
+struct MapOptions {
+  // Hash-space size in entries (== bytes for the flat scheme). Must be a
+  // power of two and a multiple of 8.
+  usize map_size = 1u << 16;
+
+  // Back the bitmaps with huge pages when the OS allows it (§IV-E).
+  bool huge_pages = true;
+
+  // Reset the flat map with non-temporal stores (§IV-E; a no-op benefit for
+  // the two-level scheme, which only clears its used region).
+  bool nontemporal_reset = true;
+
+  // Fuse the classify and compare passes (§IV-E).
+  bool merged_classify_compare = true;
+
+  // Two-level scheme only: number of slots in the condensed coverage
+  // bitmap. 0 means "same as map_size" (the paper's configuration).
+  usize condensed_size = 0;
+
+  PageBacking backing() const noexcept {
+    return huge_pages ? PageBacking::kHugeIfAvailable : PageBacking::kNormal;
+  }
+};
+
+// Validates the power-of-two/multiple-of-8 constraints; throws
+// std::invalid_argument on violation.
+void validate_map_options(const MapOptions& opt);
+
+}  // namespace bigmap

@@ -1,0 +1,84 @@
+#include "core/two_level_map.h"
+
+#include <cstring>
+
+#include "core/classify.h"
+#include "util/hash.h"
+
+namespace bigmap {
+
+TwoLevelCoverageMap::TwoLevelCoverageMap(const MapOptions& opt)
+    : index_((validate_map_options(opt), opt.map_size * sizeof(u32)),
+             opt.backing()),
+      coverage_(opt.condensed_size == 0 ? opt.map_size : opt.condensed_size,
+                opt.backing()),
+      index_data_(reinterpret_cast<u32*>(index_.data())),
+      index_size_(opt.map_size),
+      mask_(static_cast<u32>(opt.map_size - 1)),
+      merged_classify_compare_(opt.merged_classify_compare) {
+  // The one-time full-map initialization (§IV-B): index entries to -1,
+  // coverage to zero (the kernel already zeroes fresh anonymous pages, but
+  // we touch the map anyway to fault it in deterministically, exactly like
+  // the paper's single full-map pass).
+  std::memset(index_.data(), 0xFF, index_.size());
+  std::memset(coverage_.data(), 0, coverage_.size());
+}
+
+u32 TwoLevelCoverageMap::allocate_slot(u32* slot) noexcept {
+  u32 k;
+  if (used_key_ < coverage_.size()) {
+    k = used_key_++;
+  } else {
+    // Condensed bitmap exhausted: alias the final slot. With the default
+    // condensed_size == map_size this is unreachable (there are at most
+    // map_size distinct keys).
+    k = static_cast<u32>(coverage_.size() - 1);
+    ++saturated_;
+  }
+  *slot = k;
+  return k;
+}
+
+void TwoLevelCoverageMap::reset() noexcept {
+  std::memset(coverage_.data(), 0, used_key_);
+}
+
+void TwoLevelCoverageMap::classify() noexcept {
+  // Whole words first, bytewise tail: used_key is not always a multiple
+  // of 8.
+  const usize aligned = used_key_ & ~static_cast<usize>(7);
+  classify_counts(coverage_.data(), aligned);
+  classify_counts_bytewise(coverage_.data() + aligned, used_key_ - aligned);
+}
+
+NewBits TwoLevelCoverageMap::compare_update(VirginMap& virgin) noexcept {
+  return compare_and_update_virgin(coverage_.data(), virgin.data(),
+                                   used_key_);
+}
+
+NewBits TwoLevelCoverageMap::classify_and_compare(VirginMap& virgin) noexcept {
+  if (merged_classify_compare_) {
+    return classify_compare_update(coverage_.data(), virgin.data(),
+                                   used_key_);
+  }
+  classify();
+  return compare_update(virgin);
+}
+
+u32 TwoLevelCoverageMap::hash() const noexcept {
+  // §IV-D: hash up to the last non-zero byte so the hash of a path is
+  // independent of used_key growth caused by other paths.
+  usize end = used_key_;
+  while (end > 0 && coverage_[end - 1] == 0) --end;
+  return crc32({coverage_.data(), end});
+}
+
+usize TwoLevelCoverageMap::count_nonzero() const noexcept {
+  usize n = 0;
+  for (usize i = 0; i < used_key_; ++i) {
+    if (coverage_[i] != 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace bigmap

@@ -1,0 +1,130 @@
+// TwoLevelCoverageMap: BigMap's condensed two-level coverage bitmap — the
+// paper's core contribution (§IV).
+//
+// Layout:
+//   index_bitmap    map_size entries; maps a coverage key to its condensed
+//                   slot. kUnassigned (-1) until the key is first seen.
+//   coverage_bitmap condensed hit counts, densely packed from slot 0.
+//   used_key        bump allocator: the next free condensed slot.
+//
+// Update (Listing 2):
+//   if (index_bitmap[E] == -1) index_bitmap[E] = used_key++;
+//   coverage_bitmap[index_bitmap[E]]++;
+//
+// Because the index assignment is stable for the whole campaign, every other
+// map operation (reset / classify / compare / hash) needs to touch only the
+// [0, used_key) prefix of the coverage bitmap — cost proportional to edges
+// *discovered*, not to map size. The index bitmap is touched only by update
+// and is never reset (§IV-B).
+//
+// Hash rule (§IV-D): hashing always runs up to the *last non-zero* byte, not
+// up to used_key, so a path executed before and after unrelated used_key
+// growth produces the same hash.
+#pragma once
+
+#include <span>
+
+#include "core/map_options.h"
+#include "core/virgin.h"
+#include "util/alloc.h"
+#include "util/types.h"
+
+namespace bigmap {
+
+class TwoLevelCoverageMap {
+ public:
+  explicit TwoLevelCoverageMap(const MapOptions& opt);
+
+  static constexpr MapScheme kScheme = MapScheme::kTwoLevel;
+  static constexpr u32 kUnassigned = 0xFFFFFFFFu;
+
+  usize map_size() const noexcept { return index_size_; }
+
+  // Number of condensed coverage slots (defaults to map_size).
+  usize condensed_size() const noexcept { return coverage_.size(); }
+
+  // --- hot path -------------------------------------------------------------
+
+  // Records one hit of coverage key `key` (Listing 2, lines 3-6). The
+  // first-touch branch is almost always not-taken and thus well predicted.
+  void update(u32 key) noexcept {
+    u32* slot = index_data_ + (key & mask_);
+    u32 k = *slot;
+    if (k == kUnassigned) [[unlikely]] {
+      k = allocate_slot(slot);
+    }
+    ++coverage_[k];
+  }
+
+  // --- per-test-case map operations ------------------------------------------
+
+  // Clears [0, used_key) of the coverage bitmap. The index bitmap is
+  // deliberately left intact.
+  void reset() noexcept;
+
+  // Buckets hit counts over [0, used_key).
+  void classify() noexcept;
+
+  // Classified-trace vs. virgin comparison over [0, used_key); virgin bytes
+  // beyond used_key are still 0xFF so the prefix comparison is exact.
+  // `virgin.size()` must equal condensed_size().
+  NewBits compare_update(VirginMap& virgin) noexcept;
+
+  // classify() + compare_update(), fused when enabled (§IV-E).
+  NewBits classify_and_compare(VirginMap& virgin) noexcept;
+
+  // CRC-32 up to (and including) the last non-zero byte (§IV-D).
+  u32 hash() const noexcept;
+
+  // --- introspection ----------------------------------------------------------
+
+  // Next free condensed slot == number of distinct keys seen so far.
+  u32 used_key() const noexcept { return used_key_; }
+
+  // Condensed slot of `key`, or kUnassigned if never seen.
+  u32 slot_of(u32 key) const noexcept { return index_data_[key & mask_]; }
+
+  // The used prefix of the coverage bitmap.
+  std::span<const u8> used_region() const noexcept {
+    return {coverage_.data(), used_key_};
+  }
+  std::span<u8> mutable_used_region() noexcept {
+    return {coverage_.data(), used_key_};
+  }
+
+  std::span<const u8> full_coverage() const noexcept {
+    return coverage_.span();
+  }
+
+  // Bytes iterated by each whole-map scan (== used_key for this scheme).
+  usize scan_cost_bytes() const noexcept { return used_key_; }
+
+  usize count_nonzero() const noexcept;
+
+  // Number of updates that could not get a fresh slot because the condensed
+  // bitmap was full (they alias the final slot). Always 0 when
+  // condensed_size == map_size.
+  u64 saturated_updates() const noexcept { return saturated_; }
+
+  PageBackingResult coverage_backing() const noexcept {
+    return coverage_.backing();
+  }
+  PageBackingResult index_backing() const noexcept {
+    return index_.backing();
+  }
+
+ private:
+  // Cold path of update(): assigns the next condensed slot to *slot.
+  u32 allocate_slot(u32* slot) noexcept;
+
+  PageBuffer index_;      // map_size u32 entries, init 0xFFFFFFFF
+  PageBuffer coverage_;   // condensed hit counts
+  u32* index_data_;       // == reinterpret_cast<u32*>(index_.data())
+  usize index_size_;      // entries in index_
+  u32 mask_;
+  u32 used_key_ = 0;
+  u64 saturated_ = 0;
+  bool merged_classify_compare_;
+};
+
+}  // namespace bigmap

@@ -1,0 +1,63 @@
+// Virgin (global-coverage) maps and the has_new_bits comparison.
+//
+// AFL keeps a "virgin" map per outcome class (queue / crash / hang) whose
+// bytes start at 0xFF. After classifying a trace, has_new_bits() checks
+// whether the trace sets any bit still virgin. The return value
+// distinguishes a brand-new tuple (an edge never seen before) from a new
+// hit-count bucket for a known edge; AFL treats both as interesting but
+// favors new tuples. The comparison also *clears* the matched virgin bits,
+// which is how global coverage accumulates.
+//
+// BigMap uses the identical comparison, but over condensed keys and only on
+// the [0, used_key) prefix; virgin bytes beyond used_key remain 0xFF, so the
+// prefix comparison is exact (paper §IV-B).
+#pragma once
+
+#include <span>
+
+#include "util/alloc.h"
+#include "util/types.h"
+
+namespace bigmap {
+
+// Result of a trace-vs-virgin comparison, ordered by interestingness.
+enum class NewBits : u8 {
+  kNone = 0,       // nothing new
+  kNewCounts = 1,  // a known edge moved to a new hit-count bucket
+  kNewTuple = 2,   // a never-seen edge appeared
+};
+
+// A virgin map: bytes initialized to 0xFF, cleared as coverage accumulates.
+class VirginMap {
+ public:
+  explicit VirginMap(usize size, PageBacking backing = PageBacking::kNormal);
+
+  usize size() const noexcept { return buf_.size(); }
+  u8* data() noexcept { return buf_.data(); }
+  const u8* data() const noexcept { return buf_.data(); }
+  std::span<const u8> span() const noexcept { return buf_.span(); }
+
+  // Number of map positions with at least one cleared bit, i.e. positions
+  // covered so far (AFL's count_non_255_bytes, used for coverage stats).
+  usize count_covered() const noexcept;
+
+  // Restores every byte to 0xFF.
+  void reset() noexcept;
+
+ private:
+  PageBuffer buf_;
+};
+
+// Compares a *classified* trace against `virgin` over [0, len) and clears
+// the virgin bits the trace hits. Word-at-a-time with a byte fixup pass on
+// hit words, mirroring AFL's has_new_bits(). `trace` and `virgin` must be
+// 8-byte aligned; len need not be a multiple of 8 (tail handled bytewise).
+NewBits compare_and_update_virgin(const u8* trace, u8* virgin,
+                                  usize len) noexcept;
+
+// §IV-E optimization: classify and compare fused into one pass over the
+// trace (halves the traffic of the classify+compare pair). Classifies
+// `trace` in place and updates `virgin` exactly like the two-step sequence.
+NewBits classify_compare_update(u8* trace, u8* virgin, usize len) noexcept;
+
+}  // namespace bigmap

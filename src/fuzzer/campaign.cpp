@@ -1,0 +1,354 @@
+#include "fuzzer/campaign.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+#include "core/flat_map.h"
+#include "core/two_level_map.h"
+#include "fuzzer/executor.h"
+#include "fuzzer/mutator.h"
+#include "target/interpreter.h"
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace bigmap {
+namespace {
+
+template <class Map, class Metric>
+class Campaign {
+ public:
+  Campaign(const Program& prog, const std::vector<Input>& seeds,
+           const CampaignConfig& cfg)
+      : prog_(prog),
+        seeds_(seeds),
+        cfg_(cfg),
+        ids_(prog.blocks.size(), cfg.map.map_size,
+             mix64(cfg.seed ^ 0xB10C1D5ULL)),
+        ex_(prog, cfg.map, ids_, cfg.step_budget, cfg.work_per_block),
+        queue_(ex_.virgin_positions()),
+        mut_({cfg.max_input_size, cfg.havoc_stack_pow, cfg.dictionary},
+             mix64(cfg.seed ^ 0x3A7A70Full)),
+        rng_(mix64(cfg.seed ^ 0x5C4ED11ULL)) {}
+
+  CampaignResult run() {
+    start_ns_ = monotonic_ns();
+    res_.benchmark = prog_.name;
+    res_.scheme = Map::kScheme;
+    res_.map_size = cfg_.map.map_size;
+
+    seed_queue();
+    res_.seed_execs = res_.execs;
+    res_.seed_seconds =
+        static_cast<double>(monotonic_ns() - start_ns_) * 1e-9;
+    main_loop();
+    finalize();
+    return std::move(res_);
+  }
+
+ private:
+  bool exhausted() const noexcept {
+    if (cfg_.max_execs != 0 && res_.execs >= cfg_.max_execs) return true;
+    if (cfg_.max_seconds > 0.0) {
+      const double elapsed =
+          static_cast<double>(monotonic_ns() - start_ns_) * 1e-9;
+      if (elapsed >= cfg_.max_seconds) return true;
+    }
+    return false;
+  }
+
+  void maybe_sample_series() {
+    if (cfg_.series_interval == 0 || res_.execs < next_sample_) return;
+    next_sample_ = res_.execs + cfg_.series_interval;
+    ScopedOpTimer t(res_.timing, MapOp::kOther);
+    res_.coverage_series.emplace_back(res_.execs,
+                                      ex_.virgin_queue().count_covered());
+  }
+
+  // Runs one input; adds it to the queue when interesting (or when it is a
+  // non-crashing seed — AFL keeps all seeds). Returns true if queued.
+  bool process(Input input, u32 depth, bool is_seed) {
+    auto out = ex_.run(input, res_.timing);
+    ++res_.execs;
+    maybe_sample_series();
+
+    if (out.exec.crashed()) {
+      triage_.record(out.exec, out.outcome_new_bits != NewBits::kNone);
+      return false;
+    }
+    if (out.exec.hung()) {
+      ++res_.hangs;
+      return false;
+    }
+
+    const bool fresh = out.interesting();
+    if (fresh) ++res_.interesting;
+    if (!fresh && !is_seed) return false;
+
+    ScopedOpTimer t(res_.timing, MapOp::kOther);
+    if (cfg_.sync != nullptr && fresh) {
+      cfg_.sync->publish(cfg_.sync_id, input);
+    }
+    const u64 sched_ns = cfg_.deterministic_timing
+                             ? out.exec.steps * 100  // pseudo-time
+                             : out.exec_ns;
+    const usize idx =
+        queue_.add(std::move(input), sched_ns, out.hash, depth);
+    queue_.update_scores(idx, ex_.last_trace());
+    return true;
+  }
+
+  void seed_queue() {
+    for (const Input& s : seeds_) {
+      if (exhausted()) break;
+      process(s, 0, /*is_seed=*/true);
+    }
+    // All seeds crashed/hung (or none were given): fall back to dummy
+    // inputs so the campaign can start, as afl-fuzz does. Crash-on-zero
+    // targets are retried with seeded random bytes.
+    Xoshiro256 fallback_rng(mix64(cfg_.seed ^ 0xFA11BACCULL));
+    for (int attempt = 0; attempt < 16 && queue_.empty() && !exhausted();
+         ++attempt) {
+      Input dummy(prog_.nominal_input_size, 0);
+      if (attempt > 0) {
+        for (auto& b : dummy) b = static_cast<u8>(fallback_rng.next());
+      }
+      process(std::move(dummy), 0, /*is_seed=*/true);
+    }
+  }
+
+  // AFL's trim_case: repeatedly remove chunks of the entry as long as the
+  // classified-trace hash is preserved. Consumes executions from the
+  // budget (AFL counts them too) and exercises the map-hash operation.
+  void trim_entry(usize qi) {
+    QueueEntry& e = queue_.entry(qi);
+    if (e.data.size() < 8 || e.bitmap_hash == 0) return;
+    const u32 target_hash = e.bitmap_hash;
+
+    Input data = e.data;
+    const usize orig_len = data.size();
+    usize remove = std::max<usize>(data.size() / 16, 4);
+    const usize min_remove = std::max<usize>(data.size() / 1024, 4);
+    bool changed = false;
+
+    while (remove >= min_remove && data.size() > 8 && !exhausted()) {
+      usize pos = 0;
+      while (pos + remove <= data.size() && !exhausted()) {
+        Input candidate;
+        candidate.reserve(data.size() - remove);
+        candidate.insert(candidate.end(), data.begin(),
+                         data.begin() + static_cast<long>(pos));
+        candidate.insert(candidate.end(),
+                         data.begin() + static_cast<long>(pos + remove),
+                         data.end());
+
+        auto sr = ex_.run_for_hash(candidate, res_.timing);
+        ++res_.execs;
+        ++res_.trim_execs;
+        maybe_sample_series();
+
+        if (sr.exec.outcome == ExecResult::Outcome::kOk &&
+            sr.hash == target_hash) {
+          data = std::move(candidate);
+          changed = true;
+        } else {
+          pos += remove;
+        }
+      }
+      remove /= 2;
+    }
+
+    if (changed) {
+      res_.trimmed_bytes += orig_len - data.size();
+      e.data = std::move(data);
+    }
+  }
+
+  void deterministic_stage(usize qi) {
+    // AFL's deterministic pass: walking bitflips (1/2/4 bits), byte flips
+    // (1/2/4 bytes), arithmetic (8/16/32-bit, both endiannesses),
+    // interesting values (8/16/32-bit), and dictionary overwrite. Each
+    // stage is budget-checked; the order matches afl-fuzz.
+    const Input base = queue_.entry(qi).data;  // copy: queue may grow
+    const u32 depth = queue_.entry(qi).depth + 1;
+    auto sink = [&](const Input& variant) {
+      if (exhausted()) return;
+      process(variant, depth, false);
+    };
+    for (u32 bits : {1u, 2u, 4u}) {
+      mut_.det_bitflips(base, bits, sink);
+      if (exhausted()) return;
+    }
+    for (u32 bytes : {1u, 2u, 4u}) {
+      mut_.det_byteflips(base, bytes, sink);
+      if (exhausted()) return;
+    }
+    mut_.det_arith8(base, sink);
+    if (exhausted()) return;
+    mut_.det_arith16(base, sink);
+    if (exhausted()) return;
+    mut_.det_arith32(base, sink);
+    if (exhausted()) return;
+    mut_.det_interesting8(base, sink);
+    if (exhausted()) return;
+    mut_.det_interesting16(base, sink);
+    if (exhausted()) return;
+    mut_.det_interesting32(base, sink);
+    if (exhausted()) return;
+    mut_.det_dictionary(base, sink);
+  }
+
+  void havoc_stage(usize qi, u64 rounds) {
+    const u32 depth = queue_.entry(qi).depth + 1;
+    for (u64 r = 0; r < rounds && !exhausted(); ++r) {
+      Input work;
+      const usize qsize = queue_.size();
+      if (qsize > 1 && rng_.chance(1, 4)) {
+        const auto& other =
+            queue_.entry(rng_.below(static_cast<u32>(qsize))).data;
+        auto spliced = mut_.splice(queue_.entry(qi).data, other);
+        work = spliced ? std::move(*spliced) : queue_.entry(qi).data;
+      } else {
+        work = queue_.entry(qi).data;
+      }
+      mut_.havoc(work);
+      process(std::move(work), depth, false);
+      maybe_sync();
+    }
+  }
+
+  void maybe_sync() {
+    if (cfg_.sync == nullptr || res_.execs < next_sync_) return;
+    next_sync_ = res_.execs + cfg_.sync_interval;
+    for (Input& imported : cfg_.sync->fetch_new(cfg_.sync_id)) {
+      if (exhausted()) break;
+      process(std::move(imported), 0, false);
+    }
+  }
+
+  void main_loop() {
+    next_sync_ = cfg_.sync_interval;
+    while (!exhausted() && !queue_.empty()) {
+      queue_.cull();
+      const u64 avg_ns = queue_.average_exec_ns();
+      const usize cycle_len = queue_.size();
+
+      for (usize qi = 0; qi < cycle_len && !exhausted(); ++qi) {
+        QueueEntry& e = queue_.entry(qi);
+
+        // AFL's skip logic: favored entries always run; others mostly
+        // skipped (more aggressively once already fuzzed).
+        if (!e.favored) {
+          const u32 skip_pct = e.was_fuzzed ? 95 : 75;
+          if (rng_.chance(skip_pct, 100)) continue;
+        }
+        ++e.times_selected;
+
+        if (cfg_.trim_enabled && !e.was_fuzzed) {
+          trim_entry(qi);
+        }
+        if (cfg_.run_deterministic && !e.was_fuzzed &&
+            (cfg_.sync == nullptr || cfg_.is_master)) {
+          deterministic_stage(qi);
+        }
+
+        const double score = queue_.perf_score(qi, avg_ns);
+        const u64 rounds = std::max<u64>(
+            8, static_cast<u64>(cfg_.havoc_rounds * score / 100.0));
+        havoc_stage(qi, rounds);
+        queue_.entry(qi).was_fuzzed = true;
+      }
+    }
+  }
+
+  void finalize() {
+    res_.wall_seconds =
+        static_cast<double>(monotonic_ns() - start_ns_) * 1e-9;
+    res_.covered_positions = ex_.virgin_queue().count_covered();
+    if constexpr (Map::kScheme == MapScheme::kTwoLevel) {
+      res_.used_key = ex_.map().used_key();
+    }
+    res_.crashes_total = triage_.total();
+    res_.crashes_afl_unique = triage_.afl_unique();
+    res_.crashes_crashwalk_unique = triage_.crashwalk_unique();
+    res_.crashes_ground_truth = triage_.ground_truth_unique();
+    res_.found_bug_ids.assign(triage_.bug_ids().begin(),
+                              triage_.bug_ids().end());
+    res_.found_stack_hashes.assign(triage_.stack_hashes().begin(),
+                                   triage_.stack_hashes().end());
+    res_.corpus_size = queue_.size();
+    if (cfg_.keep_corpus) {
+      res_.corpus.reserve(queue_.size());
+      for (usize i = 0; i < queue_.size(); ++i) {
+        res_.corpus.push_back(queue_.entry(i).data);
+      }
+    }
+  }
+
+  const Program& prog_;
+  const std::vector<Input>& seeds_;
+  const CampaignConfig& cfg_;
+
+  BlockIdTable ids_;
+  Executor<Map, Metric> ex_;
+  SeedQueue queue_;
+  Mutator mut_;
+  Xoshiro256 rng_;
+  CrashTriage triage_;
+
+  CampaignResult res_;
+  u64 start_ns_ = 0;
+  u64 next_sync_ = 0;
+  u64 next_sample_ = 0;
+};
+
+template <class Metric>
+CampaignResult dispatch_scheme(const Program& prog,
+                               const std::vector<Input>& seeds,
+                               const CampaignConfig& cfg) {
+  if (cfg.scheme == MapScheme::kFlat) {
+    return Campaign<FlatCoverageMap, Metric>(prog, seeds, cfg).run();
+  }
+  return Campaign<TwoLevelCoverageMap, Metric>(prog, seeds, cfg).run();
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const Program& program,
+                            const std::vector<Input>& seeds,
+                            const CampaignConfig& config) {
+  switch (config.metric) {
+    case MetricKind::kEdge:
+      return dispatch_scheme<EdgeMetric>(program, seeds, config);
+    case MetricKind::kNGram:
+      return dispatch_scheme<NGramMetric<3>>(program, seeds, config);
+    case MetricKind::kNGram2:
+      return dispatch_scheme<NGramMetric<2>>(program, seeds, config);
+    case MetricKind::kNGram4:
+      return dispatch_scheme<NGramMetric<4>>(program, seeds, config);
+    case MetricKind::kNGram8:
+      return dispatch_scheme<NGramMetric<8>>(program, seeds, config);
+    case MetricKind::kContext:
+      return dispatch_scheme<ContextMetric>(program, seeds, config);
+  }
+  throw std::invalid_argument("unknown metric kind");
+}
+
+u64 measure_corpus_edges(const Program& program,
+                         const std::vector<Input>& corpus, u64 step_budget) {
+  Interpreter interp(step_budget);
+  std::unordered_set<u64> edges;
+  for (const Input& input : corpus) {
+    u32 prev = 0xFFFFFFFFu;
+    interp.run(program, input, [&](u32 block) {
+      if (prev != 0xFFFFFFFFu) {
+        edges.insert((static_cast<u64>(prev) << 32) | block);
+      }
+      prev = block;
+    });
+  }
+  return edges.size();
+}
+
+}  // namespace bigmap

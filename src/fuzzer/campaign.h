@@ -1,0 +1,155 @@
+// Campaign driver: the full coverage-guided fuzzing loop (paper Figure 1).
+//
+// Seeds the queue, then cycles: select entry -> havoc/splice mutations ->
+// execute -> fitness function (virgin-map new bits) -> queue/crash/discard.
+// The loop, scheduling, and mutation machinery are identical for both map
+// schemes; only the map data structure differs — which is the paper's
+// experimental control.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/map_options.h"
+#include "fuzzer/crash.h"
+#include "fuzzer/queue.h"
+#include "fuzzer/sync.h"
+#include "instrumentation/metrics.h"
+#include "target/program.h"
+#include "util/timing.h"
+#include "util/types.h"
+
+namespace bigmap {
+
+struct CampaignConfig {
+  MapScheme scheme = MapScheme::kTwoLevel;
+  MetricKind metric = MetricKind::kEdge;
+  MapOptions map;
+
+  u64 seed = 1;
+
+  // Stop conditions: whichever hits first (0 disables that bound).
+  u64 max_execs = 50000;
+  double max_seconds = 0.0;
+
+  // Mutation settings.
+  u32 havoc_stack_pow = 4;
+  usize max_input_size = 1u << 12;
+  std::vector<std::vector<u8>> dictionary;
+
+  // Base havoc rounds per selected entry, scaled by perf_score/100.
+  u32 havoc_rounds = 256;
+
+  // Deterministic stage (bitflips/arith/interesting) on first selection of
+  // each entry. The paper's runs skip it (persistent-mode 24h protocol).
+  bool run_deterministic = false;
+
+  // AFL-style corpus trimming: when an entry is first fuzzed, try removing
+  // chunks while the (classified) trace hash stays unchanged. Exercises
+  // the map-hash operation heavily — one of the ops that make large flat
+  // maps expensive.
+  bool trim_enabled = true;
+
+  // When non-zero, sample (execs, covered_positions) every this many
+  // executions into CampaignResult::coverage_series.
+  u64 series_interval = 0;
+
+  // Interpreter step budget per execution (hang threshold).
+  u64 step_budget = 1u << 16;
+
+  // Synthetic application work per executed block (see
+  // Interpreter::set_work_per_block). Keeps execution cost realistic
+  // relative to map operations.
+  u32 work_per_block = 12;
+
+  // Use executed-step counts instead of wall-clock nanoseconds for queue
+  // scheduling (fav_factor / perf_score). Makes campaigns bit-for-bit
+  // reproducible given a seed; throughput benches keep this off to match
+  // AFL's real time-driven scheduling.
+  bool deterministic_timing = false;
+
+  // Keep final corpus in the result (for post-hoc bias-free coverage
+  // measurement, §V-A3).
+  bool keep_corpus = false;
+
+  // Parallel fuzzing: non-null hub makes this instance publish interesting
+  // inputs and import other instances' finds every sync_interval execs.
+  SyncHub* sync = nullptr;
+  u32 sync_id = 0;
+  u32 sync_interval = 4096;
+  bool is_master = false;
+};
+
+struct CampaignResult {
+  std::string benchmark;
+  MapScheme scheme{};
+  usize map_size = 0;
+
+  u64 execs = 0;
+  double wall_seconds = 0.0;
+  double throughput() const noexcept {
+    return wall_seconds > 0 ? static_cast<double>(execs) / wall_seconds : 0;
+  }
+
+  // Seed-phase accounting: processing the initial corpus front-loads the
+  // expensive interesting-case path (hash, rank update). Long campaigns —
+  // the paper's 24 h runs — are dominated by the steady state after it, so
+  // throughput comparisons should use steady_throughput().
+  u64 seed_execs = 0;
+  double seed_seconds = 0.0;
+  double steady_throughput() const noexcept {
+    const double t = wall_seconds - seed_seconds;
+    return (t > 0 && execs > seed_execs)
+               ? static_cast<double>(execs - seed_execs) / t
+               : throughput();
+  }
+
+  OpTimeBreakdown timing;
+
+  // Coverage measured on the map (covered virgin positions). Map-biased;
+  // cross-scheme comparisons should prefer ground-truth edges below.
+  usize covered_positions = 0;
+
+  // BigMap only: distinct keys seen (== used_key); 0 for the flat scheme.
+  u32 used_key = 0;
+
+  u64 interesting = 0;  // test cases that produced new bits
+  u64 hangs = 0;
+
+  u64 crashes_total = 0;
+  u64 crashes_afl_unique = 0;        // AFL's map-biased dedup
+  u64 crashes_crashwalk_unique = 0;  // stack-hash dedup (paper's metric)
+  u64 crashes_ground_truth = 0;      // distinct planted bug ids
+
+  usize corpus_size = 0;
+  std::vector<Input> corpus;  // populated iff keep_corpus
+
+  // Identities behind the crash counts, for unioning across parallel
+  // instances (Figures 9/10): planted bug ids and Crashwalk stack hashes.
+  std::vector<u32> found_bug_ids;
+  std::vector<u64> found_stack_hashes;
+
+  // Trimming statistics (when trim_enabled).
+  u64 trim_execs = 0;
+  u64 trimmed_bytes = 0;
+
+  // Coverage growth samples (when series_interval > 0): (execs, covered
+  // map positions) pairs — the raw data behind coverage-over-time plots.
+  std::vector<std::pair<u64, usize>> coverage_series;
+};
+
+// Runs a campaign of `config` over `program` starting from `seeds`.
+// Dispatches on scheme x metric to the fully-inlined implementation.
+CampaignResult run_campaign(const Program& program,
+                            const std::vector<Input>& seeds,
+                            const CampaignConfig& config);
+
+// Ground-truth edge coverage of a corpus: executes every input on an
+// uninstrumented interpreter and counts distinct (prev_block, cur_block)
+// pairs. This is the paper's "bias-free independent coverage build".
+u64 measure_corpus_edges(const Program& program,
+                         const std::vector<Input>& corpus,
+                         u64 step_budget = 1u << 16);
+
+}  // namespace bigmap

@@ -1,0 +1,52 @@
+// Crash collection and deduplication.
+//
+// Three notions of "unique crash", matching §V-A3:
+//
+//  - AFL-style: a crash is unique if the crash-virgin map reports new bits.
+//    Inherently biased toward larger maps (more positions to be new in);
+//    tracked because AFL tracks it, but not used for cross-map-size
+//    comparisons.
+//  - Crashwalk-style: hash of (call stack, faulting address). Map-size
+//    independent; this is what the paper reports.
+//  - Ground truth: the planted bug_id. Only a synthetic substrate has this;
+//    exposed for validating that the other two dedup schemes behave.
+#pragma once
+
+#include <unordered_set>
+
+#include "target/interpreter.h"
+#include "util/hash.h"
+#include "util/types.h"
+
+namespace bigmap {
+
+class CrashTriage {
+ public:
+  // Records a crash; `afl_unique` is whether the crash-virgin comparison
+  // reported new bits for this crash's trace.
+  void record(const ExecResult& crash, bool afl_unique) {
+    ++total_;
+    if (afl_unique) ++afl_unique_;
+    stack_hashes_.insert(hash_combine(crash.stack_hash,
+                                      crash.faulting_block));
+    bug_ids_.insert(crash.bug_id);
+  }
+
+  u64 total() const noexcept { return total_; }
+  u64 afl_unique() const noexcept { return afl_unique_; }
+  u64 crashwalk_unique() const noexcept { return stack_hashes_.size(); }
+  u64 ground_truth_unique() const noexcept { return bug_ids_.size(); }
+
+  const std::unordered_set<u32>& bug_ids() const noexcept { return bug_ids_; }
+  const std::unordered_set<u64>& stack_hashes() const noexcept {
+    return stack_hashes_;
+  }
+
+ private:
+  u64 total_ = 0;
+  u64 afl_unique_ = 0;
+  std::unordered_set<u64> stack_hashes_;
+  std::unordered_set<u32> bug_ids_;
+};
+
+}  // namespace bigmap

@@ -1,0 +1,218 @@
+// Executor: runs one test case end-to-end and applies the per-test-case
+// map-operation sequence (§II-A2).
+//
+// Templated on the coverage map (FlatCoverageMap / TwoLevelCoverageMap) and
+// the coverage metric (EdgeMetric / NGramMetric / ContextMetric) so the
+// per-edge path — interpreter step -> metric key -> map update — inlines
+// with zero dispatch. Every stage is attributed to the Figure 3 timing
+// category it belongs to:
+//
+//   reset      ->  MapOp::kReset
+//   execute    ->  MapOp::kExecution   (includes inline map updates)
+//   classify   ->  MapOp::kClassify
+//   compare    ->  MapOp::kCompare
+//   hash       ->  MapOp::kHash        (interesting test cases only)
+//
+// When merged classify+compare is enabled (§IV-E) the fused pass cannot be
+// split by measurement; its time is attributed half to kClassify and half
+// to kCompare, which benches note in their output.
+#pragma once
+
+#include <concepts>
+#include <span>
+
+#include "core/map_options.h"
+#include "core/virgin.h"
+#include "instrumentation/metrics.h"
+#include "target/interpreter.h"
+#include "target/program.h"
+#include "util/timing.h"
+#include "util/types.h"
+
+namespace bigmap {
+
+// Metric concept detection: ContextMetric wants call/return notifications.
+template <class M>
+concept ContextAwareMetric = requires(M m, u32 block) {
+  m.on_call(block);
+  m.on_return();
+};
+
+template <class Map, class Metric>
+class Executor {
+ public:
+  Executor(const Program& prog, const MapOptions& opts,
+           const BlockIdTable& ids, u64 step_budget,
+           u32 work_per_block = Interpreter::kDefaultWorkPerBlock)
+      : prog_(&prog),
+        map_(opts),
+        metric_(ids),
+        virgin_queue_(virgin_positions_of(map_), opts.backing()),
+        virgin_crash_(virgin_positions_of(map_), opts.backing()),
+        virgin_hang_(virgin_positions_of(map_), opts.backing()),
+        interp_(step_budget, work_per_block),
+        merged_(opts.merged_classify_compare) {}
+
+  struct Outcome {
+    ExecResult exec;
+    // vs. the queue virgin map; kNone for crashes/hangs.
+    NewBits new_bits = NewBits::kNone;
+    // vs. the crash/hang virgin map (AFL's built-in uniqueness signal).
+    NewBits outcome_new_bits = NewBits::kNone;
+    u32 hash = 0;   // classified-trace hash; computed iff interesting
+    u64 exec_ns = 0;
+    bool interesting() const noexcept { return new_bits != NewBits::kNone; }
+  };
+
+  // Runs one input through the full AFL per-test-case pipeline, charging
+  // each stage to `timing`.
+  Outcome run(std::span<const u8> input, OpTimeBreakdown& timing) {
+    Outcome out;
+
+    {
+      ScopedOpTimer t(timing, MapOp::kReset);
+      map_.reset();
+    }
+
+    {
+      const u64 start = monotonic_ns();
+      metric_.begin_execution();
+      out.exec = interp_.run(*prog_, input, [this](u32 block_index) {
+        if constexpr (ContextAwareMetric<Metric>) {
+          const Block& b = prog_->blocks[block_index];
+          if (b.kind == BlockKind::kCall) {
+            metric_.on_call(b.targets[0]);
+          } else if (b.kind == BlockKind::kReturn) {
+            metric_.on_return();
+          }
+        }
+        map_.update(metric_.visit(block_index));
+      });
+      out.exec_ns = monotonic_ns() - start;
+      timing.add(MapOp::kExecution, out.exec_ns);
+    }
+
+    switch (out.exec.outcome) {
+      case ExecResult::Outcome::kOk: {
+        out.new_bits = classify_and_compare(virgin_queue_, timing);
+        if (out.new_bits != NewBits::kNone) {
+          ScopedOpTimer t(timing, MapOp::kHash);
+          out.hash = map_.hash();
+        }
+        break;
+      }
+      case ExecResult::Outcome::kCrash:
+        out.outcome_new_bits = classify_and_compare(virgin_crash_, timing);
+        break;
+      case ExecResult::Outcome::kHang:
+        out.outcome_new_bits = classify_and_compare(virgin_hang_, timing);
+        break;
+    }
+
+    return out;
+  }
+
+  // Outcome of a hash-only run (trimming support).
+  struct SilentRun {
+    ExecResult exec;
+    u32 hash = 0;
+  };
+
+  // Runs one input through reset / execute / classify / hash WITHOUT
+  // touching any virgin map — AFL's trim_case uses exactly this sequence
+  // to test whether a shortened input preserves the execution path.
+  SilentRun run_for_hash(std::span<const u8> input,
+                         OpTimeBreakdown& timing) {
+    SilentRun out;
+    {
+      ScopedOpTimer t(timing, MapOp::kReset);
+      map_.reset();
+    }
+    {
+      ScopedOpTimer t(timing, MapOp::kExecution);
+      metric_.begin_execution();
+      out.exec = interp_.run(*prog_, input, [this](u32 block_index) {
+        if constexpr (ContextAwareMetric<Metric>) {
+          const Block& b = prog_->blocks[block_index];
+          if (b.kind == BlockKind::kCall) {
+            metric_.on_call(b.targets[0]);
+          } else if (b.kind == BlockKind::kReturn) {
+            metric_.on_return();
+          }
+        }
+        map_.update(metric_.visit(block_index));
+      });
+    }
+    {
+      ScopedOpTimer t(timing, MapOp::kClassify);
+      map_.classify();
+    }
+    {
+      ScopedOpTimer t(timing, MapOp::kHash);
+      out.hash = map_.hash();
+    }
+    return out;
+  }
+
+  // The classified trace of the last run, over the span relevant for the
+  // scheme (full map for flat, used region for BigMap) — what AFL's
+  // update_bitmap_score walks.
+  std::span<const u8> last_trace() const noexcept {
+    if constexpr (Map::kScheme == MapScheme::kTwoLevel) {
+      return map_.used_region();
+    } else {
+      return map_.trace();
+    }
+  }
+
+  // Coverage positions the virgin maps track (== last_trace()'s maximum
+  // possible length).
+  usize virgin_positions() const noexcept { return virgin_queue_.size(); }
+
+  Map& map() noexcept { return map_; }
+  const Map& map() const noexcept { return map_; }
+  Metric& metric() noexcept { return metric_; }
+
+  const VirginMap& virgin_queue() const noexcept { return virgin_queue_; }
+  const VirginMap& virgin_crash() const noexcept { return virgin_crash_; }
+  const VirginMap& virgin_hang() const noexcept { return virgin_hang_; }
+
+  Interpreter& interpreter() noexcept { return interp_; }
+
+ private:
+  static usize virgin_positions_of(const Map& m) noexcept {
+    if constexpr (Map::kScheme == MapScheme::kTwoLevel) {
+      return m.condensed_size();
+    } else {
+      return m.map_size();
+    }
+  }
+
+  NewBits classify_and_compare(VirginMap& virgin, OpTimeBreakdown& timing) {
+    if (merged_) {
+      const u64 start = monotonic_ns();
+      const NewBits nb = map_.classify_and_compare(virgin);
+      const u64 ns = monotonic_ns() - start;
+      timing.add(MapOp::kClassify, ns / 2);
+      timing.add(MapOp::kCompare, ns - ns / 2);
+      return nb;
+    }
+    {
+      ScopedOpTimer t(timing, MapOp::kClassify);
+      map_.classify();
+    }
+    ScopedOpTimer t(timing, MapOp::kCompare);
+    return map_.compare_update(virgin);
+  }
+
+  const Program* prog_;
+  Map map_;
+  Metric metric_;
+  VirginMap virgin_queue_;
+  VirginMap virgin_crash_;
+  VirginMap virgin_hang_;
+  Interpreter interp_;
+  bool merged_;
+};
+
+}  // namespace bigmap

@@ -1,0 +1,166 @@
+#include "fuzzer/mutator.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+namespace bigmap {
+namespace {
+
+constexpr std::array<i8, 9> kInteresting8 = {-128, -1, 0,  1,  16,
+                                             32,   64, 100, 127};
+constexpr std::array<i16, 10> kInteresting16 = {
+    -32768, -129, 128, 255, 256, 512, 1000, 1024, 4096, 32767};
+constexpr std::array<i32, 8> kInteresting32 = {
+    INT32_MIN, -100663046, -32769, 32768, 65535, 65536, 100663045, INT32_MAX};
+
+}  // namespace
+
+std::span<const i8> interesting_8() noexcept { return kInteresting8; }
+std::span<const i16> interesting_16() noexcept { return kInteresting16; }
+std::span<const i32> interesting_32() noexcept { return kInteresting32; }
+
+void Mutator::havoc(Input& input) {
+  const u32 stack = 1u << rng_.between(1, opts_.havoc_stack_pow);
+  for (u32 s = 0; s < stack; ++s) havoc_one(input);
+  if (input.empty()) input.push_back(static_cast<u8>(rng_.below(256)));
+}
+
+void Mutator::havoc_one(Input& input) {
+  if (input.empty()) {
+    input.push_back(static_cast<u8>(rng_.below(256)));
+    return;
+  }
+  const u32 len = static_cast<u32>(input.size());
+
+  switch (rng_.below(15)) {
+    case 0: {  // flip a random bit
+      const u32 bit = rng_.below(len * 8);
+      input[bit >> 3] ^= static_cast<u8>(1u << (bit & 7));
+      break;
+    }
+    case 1: {  // set byte to interesting value
+      input[rng_.below(len)] = static_cast<u8>(
+          kInteresting8[rng_.below(kInteresting8.size())]);
+      break;
+    }
+    case 2: {  // set 16-bit word to interesting value
+      if (len < 2) break;
+      const u32 pos = rng_.below(len - 1);
+      const i16 v = kInteresting16[rng_.below(kInteresting16.size())];
+      std::memcpy(&input[pos], &v, 2);
+      break;
+    }
+    case 3: {  // set 32-bit word to interesting value
+      if (len < 4) break;
+      const u32 pos = rng_.below(len - 3);
+      const i32 v = kInteresting32[rng_.below(kInteresting32.size())];
+      std::memcpy(&input[pos], &v, 4);
+      break;
+    }
+    case 4: {  // subtract from byte
+      input[rng_.below(len)] -= static_cast<u8>(1 + rng_.below(35));
+      break;
+    }
+    case 5: {  // add to byte
+      input[rng_.below(len)] += static_cast<u8>(1 + rng_.below(35));
+      break;
+    }
+    case 6: {  // add/sub to 16-bit word
+      if (len < 2) break;
+      const u32 pos = rng_.below(len - 1);
+      u16 v;
+      std::memcpy(&v, &input[pos], 2);
+      v = rng_.chance(1, 2) ? static_cast<u16>(v + 1 + rng_.below(35))
+                            : static_cast<u16>(v - 1 - rng_.below(35));
+      std::memcpy(&input[pos], &v, 2);
+      break;
+    }
+    case 7: {  // randomize byte (xor with non-zero)
+      input[rng_.below(len)] ^= static_cast<u8>(1 + rng_.below(255));
+      break;
+    }
+    case 8: {  // delete block
+      if (len < 2) break;
+      const u32 del_len = 1 + rng_.below(std::min(len - 1, 64u));
+      const u32 pos = rng_.below(len - del_len + 1);
+      input.erase(input.begin() + pos, input.begin() + pos + del_len);
+      break;
+    }
+    case 9: {  // clone block (insert copy)
+      if (input.size() >= opts_.max_input_size) break;
+      const u32 clone_len = 1 + rng_.below(std::min(len, 64u));
+      const u32 from = rng_.below(len - clone_len + 1);
+      const u32 to = rng_.below(len + 1);
+      Input block(input.begin() + from, input.begin() + from + clone_len);
+      input.insert(input.begin() + to, block.begin(), block.end());
+      break;
+    }
+    case 10: {  // overwrite block with copy of another block
+      if (len < 2) break;
+      const u32 copy_len = 1 + rng_.below(std::min(len - 1, 64u));
+      const u32 from = rng_.below(len - copy_len + 1);
+      const u32 to = rng_.below(len - copy_len + 1);
+      if (from != to) {
+        std::memmove(&input[to], &input[from], copy_len);
+      }
+      break;
+    }
+    case 11: {  // overwrite block with constant byte
+      const u32 blk_len = 1 + rng_.below(std::min(len, 32u));
+      const u32 pos = rng_.below(len - blk_len + 1);
+      std::memset(&input[pos], static_cast<int>(rng_.below(256)), blk_len);
+      break;
+    }
+    case 12: {  // dictionary: overwrite with token
+      if (opts_.dictionary.empty()) break;
+      const auto& tok = opts_.dictionary[rng_.below(
+          static_cast<u32>(opts_.dictionary.size()))];
+      if (tok.empty() || tok.size() > input.size()) break;
+      const u32 pos =
+          rng_.below(static_cast<u32>(input.size() - tok.size() + 1));
+      std::memcpy(&input[pos], tok.data(), tok.size());
+      break;
+    }
+    case 13: {  // dictionary: insert token
+      if (opts_.dictionary.empty() ||
+          input.size() >= opts_.max_input_size) {
+        break;
+      }
+      const auto& tok = opts_.dictionary[rng_.below(
+          static_cast<u32>(opts_.dictionary.size()))];
+      if (tok.empty()) break;
+      const u32 pos = rng_.below(len + 1);
+      input.insert(input.begin() + pos, tok.begin(), tok.end());
+      break;
+    }
+    case 14: {  // swap two bytes
+      if (len < 2) break;
+      const u32 a = rng_.below(len);
+      const u32 b = rng_.below(len);
+      std::swap(input[a], input[b]);
+      break;
+    }
+  }
+
+  if (input.size() > opts_.max_input_size) {
+    input.resize(opts_.max_input_size);
+  }
+}
+
+std::optional<Input> Mutator::splice(std::span<const u8> input,
+                                     std::span<const u8> other) {
+  if (input.size() < 4 || other.size() < 4) return std::nullopt;
+  // AFL picks split points inside the differing region; a uniform interior
+  // cut preserves the operator's character without the diff scan.
+  const u32 cut_a = 1 + rng_.below(static_cast<u32>(input.size() - 2));
+  const u32 cut_b = 1 + rng_.below(static_cast<u32>(other.size() - 2));
+  Input out;
+  out.reserve(cut_a + (other.size() - cut_b));
+  out.insert(out.end(), input.begin(), input.begin() + cut_a);
+  out.insert(out.end(), other.begin() + cut_b, other.end());
+  if (out.size() > opts_.max_input_size) out.resize(opts_.max_input_size);
+  return out;
+}
+
+}  // namespace bigmap

@@ -1,0 +1,276 @@
+// AFL mutation engine: deterministic stages and the havoc/splice stage.
+//
+// The paper's experiments skip the deterministic stage (standard for short
+// runs) and rely on havoc, but both are implemented: deterministic stages
+// are used by tests and available to campaigns via configuration.
+//
+// Havoc applies a random stack of the classic AFL operators: bit flips,
+// interesting-value substitution, arithmetic, random bytes, block deletion,
+// duplication and overwrite, and dictionary token insertion. splice()
+// implements AFL's splicing: crossing the input with another queue entry at
+// a random point, then havocing the result (the caller runs havoc on the
+// spliced output).
+#pragma once
+
+#include <cstring>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fuzzer/queue.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace bigmap {
+
+// AFL's "interesting" substitution constants.
+std::span<const i8> interesting_8() noexcept;
+std::span<const i16> interesting_16() noexcept;
+std::span<const i32> interesting_32() noexcept;
+
+class Mutator {
+ public:
+  struct Options {
+    usize max_input_size = 1u << 14;
+    u32 havoc_stack_pow = 4;  // stack 1..2^pow operations per havoc round
+    std::vector<std::vector<u8>> dictionary;
+  };
+
+  Mutator(Options opts, u64 seed) : opts_(std::move(opts)), rng_(seed) {}
+
+  // --- havoc stage -----------------------------------------------------------
+
+  // Applies a random stack of havoc operators to `input` in place.
+  void havoc(Input& input);
+
+  // AFL splice: returns input[0..a) + other[b..end) for random interior cut
+  // points, or std::nullopt when either buffer is too small to splice.
+  std::optional<Input> splice(std::span<const u8> input,
+                              std::span<const u8> other);
+
+  // --- deterministic stages --------------------------------------------------
+  //
+  // Each enumerates every variant of `base` for one operator family and
+  // invokes `sink(const Input&)` per variant. Returns variants produced.
+
+  template <class Sink>
+  usize det_bitflips(const Input& base, u32 width_bits, Sink&& sink);
+
+  // Walking byte flips (XOR 0xFF) over windows of 1/2/4 bytes (AFL's
+  // bitflip 8/8, 16/8, 32/8 stages).
+  template <class Sink>
+  usize det_byteflips(const Input& base, u32 width_bytes, Sink&& sink);
+
+  template <class Sink>
+  usize det_arith8(const Input& base, Sink&& sink);
+
+  // 16/32-bit arithmetic, little- and big-endian (AFL's arith 16/8 and
+  // 32/8 stages).
+  template <class Sink>
+  usize det_arith16(const Input& base, Sink&& sink);
+  template <class Sink>
+  usize det_arith32(const Input& base, Sink&& sink);
+
+  template <class Sink>
+  usize det_interesting8(const Input& base, Sink&& sink);
+
+  // 16/32-bit interesting-value substitution, both endiannesses.
+  template <class Sink>
+  usize det_interesting16(const Input& base, Sink&& sink);
+  template <class Sink>
+  usize det_interesting32(const Input& base, Sink&& sink);
+
+  // Dictionary overwrite at every position (AFL's user-extras stage).
+  template <class Sink>
+  usize det_dictionary(const Input& base, Sink&& sink);
+
+  Xoshiro256& rng() noexcept { return rng_; }
+  const Options& options() const noexcept { return opts_; }
+
+ private:
+  void havoc_one(Input& input);
+
+  Options opts_;
+  Xoshiro256 rng_;
+};
+
+// --- template implementations -------------------------------------------------
+
+template <class Sink>
+usize Mutator::det_bitflips(const Input& base, u32 width_bits, Sink&& sink) {
+  if (base.empty()) return 0;
+  const usize total_bits = base.size() * 8;
+  if (total_bits < width_bits) return 0;
+  usize produced = 0;
+  Input work = base;
+  for (usize bit = 0; bit + width_bits <= total_bits; ++bit) {
+    for (u32 w = 0; w < width_bits; ++w) {
+      work[(bit + w) >> 3] ^= static_cast<u8>(128 >> ((bit + w) & 7));
+    }
+    sink(const_cast<const Input&>(work));
+    ++produced;
+    for (u32 w = 0; w < width_bits; ++w) {
+      work[(bit + w) >> 3] ^= static_cast<u8>(128 >> ((bit + w) & 7));
+    }
+  }
+  return produced;
+}
+
+template <class Sink>
+usize Mutator::det_byteflips(const Input& base, u32 width_bytes,
+                             Sink&& sink) {
+  if (base.size() < width_bytes) return 0;
+  usize produced = 0;
+  Input work = base;
+  for (usize i = 0; i + width_bytes <= base.size(); ++i) {
+    for (u32 w = 0; w < width_bytes; ++w) work[i + w] ^= 0xFF;
+    sink(const_cast<const Input&>(work));
+    ++produced;
+    for (u32 w = 0; w < width_bytes; ++w) work[i + w] ^= 0xFF;
+  }
+  return produced;
+}
+
+template <class Sink>
+usize Mutator::det_arith8(const Input& base, Sink&& sink) {
+  constexpr int kArithMax = 35;  // AFL's ARITH_MAX
+  usize produced = 0;
+  Input work = base;
+  for (usize i = 0; i < base.size(); ++i) {
+    const u8 orig = base[i];
+    for (int d = 1; d <= kArithMax; ++d) {
+      work[i] = static_cast<u8>(orig + d);
+      sink(const_cast<const Input&>(work));
+      work[i] = static_cast<u8>(orig - d);
+      sink(const_cast<const Input&>(work));
+      produced += 2;
+    }
+    work[i] = orig;
+  }
+  return produced;
+}
+
+namespace mutator_detail {
+
+inline u16 bswap16(u16 v) noexcept { return static_cast<u16>((v >> 8) | (v << 8)); }
+inline u32 bswap32(u32 v) noexcept { return __builtin_bswap32(v); }
+
+// Word-wide deterministic stage skeleton: loads a word at every position,
+// applies `variants(orig, emit)` where emit(word) writes it back (both
+// endiannesses are the caller's concern), restores, continues.
+template <class Word, class Variants, class Sink>
+usize det_word_stage(const Input& base, Variants&& variants, Sink&& sink) {
+  if (base.size() < sizeof(Word)) return 0;
+  usize produced = 0;
+  Input work = base;
+  for (usize i = 0; i + sizeof(Word) <= base.size(); ++i) {
+    Word orig;
+    std::memcpy(&orig, &work[i], sizeof(Word));
+    auto emit = [&](Word v) {
+      std::memcpy(&work[i], &v, sizeof(Word));
+      sink(const_cast<const Input&>(work));
+      ++produced;
+    };
+    variants(orig, emit);
+    std::memcpy(&work[i], &orig, sizeof(Word));
+  }
+  return produced;
+}
+
+}  // namespace mutator_detail
+
+template <class Sink>
+usize Mutator::det_arith16(const Input& base, Sink&& sink) {
+  using mutator_detail::bswap16;
+  return mutator_detail::det_word_stage<u16>(
+      base,
+      [](u16 orig, auto&& emit) {
+        for (u16 d = 1; d <= 35; ++d) {
+          emit(static_cast<u16>(orig + d));
+          emit(static_cast<u16>(orig - d));
+          // Big-endian view: operate on the swapped value, store swapped
+          // back (AFL's arith 16/8 BE pass).
+          emit(bswap16(static_cast<u16>(bswap16(orig) + d)));
+          emit(bswap16(static_cast<u16>(bswap16(orig) - d)));
+        }
+      },
+      sink);
+}
+
+template <class Sink>
+usize Mutator::det_arith32(const Input& base, Sink&& sink) {
+  using mutator_detail::bswap32;
+  return mutator_detail::det_word_stage<u32>(
+      base,
+      [](u32 orig, auto&& emit) {
+        for (u32 d = 1; d <= 35; ++d) {
+          emit(orig + d);
+          emit(orig - d);
+          emit(bswap32(bswap32(orig) + d));
+          emit(bswap32(bswap32(orig) - d));
+        }
+      },
+      sink);
+}
+
+template <class Sink>
+usize Mutator::det_interesting16(const Input& base, Sink&& sink) {
+  using mutator_detail::bswap16;
+  return mutator_detail::det_word_stage<u16>(
+      base,
+      [](u16, auto&& emit) {
+        for (i16 v : interesting_16()) {
+          emit(static_cast<u16>(v));
+          emit(bswap16(static_cast<u16>(v)));
+        }
+      },
+      sink);
+}
+
+template <class Sink>
+usize Mutator::det_interesting32(const Input& base, Sink&& sink) {
+  using mutator_detail::bswap32;
+  return mutator_detail::det_word_stage<u32>(
+      base,
+      [](u32, auto&& emit) {
+        for (i32 v : interesting_32()) {
+          emit(static_cast<u32>(v));
+          emit(bswap32(static_cast<u32>(v)));
+        }
+      },
+      sink);
+}
+
+template <class Sink>
+usize Mutator::det_dictionary(const Input& base, Sink&& sink) {
+  usize produced = 0;
+  Input work = base;
+  for (const auto& token : opts_.dictionary) {
+    if (token.empty() || token.size() > base.size()) continue;
+    for (usize i = 0; i + token.size() <= base.size(); ++i) {
+      std::memcpy(&work[i], token.data(), token.size());
+      sink(const_cast<const Input&>(work));
+      ++produced;
+      std::memcpy(&work[i], &base[i], token.size());
+    }
+  }
+  return produced;
+}
+
+template <class Sink>
+usize Mutator::det_interesting8(const Input& base, Sink&& sink) {
+  usize produced = 0;
+  Input work = base;
+  for (usize i = 0; i < base.size(); ++i) {
+    const u8 orig = base[i];
+    for (i8 v : interesting_8()) {
+      work[i] = static_cast<u8>(v);
+      sink(const_cast<const Input&>(work));
+      ++produced;
+    }
+    work[i] = orig;
+  }
+  return produced;
+}
+
+}  // namespace bigmap

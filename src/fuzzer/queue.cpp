@@ -1,0 +1,104 @@
+#include "fuzzer/queue.h"
+
+#include <algorithm>
+
+namespace bigmap {
+
+SeedQueue::SeedQueue(usize map_positions)
+    : top_entry_(map_positions, kNoEntry), top_factor_(map_positions, 0) {}
+
+usize SeedQueue::add(Input data, u64 exec_ns, u32 bitmap_hash, u32 depth) {
+  auto e = std::make_unique<QueueEntry>();
+  e->data = std::move(data);
+  e->exec_ns = exec_ns;
+  e->bitmap_hash = bitmap_hash;
+  e->depth = depth;
+  entries_.push_back(std::move(e));
+  return entries_.size() - 1;
+}
+
+void SeedQueue::update_scores(usize entry_idx, std::span<const u8> trace) {
+  const QueueEntry& e = *entries_[entry_idx];
+  // fav_factor: lower is better (AFL: exec_us * len).
+  const u64 factor =
+      std::max<u64>(1, e.exec_ns) * std::max<usize>(1, e.data.size());
+
+  const u32 idx32 = static_cast<u32>(entry_idx);
+  for (usize i = 0; i < trace.size(); ++i) {
+    if (trace[i] == 0) continue;
+    if (top_entry_[i] == kNoEntry) {
+      ++top_covered_;
+      top_entry_[i] = idx32;
+      top_factor_[i] = factor;
+      cull_pending_ = true;
+    } else if (factor < top_factor_[i]) {
+      top_entry_[i] = idx32;
+      top_factor_[i] = factor;
+      cull_pending_ = true;
+    }
+  }
+}
+
+void SeedQueue::cull() {
+  if (!cull_pending_) return;
+  cull_pending_ = false;
+
+  for (auto& e : entries_) e->favored = false;
+  // Greedy cover in position order, like AFL's temp_v walk: an entry
+  // becomes favored if it is the top_rated winner for a position not yet
+  // covered by an earlier favored entry. We approximate AFL's bitmap walk
+  // by marking winners directly — every top_rated winner is favored. The
+  // favored set is slightly larger than AFL's minimal cover but has the
+  // same growth behavior.
+  for (usize i = 0; i < top_entry_.size(); ++i) {
+    if (top_entry_[i] != kNoEntry) entries_[top_entry_[i]]->favored = true;
+  }
+}
+
+double SeedQueue::perf_score(usize idx, u64 avg_exec_ns) const {
+  const QueueEntry& e = *entries_[idx];
+  double score = 100.0;
+
+  // Speed adjustment (AFL: 0.1x .. 3x).
+  if (avg_exec_ns > 0) {
+    const double ratio = static_cast<double>(e.exec_ns) /
+                         static_cast<double>(avg_exec_ns);
+    if (ratio > 4.0) {
+      score *= 0.25;
+    } else if (ratio > 2.0) {
+      score *= 0.5;
+    } else if (ratio < 0.25) {
+      score *= 3.0;
+    } else if (ratio < 0.5) {
+      score *= 2.0;
+    }
+  }
+
+  // Depth bonus (AFL rewards deeper derivations up to 5x).
+  if (e.depth >= 16) {
+    score *= 5.0;
+  } else if (e.depth >= 8) {
+    score *= 3.0;
+  } else if (e.depth >= 4) {
+    score *= 2.0;
+  }
+
+  return std::clamp(score, 10.0, 1600.0);
+}
+
+u64 SeedQueue::average_exec_ns() const noexcept {
+  if (entries_.empty()) return 0;
+  u64 sum = 0;
+  for (const auto& e : entries_) sum += e->exec_ns;
+  return sum / entries_.size();
+}
+
+usize SeedQueue::favored_count() const noexcept {
+  usize n = 0;
+  for (const auto& e : entries_) {
+    if (e->favored) ++n;
+  }
+  return n;
+}
+
+}  // namespace bigmap

@@ -1,0 +1,84 @@
+// Seed queue: AFL's corpus with favored-entry culling and perf scoring.
+//
+// Mirrors AFL's queue mechanics at the level that matters for the paper's
+// measurements:
+//
+//  - top_rated: for every coverage-map position, the "best" (fastest x
+//    smallest) entry covering it. Maintained by update_scores(), which — as
+//    in AFL — scans the whole trace bitmap for interesting entries. Under
+//    the flat scheme that scan covers the full map; under BigMap only the
+//    used region (the paper's "rank update" §IV-B). The caller passes the
+//    span to scan, so the asymmetry falls out naturally.
+//  - cull(): marks the minimal favored set covering all seen positions.
+//  - perf_score(): AFL's calculate_score flavor — rewards fast, small,
+//    deep entries with more havoc iterations.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "util/types.h"
+
+namespace bigmap {
+
+using Input = std::vector<u8>;
+
+struct QueueEntry {
+  Input data;
+  u64 exec_ns = 0;     // measured execution time
+  u32 bitmap_hash = 0; // hash of the classified trace when added
+  u32 depth = 0;       // mutation ancestry depth
+  bool favored = false;
+  bool was_fuzzed = false;
+  u64 times_selected = 0;
+};
+
+class SeedQueue {
+ public:
+  // `map_positions`: size of the coverage space used for top_rated
+  // bookkeeping (full map size for AFL, condensed size for BigMap).
+  explicit SeedQueue(usize map_positions);
+
+  // Appends an entry; returns its index.
+  usize add(Input data, u64 exec_ns, u32 bitmap_hash, u32 depth);
+
+  usize size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+
+  QueueEntry& entry(usize idx) noexcept { return *entries_[idx]; }
+  const QueueEntry& entry(usize idx) const noexcept { return *entries_[idx]; }
+
+  // AFL's update_bitmap_score: called for a just-added interesting entry
+  // with its classified trace. For every position set in `trace`, the entry
+  // competes for top_rated by fav_factor = exec_ns * len. The span length
+  // embodies the flat/condensed asymmetry.
+  void update_scores(usize entry_idx, std::span<const u8> trace);
+
+  // AFL's cull_queue: recompute the favored set. Cheap relative to
+  // update_scores; call before each queue cycle.
+  void cull();
+
+  // AFL's calculate_score, condensed: multiplier for havoc iterations.
+  // avg_exec_ns is the queue-wide average execution time.
+  double perf_score(usize idx, u64 avg_exec_ns) const;
+
+  u64 average_exec_ns() const noexcept;
+
+  usize favored_count() const noexcept;
+
+  // Total queue positions covered by at least one top_rated entry.
+  usize top_rated_positions() const noexcept { return top_covered_; }
+
+ private:
+  // One slot per coverage position. kNoEntry when never covered.
+  static constexpr u32 kNoEntry = 0xFFFFFFFFu;
+
+  std::vector<std::unique_ptr<QueueEntry>> entries_;
+  std::vector<u32> top_entry_;   // per-position winning entry
+  std::vector<u64> top_factor_;  // per-position winning fav factor
+  usize top_covered_ = 0;
+  bool cull_pending_ = false;
+};
+
+}  // namespace bigmap

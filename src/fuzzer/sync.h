@@ -1,0 +1,66 @@
+// Corpus synchronization hub for parallel fuzzing (§V-D).
+//
+// Real AFL instances synchronize through an output directory that each
+// secondary periodically scans for other fuzzers' queue entries. SyncHub is
+// the in-process equivalent: a shared, mutex-protected append-only log of
+// interesting inputs tagged with the publishing instance. Each instance
+// keeps a cursor and fetches everything new that others published.
+//
+// The master/secondary distinction of the paper's setup is carried in
+// CampaignConfig (the master would run the deterministic stage; all the
+// paper's runs skip it for 24h campaigns).
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "fuzzer/queue.h"
+#include "util/types.h"
+
+namespace bigmap {
+
+class SyncHub {
+ public:
+  explicit SyncHub(u32 num_instances) : cursors_(num_instances, 0) {}
+
+  u32 num_instances() const noexcept {
+    return static_cast<u32>(cursors_.size());
+  }
+
+  // Publishes an interesting input found by `instance`.
+  void publish(u32 instance, Input input) {
+    std::lock_guard<std::mutex> lock(mu_);
+    log_.push_back({instance, std::move(input)});
+  }
+
+  // Returns all inputs published by *other* instances since this
+  // instance's previous fetch.
+  std::vector<Input> fetch_new(u32 instance) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Input> out;
+    usize& cursor = cursors_[instance];
+    for (; cursor < log_.size(); ++cursor) {
+      if (log_[cursor].publisher != instance) {
+        out.push_back(log_[cursor].data);
+      }
+    }
+    return out;
+  }
+
+  usize total_published() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return log_.size();
+  }
+
+ private:
+  struct Record {
+    u32 publisher;
+    Input data;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Record> log_;
+  std::vector<usize> cursors_;
+};
+
+}  // namespace bigmap

@@ -1,0 +1,65 @@
+#include "util/hash.h"
+
+#include <array>
+#include <cstring>
+
+namespace bigmap {
+namespace {
+
+// Slicing-by-8 CRC-32: eight derived tables let the inner loop consume
+// 8 bytes per iteration (~5x faster than the classic bytewise loop). The
+// trace-bitmap hash runs over the full map for the flat scheme, so its
+// speed directly shapes the Figure 3/6 comparisons — a slow hash would
+// unfairly penalize the AFL baseline.
+struct CrcTables {
+  std::array<std::array<u32, 256>, 8> t{};
+
+  constexpr CrcTables() {
+    for (u32 i = 0; i < 256; ++i) {
+      u32 c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[0][i] = c;
+    }
+    for (u32 i = 0; i < 256; ++i) {
+      u32 c = t[0][i];
+      for (usize slice = 1; slice < 8; ++slice) {
+        c = t[0][c & 0xFF] ^ (c >> 8);
+        t[slice][i] = c;
+      }
+    }
+  }
+};
+
+constexpr CrcTables kCrc;
+
+}  // namespace
+
+u32 crc32_update(u32 state, std::span<const u8> data) noexcept {
+  u32 c = state;
+  const u8* p = data.data();
+  usize n = data.size();
+
+  while (n >= 8) {
+    u64 w;
+    std::memcpy(&w, p, 8);
+    w ^= c;  // fold current state into the low 4 bytes (little-endian)
+    c = kCrc.t[7][w & 0xFF] ^ kCrc.t[6][(w >> 8) & 0xFF] ^
+        kCrc.t[5][(w >> 16) & 0xFF] ^ kCrc.t[4][(w >> 24) & 0xFF] ^
+        kCrc.t[3][(w >> 32) & 0xFF] ^ kCrc.t[2][(w >> 40) & 0xFF] ^
+        kCrc.t[1][(w >> 48) & 0xFF] ^ kCrc.t[0][(w >> 56) & 0xFF];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    c = kCrc.t[0][(c ^ *p++) & 0xFFu] ^ (c >> 8);
+  }
+  return c;
+}
+
+u32 crc32(std::span<const u8> data) noexcept {
+  return crc32_finalize(crc32_update(kCrc32Init, data));
+}
+
+}  // namespace bigmap

@@ -1,0 +1,111 @@
+#include "util/report.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace bigmap {
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '-' || c == '+' || c == ',' || c == '%' || c == 'x' ||
+          c == 'e' || c == 'E' || c == 'k' || c == 'M' || c == 'G')) {
+      return false;
+    }
+  }
+  return std::isdigit(static_cast<unsigned char>(s.front())) ||
+         s.front() == '-' || s.front() == '+' || s.front() == '.';
+}
+
+}  // namespace
+
+TableWriter::TableWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TableWriter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("TableWriter: row width != header width");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void TableWriter::print(std::ostream& os) const {
+  std::vector<usize> widths(header_.size());
+  for (usize c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (usize c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (usize c = 0; c < row.size(); ++c) {
+      const usize pad = widths[c] - row[c].size();
+      os << (c == 0 ? "" : "  ");
+      if (looks_numeric(row[c]) && c != 0) {
+        os << std::string(pad, ' ') << row[c];
+      } else {
+        os << row[c] << std::string(pad, ' ');
+      }
+    }
+    os << '\n';
+  };
+
+  print_row(header_);
+  usize total = 0;
+  for (usize c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TableWriter::print_csv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (usize c = 0; c < row.size(); ++c) {
+      if (c != 0) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt_double(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string fmt_count(u64 v) {
+  std::string raw = std::to_string(v);
+  std::string out;
+  out.reserve(raw.size() + raw.size() / 3);
+  usize lead = raw.size() % 3 == 0 ? 3 : raw.size() % 3;
+  for (usize i = 0; i < raw.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out += ',';
+    out += raw[i];
+  }
+  return out;
+}
+
+std::string fmt_bytes(usize bytes) {
+  if (bytes >= (1u << 30) && bytes % (1u << 30) == 0) {
+    return std::to_string(bytes >> 30) + "G";
+  }
+  if (bytes >= (1u << 20) && bytes % (1u << 20) == 0) {
+    return std::to_string(bytes >> 20) + "M";
+  }
+  if (bytes >= (1u << 10) && bytes % (1u << 10) == 0) {
+    return std::to_string(bytes >> 10) + "k";
+  }
+  return std::to_string(bytes);
+}
+
+}  // namespace bigmap

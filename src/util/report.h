@@ -1,0 +1,48 @@
+// Plain-text table and CSV rendering for benchmark harnesses.
+//
+// Every bench binary prints the rows/series of the paper table or figure it
+// regenerates; TableWriter produces aligned monospace tables and CSV output
+// so results can be diffed or plotted.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace bigmap {
+
+// Column-aligned text table. Usage:
+//   TableWriter t({"Benchmark", "AFL", "BigMap"});
+//   t.add_row({"zlib", "4400", "4500"});
+//   t.print(std::cout);
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Renders with a header separator and right-aligned numeric-looking cells.
+  void print(std::ostream& os) const;
+
+  // Comma-separated rendering (header + rows), suitable for plotting.
+  void print_csv(std::ostream& os) const;
+
+  usize num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with `digits` fractional digits.
+std::string fmt_double(double v, int digits = 2);
+
+// Formats a count with thousands separators (1234567 -> "1,234,567").
+std::string fmt_count(u64 v);
+
+// Formats a byte size with binary units (65536 -> "64k", 2097152 -> "2M").
+std::string fmt_bytes(usize bytes);
+
+}  // namespace bigmap

@@ -1,0 +1,98 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the system (block-ID assignment, mutations, benchmark
+// generation) flows from explicitly seeded generators so that campaigns,
+// tests, and benchmarks are reproducible. We implement SplitMix64 (for
+// seeding) and xoshiro256** (the workhorse generator) from their reference
+// algorithms; std::mt19937_64 is deliberately avoided on the fuzzing hot
+// path because of its large state and slower advance.
+#pragma once
+
+#include <array>
+#include <limits>
+
+#include "util/types.h"
+
+namespace bigmap {
+
+// SplitMix64: tiny, statistically solid generator used to expand one 64-bit
+// seed into the 256-bit state of xoshiro256**.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(u64 seed) noexcept : state_(seed) {}
+
+  constexpr u64 next() noexcept {
+    u64 z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  u64 state_;
+};
+
+// xoshiro256**: fast all-purpose 64-bit generator (Blackman & Vigna).
+// Satisfies UniformRandomBitGenerator so it can drive <random> distributions
+// where convenient, but the fuzzer mostly uses the bounded helpers below.
+class Xoshiro256 {
+ public:
+  using result_type = u64;
+
+  explicit Xoshiro256(u64 seed) noexcept { reseed(seed); }
+
+  // Re-derives the full 256-bit state from a 64-bit seed via SplitMix64.
+  void reseed(u64 seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<u64>::max();
+  }
+
+  u64 operator()() noexcept { return next(); }
+
+  u64 next() noexcept {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform value in [0, bound). bound == 0 returns 0. Uses Lemire's
+  // multiply-shift reduction; the modulo bias is negligible for fuzzing
+  // purposes (bound << 2^64) and matches AFL's own UR() tolerance.
+  u32 below(u32 bound) noexcept {
+    if (bound == 0) return 0;
+    return static_cast<u32>((static_cast<u64>(static_cast<u32>(next())) *
+                             bound) >>
+                            32);
+  }
+
+  // Uniform value in [lo, hi] inclusive.
+  u32 between(u32 lo, u32 hi) noexcept { return lo + below(hi - lo + 1); }
+
+  // True with probability num/den.
+  bool chance(u32 num, u32 den) noexcept { return below(den) < num; }
+
+  // Uniform double in [0, 1).
+  double unit() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<u64, 4> state_{};
+};
+
+}  // namespace bigmap

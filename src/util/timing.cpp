@@ -1,0 +1,23 @@
+#include "util/timing.h"
+
+namespace bigmap {
+
+std::string_view map_op_name(MapOp op) noexcept {
+  switch (op) {
+    case MapOp::kExecution:
+      return "Execution";
+    case MapOp::kReset:
+      return "Map Reset";
+    case MapOp::kClassify:
+      return "Map Classify";
+    case MapOp::kCompare:
+      return "Map Compare";
+    case MapOp::kHash:
+      return "Map Hash";
+    case MapOp::kOther:
+      return "Others";
+  }
+  return "Unknown";
+}
+
+}  // namespace bigmap

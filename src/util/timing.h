@@ -1,0 +1,97 @@
+// Timing utilities for the per-operation runtime breakdown (paper Figure 3).
+//
+// The executor attributes wall-clock time to one of the MapOp categories the
+// paper reports: target execution, map reset, map classify, map compare,
+// map hash, and everything else. OpTimeBreakdown accumulates nanoseconds per
+// category; ScopedOpTimer attributes a lexical scope.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <string_view>
+
+#include "util/types.h"
+
+namespace bigmap {
+
+// Runtime categories matching Figure 3's stacked bars.
+enum class MapOp : u8 {
+  kExecution = 0,  // running the target (includes inline bitmap update)
+  kReset,          // clearing the trace bitmap before a run
+  kClassify,       // bucketing hit counts
+  kCompare,        // virgin-map comparison (has_new_bits)
+  kHash,           // hashing the classified bitmap
+  kOther,          // queue management, mutation, bookkeeping
+};
+
+inline constexpr usize kNumMapOps = 6;
+
+// Human-readable label for a category ("Execution", "Map Reset", ...).
+std::string_view map_op_name(MapOp op) noexcept;
+
+// Monotonic clock reading in nanoseconds.
+inline u64 monotonic_ns() noexcept {
+  return static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Accumulated nanoseconds per MapOp category.
+class OpTimeBreakdown {
+ public:
+  void add(MapOp op, u64 ns) noexcept {
+    ns_[static_cast<usize>(op)] += ns;
+  }
+
+  u64 ns(MapOp op) const noexcept { return ns_[static_cast<usize>(op)]; }
+
+  double seconds(MapOp op) const noexcept {
+    return static_cast<double>(ns(op)) * 1e-9;
+  }
+
+  u64 total_ns() const noexcept {
+    u64 t = 0;
+    for (u64 v : ns_) t += v;
+    return t;
+  }
+
+  double total_seconds() const noexcept {
+    return static_cast<double>(total_ns()) * 1e-9;
+  }
+
+  // Fraction of total time spent in `op`; 0 when nothing was recorded.
+  double fraction(MapOp op) const noexcept {
+    const u64 t = total_ns();
+    return t == 0 ? 0.0 : static_cast<double>(ns(op)) / static_cast<double>(t);
+  }
+
+  void reset() noexcept { ns_.fill(0); }
+
+  OpTimeBreakdown& operator+=(const OpTimeBreakdown& other) noexcept {
+    for (usize i = 0; i < kNumMapOps; ++i) ns_[i] += other.ns_[i];
+    return *this;
+  }
+
+ private:
+  std::array<u64, kNumMapOps> ns_{};
+};
+
+// Attributes the lifetime of the object to one category of a breakdown.
+class ScopedOpTimer {
+ public:
+  ScopedOpTimer(OpTimeBreakdown& breakdown, MapOp op) noexcept
+      : breakdown_(breakdown), op_(op), start_(monotonic_ns()) {}
+
+  ~ScopedOpTimer() { breakdown_.add(op_, monotonic_ns() - start_); }
+
+  ScopedOpTimer(const ScopedOpTimer&) = delete;
+  ScopedOpTimer& operator=(const ScopedOpTimer&) = delete;
+
+ private:
+  OpTimeBreakdown& breakdown_;
+  MapOp op_;
+  u64 start_;
+};
+
+}  // namespace bigmap

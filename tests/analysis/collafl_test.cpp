@@ -1,0 +1,102 @@
+// Tests for the CollAFL-style static edge assignment.
+#include "analysis/collafl.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "target/generator.h"
+
+namespace bigmap {
+namespace {
+
+Program small_cfg() {
+  Program p;
+  p.blocks.resize(4);
+  p.blocks[0].kind = BlockKind::kBranch;
+  p.blocks[0].targets = {1, 2};
+  p.blocks[1].kind = BlockKind::kFallthrough;
+  p.blocks[1].targets = {3};
+  p.blocks[2].kind = BlockKind::kFallthrough;
+  p.blocks[2].targets = {3};
+  p.blocks[3].kind = BlockKind::kExit;
+  p.validate();
+  return p;
+}
+
+TEST(CollAflTest, AssignsUniqueSlotsWhenMapFits) {
+  Program p = small_cfg();
+  CollAflAssignment a(p, 64);
+  EXPECT_EQ(a.num_static_edges(), 4u);
+  EXPECT_EQ(a.uniquely_assigned(), 4u);
+  EXPECT_EQ(a.hashed_fallback(), 0u);
+
+  std::unordered_set<u32> slots;
+  slots.insert(a.slot(0, 1));
+  slots.insert(a.slot(0, 2));
+  slots.insert(a.slot(1, 3));
+  slots.insert(a.slot(2, 3));
+  EXPECT_EQ(slots.size(), 4u);  // collision-free
+  for (u32 s : slots) EXPECT_LT(s, 64u);
+}
+
+TEST(CollAflTest, UnknownEdgesHashIntoMap) {
+  Program p = small_cfg();
+  CollAflAssignment a(p, 64);
+  const u32 s = a.slot(3, 0);  // not a static edge
+  EXPECT_LT(s, 64u);
+}
+
+TEST(CollAflTest, OverflowFallsBackToHashing) {
+  Program p = small_cfg();
+  CollAflAssignment a(p, 2);  // room for only 2 of 4 edges
+  EXPECT_EQ(a.uniquely_assigned(), 2u);
+  EXPECT_EQ(a.hashed_fallback(), 2u);
+  EXPECT_LT(a.slot(1, 3), 2u + 0x100000000ULL);  // in-range either way
+}
+
+TEST(CollAflTest, RequiredMapSizeIsNextPowerOfTwo) {
+  Program p = small_cfg();
+  EXPECT_EQ(CollAflAssignment::required_map_size(p), 4u);
+
+  GeneratorParams gp;
+  gp.seed = 4;
+  gp.live_blocks = 1000;
+  auto t = generate_target(gp);
+  const usize req = CollAflAssignment::required_map_size(t.program);
+  EXPECT_GE(req, t.program.static_edge_count() / 2);  // duplicates collapse
+  EXPECT_EQ(req & (req - 1), 0u);  // power of two
+}
+
+TEST(CollAflTest, ZeroCollisionsOnGeneratedTarget) {
+  GeneratorParams gp;
+  gp.seed = 6;
+  gp.live_blocks = 800;
+  auto t = generate_target(gp);
+  const usize req = CollAflAssignment::required_map_size(t.program);
+  CollAflAssignment a(t.program, req);
+  EXPECT_EQ(a.hashed_fallback(), 0u);
+
+  // Every static edge maps to a distinct slot.
+  std::unordered_set<u32> slots;
+  usize edges = 0;
+  for (u32 b = 0; b < t.program.blocks.size(); ++b) {
+    std::unordered_set<u32> seen_targets;
+    for (u32 tgt : t.program.blocks[b].targets) {
+      if (!seen_targets.insert(tgt).second) continue;
+      slots.insert(a.slot(b, tgt));
+      ++edges;
+    }
+  }
+  EXPECT_EQ(slots.size(), edges);
+}
+
+TEST(CollAflTest, DeterministicAssignment) {
+  Program p = small_cfg();
+  CollAflAssignment a(p, 64), b(p, 64);
+  EXPECT_EQ(a.slot(0, 1), b.slot(0, 1));
+  EXPECT_EQ(a.slot(2, 3), b.slot(2, 3));
+}
+
+}  // namespace
+}  // namespace bigmap

@@ -1,0 +1,141 @@
+// Tests for the collision-rate analytics (Equation 1, birthday bounds).
+#include "analysis/collision.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bigmap {
+namespace {
+
+TEST(CollisionRateTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(collision_rate(0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(collision_rate(1024, 0), 0.0);
+  // One draw can never collide.
+  EXPECT_NEAR(collision_rate(1024, 1), 0.0, 1e-12);
+}
+
+TEST(CollisionRateTest, MonotoneInKeys) {
+  double prev = 0.0;
+  for (double n = 100; n <= 100000; n *= 2) {
+    const double r = collision_rate(65536, n);
+    EXPECT_GE(r, prev);
+    prev = r;
+  }
+}
+
+TEST(CollisionRateTest, MonotoneDecreasingInHashSpace) {
+  double prev = 1.0;
+  for (double h = 65536; h <= 32.0 * 1024 * 1024; h *= 2) {
+    const double r = collision_rate(h, 50000);
+    EXPECT_LE(r, prev);
+    prev = r;
+  }
+}
+
+TEST(CollisionRateTest, PaperTableTwoValues) {
+  // Table II's "Collision rate (%)" column is Equation 1 with H = 64k and
+  // n = discovered edges. Verify several rows.
+  EXPECT_NEAR(collision_rate(65536, 722) * 100, 0.55, 0.02);
+  EXPECT_NEAR(collision_rate(65536, 1218) * 100, 0.92, 0.02);
+  EXPECT_NEAR(collision_rate(65536, 5377) * 100, 3.99, 0.05);
+  EXPECT_NEAR(collision_rate(65536, 10297) * 100, 7.46, 0.08);
+  EXPECT_NEAR(collision_rate(65536, 40948) * 100, 25.64, 0.2);
+  EXPECT_NEAR(collision_rate(65536, 131677) * 100, 56.90, 0.3);
+}
+
+TEST(CollisionRateTest, PaperSection3Claim) {
+  // §III: "a 64kB map is subjected to ~30% collision rate" for ~50k keys.
+  const double r = collision_rate(65536, 50000) * 100;
+  EXPECT_GT(r, 25.0);
+  EXPECT_LT(r, 35.0);
+}
+
+TEST(CollisionRateTest, AgreesWithMonteCarlo) {
+  for (const auto& [h, n] : {std::pair<u64, u64>{1u << 16, 5000},
+                             {1u << 20, 50000},
+                             {1u << 16, 60000}}) {
+    const double analytic = collision_rate(static_cast<double>(h),
+                                           static_cast<double>(n));
+    const double empirical = monte_carlo_collision_rate(h, n, 42, 5);
+    EXPECT_NEAR(analytic, empirical, 0.01)
+        << "H=" << h << " n=" << n;
+  }
+}
+
+TEST(ExpectedDistinctTest, ComplementOfCollisionRate) {
+  // collision_rate == 1 - expected_distinct / n by construction.
+  for (double n : {100.0, 5000.0, 100000.0}) {
+    const double rate = collision_rate(65536, n);
+    const double distinct = expected_distinct_keys(65536, n);
+    EXPECT_NEAR(rate, 1.0 - distinct / n, 1e-9);
+  }
+}
+
+TEST(ExpectedDistinctTest, BoundedByHashSpaceAndKeys) {
+  EXPECT_LE(expected_distinct_keys(1024, 1e9), 1024.0 + 1e-6);
+  EXPECT_LE(expected_distinct_keys(1u << 20, 100), 100.0 + 1e-6);
+}
+
+TEST(BirthdayTest, KnownClassicValue) {
+  // 23 people, 365 days: ~50.7%.
+  EXPECT_NEAR(birthday_collision_probability(365, 23), 0.507, 0.002);
+}
+
+TEST(BirthdayTest, PaperSection3Claim300Ids) {
+  // §III: "the probability of having at least one collision is ~50% after
+  // assigning only 300 IDs" in a 64 kB map.
+  const double p = birthday_collision_probability(65536, 300);
+  EXPECT_GT(p, 0.45);
+  EXPECT_LT(p, 0.55);
+  // And the solver finds n near 300 for p = 0.5.
+  const u64 n = keys_for_collision_probability(65536, 0.5);
+  EXPECT_GT(n, 280u);
+  EXPECT_LT(n, 320u);
+}
+
+TEST(BirthdayTest, Extremes) {
+  EXPECT_DOUBLE_EQ(birthday_collision_probability(100, 1), 0.0);
+  EXPECT_DOUBLE_EQ(birthday_collision_probability(100, 101), 1.0);
+  // Far past the space: certain collision (pigeonhole).
+  EXPECT_DOUBLE_EQ(birthday_collision_probability(10, 1000), 1.0);
+}
+
+TEST(KeysForProbabilityTest, MonotoneInTarget) {
+  const u64 n25 = keys_for_collision_probability(1u << 16, 0.25);
+  const u64 n50 = keys_for_collision_probability(1u << 16, 0.50);
+  const u64 n90 = keys_for_collision_probability(1u << 16, 0.90);
+  EXPECT_LT(n25, n50);
+  EXPECT_LT(n50, n90);
+}
+
+TEST(MonteCarloTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(monte_carlo_collision_rate(0, 100, 1), 0.0);
+  EXPECT_DOUBLE_EQ(monte_carlo_collision_rate(100, 0, 1), 0.0);
+  // H == 1: every draw after the first collides -> rate (n-1)/n.
+  EXPECT_NEAR(monte_carlo_collision_rate(1, 100, 1), 0.99, 1e-9);
+}
+
+// Figure 2 sweep: the full grid must be finite, in [0, 1), and ordered.
+class Fig2GridTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(Fig2GridTest, RowIsOrderedAcrossMapSizes) {
+  const u64 keys = GetParam();
+  double prev = 1.1;
+  for (u64 map = 1u << 16; map <= (32u << 20); map <<= 1) {
+    const double r = collision_rate(static_cast<double>(map),
+                                    static_cast<double>(keys));
+    EXPECT_TRUE(std::isfinite(r));
+    EXPECT_GE(r, 0.0);
+    EXPECT_LT(r, 1.0);
+    EXPECT_LE(r, prev);
+    prev = r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KeyCounts, Fig2GridTest,
+                         ::testing::Values(5000, 10000, 20000, 50000, 100000,
+                                           200000, 500000, 1000000));
+
+}  // namespace
+}  // namespace bigmap

@@ -1,0 +1,89 @@
+// Tests for the parallel-fuzzing cache-contention model (Figure 9).
+#include "cachesim/smp.h"
+
+#include <gtest/gtest.h>
+
+namespace bigmap {
+namespace {
+
+SmpParams params(MapScheme scheme, u32 instances) {
+  SmpParams p;
+  p.scheme = scheme;
+  p.map_size = 2u << 20;
+  p.used_keys = 20000;
+  p.edges_per_exec = 3000;
+  p.instances = instances;
+  p.execs_per_instance = 4;
+  p.seed = 3;
+  return p;
+}
+
+TEST(SmpTest, SingleInstanceBaseline) {
+  auto r = simulate_parallel_fuzzing(params(MapScheme::kFlat, 1));
+  EXPECT_EQ(r.instances, 1u);
+  EXPECT_GT(r.ns_per_exec, 0.0);
+  EXPECT_GT(r.instance_throughput, 0.0);
+  EXPECT_DOUBLE_EQ(r.aggregate_throughput, r.instance_throughput);
+}
+
+TEST(SmpTest, BigMapFasterPerInstance) {
+  auto flat = simulate_parallel_fuzzing(params(MapScheme::kFlat, 1));
+  auto two = simulate_parallel_fuzzing(params(MapScheme::kTwoLevel, 1));
+  EXPECT_GT(two.instance_throughput, flat.instance_throughput * 3);
+}
+
+TEST(SmpTest, FlatScalingDegradesWithInstances) {
+  // The Figure 9(a) shape: AFL's per-instance throughput drops as
+  // instances contend for the shared L3 and memory bandwidth.
+  auto n1 = simulate_parallel_fuzzing(params(MapScheme::kFlat, 1));
+  auto n12 = simulate_parallel_fuzzing(params(MapScheme::kFlat, 12));
+  EXPECT_LT(n12.instance_throughput, n1.instance_throughput * 0.7);
+  // Aggregate stays well short of 12x.
+  EXPECT_LT(n12.aggregate_throughput, n1.aggregate_throughput * 8.0);
+}
+
+TEST(SmpTest, TwoLevelScalesNearLinearly) {
+  auto n1 = simulate_parallel_fuzzing(params(MapScheme::kTwoLevel, 1));
+  auto n12 = simulate_parallel_fuzzing(params(MapScheme::kTwoLevel, 12));
+  EXPECT_GT(n12.aggregate_throughput, n1.aggregate_throughput * 6.0);
+}
+
+TEST(SmpTest, SpeedupGrowsWithInstanceCount) {
+  // Figure 9(b): BigMap's advantage over AFL grows super-linearly with
+  // the number of instances.
+  double prev_ratio = 0.0;
+  for (u32 n : {1u, 4u, 8u}) {
+    auto flat = simulate_parallel_fuzzing(params(MapScheme::kFlat, n));
+    auto two = simulate_parallel_fuzzing(params(MapScheme::kTwoLevel, n));
+    const double ratio =
+        two.aggregate_throughput / flat.aggregate_throughput;
+    EXPECT_GT(ratio, prev_ratio) << "n=" << n;
+    prev_ratio = ratio;
+  }
+}
+
+TEST(SmpTest, FlatSaturatesMemoryBandwidth) {
+  auto n12 = simulate_parallel_fuzzing(params(MapScheme::kFlat, 12));
+  auto two12 = simulate_parallel_fuzzing(params(MapScheme::kTwoLevel, 12));
+  EXPECT_GT(n12.mem_utilization, 0.3);
+  EXPECT_LT(two12.mem_utilization, n12.mem_utilization);
+  EXPECT_GT(n12.mem_bytes_per_exec, two12.mem_bytes_per_exec * 10);
+}
+
+TEST(SmpTest, DeterministicInSeed) {
+  auto a = simulate_parallel_fuzzing(params(MapScheme::kFlat, 4));
+  auto b = simulate_parallel_fuzzing(params(MapScheme::kFlat, 4));
+  EXPECT_DOUBLE_EQ(a.ns_per_exec, b.ns_per_exec);
+  EXPECT_DOUBLE_EQ(a.l3_miss_rate, b.l3_miss_rate);
+}
+
+TEST(SmpTest, UsedKeysClampedToMapSize) {
+  SmpParams p = params(MapScheme::kTwoLevel, 1);
+  p.map_size = 1u << 10;
+  p.used_keys = 1u << 20;
+  auto r = simulate_parallel_fuzzing(p);  // must not hang or overflow
+  EXPECT_GT(r.instance_throughput, 0.0);
+}
+
+}  // namespace
+}  // namespace bigmap

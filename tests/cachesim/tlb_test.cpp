@@ -1,0 +1,86 @@
+// Tests for the DTLB model (§IV-E huge-page rationale).
+#include "cachesim/tlb.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace bigmap {
+namespace {
+
+TEST(TlbTest, RejectsBadConfig) {
+  TlbConfig c;
+  c.page_size = 3000;  // not a power of two
+  EXPECT_THROW(Tlb t(c), std::invalid_argument);
+  TlbConfig c2;
+  c2.l1_entries = 10;
+  c2.l1_ways = 4;  // 10 % 4 != 0
+  EXPECT_THROW(Tlb t(c2), std::invalid_argument);
+}
+
+TEST(TlbTest, MissThenHitSamePage) {
+  Tlb t(TlbConfig{});
+  EXPECT_EQ(t.access(0x1000), TlbLevel::kPageWalk);
+  EXPECT_EQ(t.access(0x1abc), TlbLevel::kL1);  // same 4k page
+  EXPECT_EQ(t.access(0x2000), TlbLevel::kPageWalk);  // next page
+  EXPECT_EQ(t.page_walks(), 2u);
+}
+
+TEST(TlbTest, HugePagesCoverWideRanges) {
+  TlbConfig c;
+  c.page_size = 2u << 20;
+  Tlb t(c);
+  t.access(0x0);
+  // Anywhere within the same 2 MiB page hits L1.
+  EXPECT_EQ(t.access(1u << 20), TlbLevel::kL1);
+  EXPECT_EQ(t.access((2u << 20) - 1), TlbLevel::kL1);
+  EXPECT_EQ(t.access(2u << 20), TlbLevel::kPageWalk);
+}
+
+TEST(TlbTest, EvictedEntryFallsToL2ThenWalk) {
+  Tlb t(TlbConfig{});
+  // Touch 128 distinct pages: more than L1's 64 entries, fewer than L2's
+  // 512 — re-touching page 0 should hit L2.
+  for (u64 p = 0; p < 128; ++p) t.access(p * 4096);
+  EXPECT_EQ(t.access(0x0), TlbLevel::kL2);
+  // Blow L2 as well.
+  for (u64 p = 0; p < 1024; ++p) t.access(p * 4096);
+  EXPECT_EQ(t.access(0x0), TlbLevel::kPageWalk);
+}
+
+TEST(TlbTest, ResetClears) {
+  Tlb t(TlbConfig{});
+  t.access(0x0);
+  t.reset();
+  EXPECT_EQ(t.accesses(), 0u);
+  EXPECT_EQ(t.access(0x0), TlbLevel::kPageWalk);
+}
+
+TEST(TlbSimTest, FlatLargeMapWalksOn4kPages) {
+  auto small_pages = simulate_map_tlb_pressure(
+      /*two_level=*/false, 8u << 20, 20000, 4000, 4096, 4, 1);
+  auto huge_pages = simulate_map_tlb_pressure(
+      /*two_level=*/false, 8u << 20, 20000, 4000, 2u << 20, 4, 1);
+  // 8MB map on 4k pages = 2048 pages per scan: heavy walking.
+  EXPECT_GT(small_pages.walks_per_exec, 1000u);
+  // On 2MB pages the same map is 4 pages: negligible.
+  EXPECT_LT(huge_pages.walks_per_exec, 10u);
+}
+
+TEST(TlbSimTest, TwoLevelBarelyPressuresTlb) {
+  auto r = simulate_map_tlb_pressure(
+      /*two_level=*/true, 8u << 20, 20000, 4000, 4096, 4, 1);
+  auto flat = simulate_map_tlb_pressure(
+      /*two_level=*/false, 8u << 20, 20000, 4000, 4096, 4, 1);
+  EXPECT_LT(r.walks_per_exec, flat.walks_per_exec / 4);
+}
+
+TEST(TlbSimTest, SmallMapFineEitherWay) {
+  auto r4k = simulate_map_tlb_pressure(false, 64u << 10, 2000, 4000, 4096,
+                                       4, 1);
+  // 64kB map = 16 pages + virgin 16: fits the 64-entry L1 DTLB.
+  EXPECT_LT(r4k.walk_rate, 0.02);
+}
+
+}  // namespace
+}  // namespace bigmap

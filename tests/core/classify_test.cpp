@@ -1,0 +1,131 @@
+// Tests for AFL hit-count bucketing.
+#include "core/classify.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace bigmap {
+namespace {
+
+TEST(ClassifyCountTest, ExactBucketBoundaries) {
+  // The AFL bucket table (§II-A2): [1] [2] [3] [4-7] [8-15] [16-31]
+  // [32-127] [128-255].
+  EXPECT_EQ(classify_count(0), 0);
+  EXPECT_EQ(classify_count(1), 1);
+  EXPECT_EQ(classify_count(2), 2);
+  EXPECT_EQ(classify_count(3), 4);
+  EXPECT_EQ(classify_count(4), 8);
+  EXPECT_EQ(classify_count(7), 8);
+  EXPECT_EQ(classify_count(8), 16);
+  EXPECT_EQ(classify_count(15), 16);
+  EXPECT_EQ(classify_count(16), 32);
+  EXPECT_EQ(classify_count(31), 32);
+  EXPECT_EQ(classify_count(32), 64);
+  EXPECT_EQ(classify_count(127), 64);
+  EXPECT_EQ(classify_count(128), 128);
+  EXPECT_EQ(classify_count(255), 128);
+}
+
+TEST(ClassifyCountTest, MonotoneNonDecreasing) {
+  for (u32 v = 1; v < 256; ++v) {
+    EXPECT_GE(classify_count(static_cast<u8>(v)),
+              classify_count(static_cast<u8>(v - 1)));
+  }
+}
+
+TEST(ClassifyCountTest, NotIdempotentForMidBuckets) {
+  // AFL's bucketing is deliberately NOT idempotent: bucket values 4..32
+  // re-classify into the next bucket (e.g. classify(8) == 16). This is why
+  // the executor classifies each trace exactly once per run; the test
+  // documents the hazard.
+  EXPECT_EQ(classify_count(classify_count(8)), 32);   // 8 -> 16 -> 32
+  EXPECT_EQ(classify_count(classify_count(3)), 8);    // 3 -> 4 -> 8
+  // Fixed points: 0, 1, 2, 64 -> 64, 128 -> 128.
+  for (u8 v : {0, 1, 2, 64, 128}) {
+    EXPECT_EQ(classify_count(v), v);
+  }
+}
+
+TEST(ClassifyLookup8Test, MatchesScalarFunction) {
+  const auto& lut = count_class_lookup8();
+  for (u32 v = 0; v < 256; ++v) {
+    EXPECT_EQ(lut[v], classify_count(static_cast<u8>(v)));
+  }
+}
+
+TEST(ClassifyLookup16Test, MatchesBytePairs) {
+  const auto& lut16 = count_class_lookup16();
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const u16 v = static_cast<u16>(rng.next());
+    const u8 lo = static_cast<u8>(v);
+    const u8 hi = static_cast<u8>(v >> 8);
+    const u16 expect =
+        static_cast<u16>((static_cast<u16>(classify_count(hi)) << 8) |
+                         classify_count(lo));
+    EXPECT_EQ(lut16[v], expect);
+  }
+}
+
+TEST(ClassifyCountsTest, WordwiseMatchesBytewise) {
+  Xoshiro256 rng(77);
+  std::vector<u8> a(4096), b(4096);
+  for (usize i = 0; i < a.size(); ++i) {
+    a[i] = b[i] = static_cast<u8>(rng.next());
+  }
+  classify_counts(a.data(), a.size());
+  classify_counts_bytewise(b.data(), b.size());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ClassifyCountsTest, ZeroBufferUntouched) {
+  std::vector<u8> buf(1024, 0);
+  classify_counts(buf.data(), buf.size());
+  for (u8 v : buf) EXPECT_EQ(v, 0);
+}
+
+TEST(ClassifyCountsTest, ResultIsClassified) {
+  Xoshiro256 rng(99);
+  std::vector<u8> buf(2048);
+  for (auto& v : buf) v = static_cast<u8>(rng.next());
+  classify_counts(buf.data(), buf.size());
+  EXPECT_TRUE(is_classified(buf));
+}
+
+TEST(IsClassifiedTest, DetectsRawCounts) {
+  std::vector<u8> ok{0, 1, 2, 4, 8, 16, 32, 64, 128};
+  EXPECT_TRUE(is_classified(ok));
+  std::vector<u8> bad{0, 1, 3};
+  EXPECT_FALSE(is_classified(bad));
+  std::vector<u8> bad2{5};
+  EXPECT_FALSE(is_classified(bad2));
+}
+
+TEST(ClassifyCountsBytewiseTest, HandlesOddLengths) {
+  std::vector<u8> buf{3, 9, 200, 1, 0};
+  classify_counts_bytewise(buf.data(), buf.size());
+  EXPECT_EQ(buf, (std::vector<u8>{4, 16, 128, 1, 0}));
+}
+
+// Property sweep: every length and alignment combination of the word-wise
+// classifier must agree with the scalar reference.
+class ClassifyLengthTest : public ::testing::TestWithParam<usize> {};
+
+TEST_P(ClassifyLengthTest, AgreesWithScalar) {
+  const usize len = GetParam();
+  Xoshiro256 rng(1000 + len);
+  std::vector<u8> a(len), b(len);
+  for (usize i = 0; i < len; ++i) a[i] = b[i] = static_cast<u8>(rng.next());
+  classify_counts(a.data(), a.size());
+  for (auto& v : b) v = classify_count(v);
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, ClassifyLengthTest,
+                         ::testing::Values(0, 8, 16, 64, 256, 4096, 65536));
+
+}  // namespace
+}  // namespace bigmap

@@ -1,0 +1,109 @@
+// Dedicated tests for the runtime-dispatch CoverageMapVariant wrapper.
+#include "core/coverage_map.h"
+
+#include <gtest/gtest.h>
+
+#include "util/hash.h"
+
+namespace bigmap {
+namespace {
+
+MapOptions opts(usize size = 1u << 12) {
+  MapOptions o;
+  o.map_size = size;
+  o.huge_pages = false;
+  return o;
+}
+
+class VariantTest : public ::testing::TestWithParam<MapScheme> {};
+
+TEST_P(VariantTest, BasicLifecycle) {
+  CoverageMapVariant m(GetParam(), opts());
+  EXPECT_EQ(m.scheme(), GetParam());
+  EXPECT_EQ(m.map_size(), 1u << 12);
+  EXPECT_EQ(m.count_nonzero(), 0u);
+
+  m.update(100);
+  m.update(100);
+  m.update(200);
+  EXPECT_EQ(m.count_nonzero(), 2u);
+
+  m.reset();
+  EXPECT_EQ(m.count_nonzero(), 0u);
+}
+
+TEST_P(VariantTest, ClassifyAndHashDispatch) {
+  CoverageMapVariant m(GetParam(), opts());
+  for (int i = 0; i < 5; ++i) m.update(50);
+  const u32 raw_hash = m.hash();
+  m.classify();
+  EXPECT_NE(m.hash(), raw_hash);  // 5 -> bucket 8 changes the bytes
+  EXPECT_EQ(m.count_nonzero(), 1u);
+}
+
+TEST_P(VariantTest, VirginCompareFlow) {
+  CoverageMapVariant m(GetParam(), opts());
+  VirginMap virgin(m.virgin_size());
+
+  m.update(7);
+  EXPECT_EQ(m.classify_and_compare(virgin), NewBits::kNewTuple);
+  m.reset();
+  m.update(7);
+  EXPECT_EQ(m.classify_and_compare(virgin), NewBits::kNone);
+  m.reset();
+  for (int i = 0; i < 3; ++i) m.update(7);  // new bucket
+  EXPECT_EQ(m.classify_and_compare(virgin), NewBits::kNewCounts);
+}
+
+TEST_P(VariantTest, SeparateCompareUpdate) {
+  CoverageMapVariant m(GetParam(), opts());
+  VirginMap virgin(m.virgin_size());
+  m.update(9);
+  m.classify();
+  EXPECT_EQ(m.compare_update(virgin), NewBits::kNewTuple);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, VariantTest,
+                         ::testing::Values(MapScheme::kFlat,
+                                           MapScheme::kTwoLevel));
+
+TEST(VariantTest, SchemeSpecificAccessors) {
+  CoverageMapVariant flat(MapScheme::kFlat, opts());
+  CoverageMapVariant two(MapScheme::kTwoLevel, opts());
+
+  ASSERT_NE(flat.as_flat(), nullptr);
+  EXPECT_EQ(flat.as_two_level(), nullptr);
+  ASSERT_NE(two.as_two_level(), nullptr);
+  EXPECT_EQ(two.as_flat(), nullptr);
+
+  // virgin_size: full map for flat, condensed size for two-level.
+  EXPECT_EQ(flat.virgin_size(), flat.map_size());
+  EXPECT_EQ(two.virgin_size(), two.as_two_level()->condensed_size());
+}
+
+TEST(VariantTest, ScanCostReflectsScheme) {
+  CoverageMapVariant flat(MapScheme::kFlat, opts(1u << 16));
+  CoverageMapVariant two(MapScheme::kTwoLevel, opts(1u << 16));
+  for (u32 k : {1u, 2u, 3u}) {
+    flat.update(k);
+    two.update(k);
+  }
+  EXPECT_EQ(flat.scan_cost_bytes(), 1u << 16);
+  EXPECT_EQ(two.scan_cost_bytes(), 3u);
+}
+
+TEST(VariantTest, CondensedSizeOption) {
+  MapOptions o = opts(1u << 12);
+  o.condensed_size = 256;
+  CoverageMapVariant two(MapScheme::kTwoLevel, o);
+  EXPECT_EQ(two.virgin_size(), 256u);
+  EXPECT_EQ(two.map_size(), 1u << 12);
+}
+
+TEST(VariantTest, MapScemeNames) {
+  EXPECT_STREQ(map_scheme_name(MapScheme::kFlat), "AFL");
+  EXPECT_STREQ(map_scheme_name(MapScheme::kTwoLevel), "BigMap");
+}
+
+}  // namespace
+}  // namespace bigmap

@@ -1,0 +1,144 @@
+// Stress and boundary tests for the coverage maps beyond the unit suites:
+// full-map saturation, maximum hit counts, large-map behavior, and the
+// flat/two-level equivalence under adversarial key patterns.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/flat_map.h"
+#include "core/two_level_map.h"
+#include "util/rng.h"
+
+namespace bigmap {
+namespace {
+
+MapOptions opts(usize size) {
+  MapOptions o;
+  o.map_size = size;
+  o.huge_pages = false;
+  return o;
+}
+
+TEST(MapStressTest, TwoLevelFullSaturationOfHashSpace) {
+  // Touch every key of a small hash space: used_key must saturate at
+  // map_size exactly, with zero aliasing.
+  constexpr usize kSize = 1u << 10;
+  TwoLevelCoverageMap m(opts(kSize));
+  for (u32 k = 0; k < kSize; ++k) m.update(k);
+  EXPECT_EQ(m.used_key(), kSize);
+  EXPECT_EQ(m.saturated_updates(), 0u);
+  EXPECT_EQ(m.scan_cost_bytes(), kSize);
+  // Second pass allocates nothing new.
+  for (u32 k = 0; k < kSize; ++k) m.update(k);
+  EXPECT_EQ(m.used_key(), kSize);
+}
+
+TEST(MapStressTest, SequentialVsScatteredKeysSameDecisions) {
+  // Adversarial pattern: one stream uses dense sequential keys, the other
+  // the same keys bit-reversed (max scatter). Flat and two-level must
+  // agree in both regimes.
+  constexpr usize kSize = 1u << 12;
+  for (bool scattered : {false, true}) {
+    FlatCoverageMap flat(opts(kSize));
+    TwoLevelCoverageMap two(opts(kSize));
+    VirginMap vf(kSize), vt(two.condensed_size());
+
+    for (int exec = 0; exec < 20; ++exec) {
+      flat.reset();
+      two.reset();
+      for (u32 i = 0; i < 64; ++i) {
+        u32 key = exec * 7 + i;
+        if (scattered) {
+          // bit-reverse within 12 bits
+          u32 r = 0;
+          for (int b = 0; b < 12; ++b) r |= ((key >> b) & 1u) << (11 - b);
+          key = r;
+        }
+        flat.update(key);
+        two.update(key);
+      }
+      EXPECT_EQ(static_cast<int>(flat.classify_and_compare(vf)),
+                static_cast<int>(two.classify_and_compare(vt)))
+          << "scattered=" << scattered << " exec=" << exec;
+    }
+  }
+}
+
+TEST(MapStressTest, HitCountWraparoundConsistency) {
+  // 256 and 257 hits wrap the u8 counter identically in both schemes.
+  FlatCoverageMap flat(opts(256));
+  TwoLevelCoverageMap two(opts(256));
+  for (int i = 0; i < 257; ++i) {
+    flat.update(5);
+    two.update(5);
+  }
+  EXPECT_EQ(flat.trace()[5], 1);  // 257 % 256
+  EXPECT_EQ(two.used_region()[two.slot_of(5)], 1);
+}
+
+TEST(MapStressTest, LargeMapConstructionAndUse) {
+  // 32 MB map (the top of Figure 2's x-axis): construction must be fast
+  // (lazy pages) and updates at extreme offsets must work.
+  TwoLevelCoverageMap m(opts(32u << 20));
+  m.update(0);
+  m.update((32u << 20) - 1);
+  m.update(12345678);
+  EXPECT_EQ(m.used_key(), 3u);
+  EXPECT_EQ(m.scan_cost_bytes(), 3u);
+  m.classify();
+  EXPECT_EQ(m.hash(), m.hash());
+}
+
+TEST(MapStressTest, FlatLargeMapScanCostIndependentOfUse) {
+  FlatCoverageMap m(opts(8u << 20));
+  m.update(1);
+  EXPECT_EQ(m.scan_cost_bytes(), 8u << 20);
+  m.reset();
+  m.classify();
+  EXPECT_EQ(m.count_nonzero(), 0u);
+}
+
+TEST(MapStressTest, ManyResetCyclesPreserveIndexIntegrity) {
+  TwoLevelCoverageMap m(opts(1u << 12));
+  Xoshiro256 rng(3);
+  std::vector<u32> keys;
+  for (int i = 0; i < 100; ++i) keys.push_back(rng.below(1u << 12));
+
+  std::vector<u32> slots;
+  for (u32 k : keys) {
+    m.update(k);
+    slots.push_back(m.slot_of(k));
+  }
+  for (int cycle = 0; cycle < 1000; ++cycle) {
+    m.reset();
+    for (u32 k : keys) m.update(k);
+  }
+  // Slots never move (§IV-B index stability) across 1000 reset cycles.
+  for (usize i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(m.slot_of(keys[i]), slots[i]) << i;
+  }
+}
+
+TEST(MapStressTest, VirginExhaustion) {
+  // Cover every position and every bucket: eventually nothing is new.
+  constexpr usize kSize = 256;
+  TwoLevelCoverageMap m(opts(kSize));
+  VirginMap virgin(m.condensed_size());
+
+  for (u32 count = 1; count <= 255; ++count) {
+    m.reset();
+    for (u32 k = 0; k < kSize; ++k) {
+      for (u32 c = 0; c < count; ++c) m.update(k);
+    }
+    m.classify_and_compare(virgin);
+  }
+  // All buckets for all keys consumed: a fresh max-bucket trace is stale.
+  m.reset();
+  for (u32 k = 0; k < kSize; ++k) {
+    for (u32 c = 0; c < 200; ++c) m.update(k);
+  }
+  EXPECT_EQ(m.classify_and_compare(virgin), NewBits::kNone);
+}
+
+}  // namespace
+}  // namespace bigmap

@@ -1,0 +1,205 @@
+// Tests for BigMap's two-level condensed coverage map — the paper's core
+// data structure (§IV).
+#include "core/two_level_map.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/classify.h"
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace bigmap {
+namespace {
+
+MapOptions opts(usize size = 1u << 10, usize condensed = 0) {
+  MapOptions o;
+  o.map_size = size;
+  o.condensed_size = condensed;
+  o.huge_pages = false;
+  return o;
+}
+
+TEST(TwoLevelMapTest, StartsUnassigned) {
+  TwoLevelCoverageMap m(opts());
+  EXPECT_EQ(m.used_key(), 0u);
+  EXPECT_EQ(m.slot_of(0), TwoLevelCoverageMap::kUnassigned);
+  EXPECT_EQ(m.slot_of(999), TwoLevelCoverageMap::kUnassigned);
+  EXPECT_EQ(m.condensed_size(), m.map_size());
+}
+
+TEST(TwoLevelMapTest, FirstTouchAllocatesSequentialSlots) {
+  // The paper's Figure 4(b): keys get condensed slots in first-touch order.
+  TwoLevelCoverageMap m(opts());
+  m.update(500);
+  m.update(10);
+  m.update(900);
+  m.update(10);  // already assigned
+  EXPECT_EQ(m.used_key(), 3u);
+  EXPECT_EQ(m.slot_of(500), 0u);
+  EXPECT_EQ(m.slot_of(10), 1u);
+  EXPECT_EQ(m.slot_of(900), 2u);
+  EXPECT_EQ(m.used_region()[0], 1);
+  EXPECT_EQ(m.used_region()[1], 2);
+  EXPECT_EQ(m.used_region()[2], 1);
+}
+
+TEST(TwoLevelMapTest, IndexSurvivesReset) {
+  // §IV-B: the index bitmap is never reset; the same edge maps to the same
+  // slot across all test cases.
+  TwoLevelCoverageMap m(opts());
+  m.update(123);
+  m.update(456);
+  const u32 slot123 = m.slot_of(123);
+  m.reset();
+  EXPECT_EQ(m.used_key(), 2u);  // allocation persists
+  EXPECT_EQ(m.used_region()[slot123], 0);
+  m.update(123);
+  EXPECT_EQ(m.slot_of(123), slot123);
+  EXPECT_EQ(m.used_region()[slot123], 1);
+}
+
+TEST(TwoLevelMapTest, ResetClearsOnlyUsedRegion) {
+  TwoLevelCoverageMap m(opts());
+  m.update(1);
+  m.update(2);
+  m.reset();
+  for (u8 v : m.used_region()) EXPECT_EQ(v, 0);
+  EXPECT_EQ(m.count_nonzero(), 0u);
+}
+
+TEST(TwoLevelMapTest, ScanCostTracksUsedKeyNotMapSize) {
+  TwoLevelCoverageMap m(opts(1u << 20));
+  EXPECT_EQ(m.scan_cost_bytes(), 0u);
+  for (u32 k = 0; k < 100; ++k) m.update(k * 7919);
+  EXPECT_LE(m.scan_cost_bytes(), 100u);
+  EXPECT_GT(m.scan_cost_bytes(), 0u);
+}
+
+TEST(TwoLevelMapTest, KeyWrapsModuloMapSize) {
+  TwoLevelCoverageMap m(opts(64));
+  m.update(64);  // aliases key 0
+  m.update(0);
+  EXPECT_EQ(m.used_key(), 1u);
+  EXPECT_EQ(m.used_region()[0], 2);
+}
+
+TEST(TwoLevelMapTest, ClassifyOnlyUsedRegion) {
+  TwoLevelCoverageMap m(opts());
+  for (int i = 0; i < 5; ++i) m.update(42);  // slot 0, raw 5
+  for (int i = 0; i < 1; ++i) m.update(43);  // slot 1, raw 1
+  m.classify();
+  EXPECT_EQ(m.used_region()[0], 8);
+  EXPECT_EQ(m.used_region()[1], 1);
+}
+
+TEST(TwoLevelMapTest, ClassifyHandlesNonWordMultipleUsedKey) {
+  TwoLevelCoverageMap m(opts());
+  for (u32 k = 0; k < 11; ++k) {  // used_key = 11, not a multiple of 8
+    for (u32 r = 0; r < 5; ++r) m.update(1000 + k);
+  }
+  m.classify();
+  for (u32 s = 0; s < 11; ++s) EXPECT_EQ(m.used_region()[s], 8) << s;
+}
+
+TEST(TwoLevelMapTest, CompareAgainstCondensedVirgin) {
+  TwoLevelCoverageMap m(opts());
+  VirginMap virgin(m.condensed_size());
+  m.update(7);
+  m.classify();
+  EXPECT_EQ(m.compare_update(virgin), NewBits::kNewTuple);
+
+  m.reset();
+  m.update(7);
+  m.classify();
+  EXPECT_EQ(m.compare_update(virgin), NewBits::kNone);
+
+  // New edge discovered later extends used_key; prefix compare sees it.
+  m.reset();
+  m.update(7);
+  m.update(8);
+  m.classify();
+  EXPECT_EQ(m.compare_update(virgin), NewBits::kNewTuple);
+}
+
+TEST(TwoLevelMapTest, HashUpToLastNonZero) {
+  // The paper's §IV-D example: P1 = {1,1} and P3 = {1,1,0} (after a third
+  // edge was discovered by P2) must hash identically.
+  TwoLevelCoverageMap m(opts());
+
+  // P1: edges A->B (key 100), B->C (key 200).
+  m.update(100);
+  m.update(200);
+  const u32 h1 = m.hash();
+
+  // P2: discovers edge C->D (key 300) — used_key grows to 3.
+  m.reset();
+  m.update(100);
+  m.update(200);
+  m.update(300);
+  const u32 h2 = m.hash();
+  EXPECT_NE(h1, h2);
+
+  // P3: same path as P1, but now used_key == 3; trailing zero must be
+  // excluded from the hash.
+  m.reset();
+  m.update(100);
+  m.update(200);
+  EXPECT_EQ(m.hash(), h1);
+}
+
+TEST(TwoLevelMapTest, HashOfEmptyUsedRegion) {
+  TwoLevelCoverageMap m(opts());
+  EXPECT_EQ(m.hash(), crc32({}));
+  m.update(5);
+  m.reset();  // slot exists but zero -> still hashes as empty
+  EXPECT_EQ(m.hash(), crc32({}));
+}
+
+TEST(TwoLevelMapTest, MergedClassifyCompareMatchesSequential) {
+  for (bool merged : {false, true}) {
+    MapOptions o = opts(512);
+    o.merged_classify_compare = merged;
+    TwoLevelCoverageMap m(o);
+    VirginMap virgin(m.condensed_size());
+
+    for (int i = 0; i < 3; ++i) m.update(50);
+    m.update(60);
+    EXPECT_EQ(m.classify_and_compare(virgin), NewBits::kNewTuple) << merged;
+    EXPECT_EQ(m.used_region()[m.slot_of(50)], 4) << merged;  // 3 -> bucket 4
+
+    m.reset();
+    for (int i = 0; i < 3; ++i) m.update(50);
+    m.update(60);
+    EXPECT_EQ(m.classify_and_compare(virgin), NewBits::kNone) << merged;
+  }
+}
+
+TEST(TwoLevelMapTest, SaturationAliasesFinalSlot) {
+  MapOptions o = opts(1u << 10, /*condensed=*/8);
+  TwoLevelCoverageMap m(o);
+  for (u32 k = 0; k < 12; ++k) m.update(k * 13 + 1);
+  EXPECT_EQ(m.used_key(), 8u);
+  EXPECT_EQ(m.saturated_updates(), 4u);
+  // Aliased updates landed on the last slot.
+  EXPECT_GE(m.used_region()[7], 5);  // own hit + 4 aliases
+}
+
+TEST(TwoLevelMapTest, UsedKeyNeverExceedsDistinctKeys) {
+  TwoLevelCoverageMap m(opts(1u << 12));
+  Xoshiro256 rng(8);
+  std::vector<u32> keys;
+  for (int i = 0; i < 500; ++i) keys.push_back(rng.below(1u << 12));
+  for (int round = 0; round < 3; ++round) {
+    m.reset();
+    for (u32 k : keys) m.update(k);
+  }
+  std::sort(keys.begin(), keys.end());
+  const usize distinct =
+      std::unique(keys.begin(), keys.end()) - keys.begin();
+  EXPECT_EQ(m.used_key(), distinct);
+}
+
+}  // namespace
+}  // namespace bigmap

@@ -1,0 +1,217 @@
+// Tests for the campaign driver: full fuzzing loops on synthetic targets.
+#include "fuzzer/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include "target/generator.h"
+
+namespace bigmap {
+namespace {
+
+GeneratedTarget small_target(u32 bugs = 4) {
+  GeneratorParams p;
+  p.name = "campaign-target";
+  p.seed = 5;
+  p.live_blocks = 300;
+  p.num_bugs = bugs;
+  p.bug_min_depth = 1;
+  p.bug_max_depth = 2;
+  return generate_target(p);
+}
+
+// Bug-dense variant for crash-discovery assertions: depth-1 chains only,
+// so finds are a hit-rate question rather than a feedback question.
+GeneratedTarget crashy_target() {
+  GeneratorParams p;
+  p.name = "crashy-target";
+  p.seed = 5;
+  p.live_blocks = 300;
+  p.num_bugs = 16;
+  p.bug_min_depth = 1;
+  p.bug_max_depth = 1;
+  return generate_target(p);
+}
+
+CampaignConfig base_config(MapScheme scheme, u64 execs = 20000) {
+  CampaignConfig c;
+  c.scheme = scheme;
+  c.map.map_size = 1u << 16;
+  c.map.huge_pages = false;
+  c.max_execs = execs;
+  c.seed = 99;
+  return c;
+}
+
+TEST(CampaignTest, RunsToExecBudget) {
+  auto t = small_target();
+  auto seeds = make_seed_corpus(t, 5, 1);
+  auto res = run_campaign(t.program, seeds, base_config(MapScheme::kFlat));
+  EXPECT_EQ(res.execs, 20000u);
+  EXPECT_GT(res.wall_seconds, 0.0);
+  EXPECT_GT(res.throughput(), 0.0);
+  EXPECT_GE(res.corpus_size, seeds.size());
+  EXPECT_GT(res.interesting, 0u);
+  EXPECT_GT(res.covered_positions, 0u);
+}
+
+TEST(CampaignTest, TwoLevelTracksUsedKey) {
+  auto t = small_target();
+  auto seeds = make_seed_corpus(t, 5, 1);
+  auto res =
+      run_campaign(t.program, seeds, base_config(MapScheme::kTwoLevel));
+  EXPECT_GT(res.used_key, 0u);
+  EXPECT_LT(res.used_key, 1u << 16);
+  // Covered positions live inside the used region.
+  EXPECT_LE(res.covered_positions, res.used_key);
+}
+
+TEST(CampaignTest, FlatReportsNoUsedKey) {
+  auto t = small_target();
+  auto seeds = make_seed_corpus(t, 3, 1);
+  auto res = run_campaign(t.program, seeds, base_config(MapScheme::kFlat));
+  EXPECT_EQ(res.used_key, 0u);
+}
+
+TEST(CampaignTest, FindsShallowBugs) {
+  auto t = crashy_target();
+  auto seeds = make_seed_corpus(t, 5, 1);
+  CampaignConfig c = base_config(MapScheme::kTwoLevel, 80000);
+  c.dictionary = t.dictionary();
+  auto res = run_campaign(t.program, seeds, c);
+  EXPECT_GT(res.crashes_total, 0u);
+  EXPECT_GT(res.crashes_ground_truth, 0u);
+  EXPECT_LE(res.crashes_ground_truth, t.program.num_bugs);
+  // Crashwalk dedup can only refine (>=) the ground-truth count per site
+  // reached through multiple stacks, and AFL-unique is its own measure.
+  EXPECT_GE(res.crashes_crashwalk_unique, res.crashes_ground_truth);
+  EXPECT_LE(res.crashes_crashwalk_unique, res.crashes_total);
+}
+
+TEST(CampaignTest, CoverageGrowsBeyondSeeds) {
+  auto t = small_target(0);
+  auto seeds = make_seed_corpus(t, 3, 1);
+
+  CampaignConfig tiny = base_config(MapScheme::kTwoLevel, 100);
+  auto early = run_campaign(t.program, seeds, tiny);
+  CampaignConfig longer = base_config(MapScheme::kTwoLevel, 50000);
+  auto late = run_campaign(t.program, seeds, longer);
+  EXPECT_GT(late.covered_positions, early.covered_positions);
+}
+
+TEST(CampaignTest, DeterministicGivenSeed) {
+  auto t = small_target();
+  auto seeds = make_seed_corpus(t, 4, 2);
+  CampaignConfig c = base_config(MapScheme::kTwoLevel, 5000);
+  c.deterministic_timing = true;  // schedule on step counts, not wall time
+  auto r1 = run_campaign(t.program, seeds, c);
+  auto r2 = run_campaign(t.program, seeds, c);
+  EXPECT_EQ(r1.execs, r2.execs);
+  EXPECT_EQ(r1.interesting, r2.interesting);
+  EXPECT_EQ(r1.covered_positions, r2.covered_positions);
+  EXPECT_EQ(r1.used_key, r2.used_key);
+  EXPECT_EQ(r1.crashes_ground_truth, r2.crashes_ground_truth);
+  EXPECT_EQ(r1.corpus_size, r2.corpus_size);
+}
+
+TEST(CampaignTest, SchemesReachSimilarCoverage) {
+  // The control experiment behind the whole paper: with the same budget in
+  // *executions* (not wall clock), flat and two-level schemes explore
+  // equivalently — the map scheme changes cost, not feedback.
+  auto t = small_target(0);
+  auto seeds = make_seed_corpus(t, 5, 3);
+  auto flat =
+      run_campaign(t.program, seeds, base_config(MapScheme::kFlat, 30000));
+  auto two = run_campaign(t.program, seeds,
+                          base_config(MapScheme::kTwoLevel, 30000));
+  const double ratio = static_cast<double>(flat.covered_positions) /
+                       static_cast<double>(two.covered_positions);
+  EXPECT_GT(ratio, 0.8);
+  EXPECT_LT(ratio, 1.25);
+}
+
+TEST(CampaignTest, KeepCorpusReturnsInputs) {
+  auto t = small_target();
+  auto seeds = make_seed_corpus(t, 3, 1);
+  CampaignConfig c = base_config(MapScheme::kTwoLevel, 5000);
+  c.keep_corpus = true;
+  auto res = run_campaign(t.program, seeds, c);
+  EXPECT_EQ(res.corpus.size(), res.corpus_size);
+  EXPECT_FALSE(res.corpus.empty());
+}
+
+TEST(CampaignTest, WallClockBudgetStops) {
+  auto t = small_target();
+  auto seeds = make_seed_corpus(t, 3, 1);
+  CampaignConfig c = base_config(MapScheme::kTwoLevel, 0);
+  c.max_seconds = 0.2;
+  auto res = run_campaign(t.program, seeds, c);
+  EXPECT_GT(res.execs, 0u);
+  EXPECT_LT(res.wall_seconds, 2.0);
+}
+
+TEST(CampaignTest, EmptySeedsFallBackToDummy) {
+  auto t = small_target();
+  auto res = run_campaign(t.program, {},
+                          base_config(MapScheme::kTwoLevel, 3000));
+  EXPECT_EQ(res.execs, 3000u);
+  EXPECT_GE(res.corpus_size, 1u);
+}
+
+TEST(CampaignTest, DeterministicStageRuns) {
+  auto t = small_target();
+  auto seeds = make_seed_corpus(t, 1, 1);
+  CampaignConfig c = base_config(MapScheme::kTwoLevel, 3000);
+  c.run_deterministic = true;
+  auto res = run_campaign(t.program, seeds, c);
+  EXPECT_EQ(res.execs, 3000u);
+}
+
+TEST(CampaignTest, NGramMetricCampaignWorks) {
+  auto t = small_target();
+  auto seeds = make_seed_corpus(t, 3, 1);
+  CampaignConfig c = base_config(MapScheme::kTwoLevel, 10000);
+  c.metric = MetricKind::kNGram;
+  auto res = run_campaign(t.program, seeds, c);
+  EXPECT_GT(res.covered_positions, 0u);
+
+  // N-gram exerts more map pressure than edge coverage on the same target.
+  CampaignConfig ce = base_config(MapScheme::kTwoLevel, 10000);
+  auto res_edge = run_campaign(t.program, seeds, ce);
+  EXPECT_GT(res.used_key, res_edge.used_key);
+}
+
+TEST(CampaignTest, ContextMetricCampaignWorks) {
+  auto t = small_target();
+  auto seeds = make_seed_corpus(t, 3, 1);
+  CampaignConfig c = base_config(MapScheme::kTwoLevel, 10000);
+  c.metric = MetricKind::kContext;
+  auto res = run_campaign(t.program, seeds, c);
+  EXPECT_GT(res.covered_positions, 0u);
+}
+
+TEST(MeasureCorpusEdgesTest, CountsDistinctDirectedEdges) {
+  // Straight-line program: 0 -> 1 -> 2(exit): 2 edges.
+  Program p;
+  p.blocks.resize(3);
+  p.blocks[0].kind = BlockKind::kFallthrough;
+  p.blocks[0].targets = {1};
+  p.blocks[1].kind = BlockKind::kFallthrough;
+  p.blocks[1].targets = {2};
+  p.blocks[2].kind = BlockKind::kExit;
+  p.validate();
+
+  EXPECT_EQ(measure_corpus_edges(p, {Input{0}}), 2u);
+  // Duplicate corpus entries add nothing.
+  EXPECT_EQ(measure_corpus_edges(p, {Input{0}, Input{0}}), 2u);
+}
+
+TEST(MeasureCorpusEdgesTest, EmptyCorpusIsZero) {
+  Program p;
+  p.blocks.resize(1);
+  p.blocks[0].kind = BlockKind::kExit;
+  p.validate();
+  EXPECT_EQ(measure_corpus_edges(p, {}), 0u);
+}
+
+}  // namespace
+}  // namespace bigmap

@@ -1,0 +1,85 @@
+// Tests for crash triage and the three deduplication notions.
+#include "fuzzer/crash.h"
+
+#include <gtest/gtest.h>
+
+namespace bigmap {
+namespace {
+
+ExecResult crash(u32 bug_id, u32 block, u64 stack_hash) {
+  ExecResult r;
+  r.outcome = ExecResult::Outcome::kCrash;
+  r.bug_id = bug_id;
+  r.faulting_block = block;
+  r.stack_hash = stack_hash;
+  return r;
+}
+
+TEST(CrashTriageTest, StartsEmpty) {
+  CrashTriage t;
+  EXPECT_EQ(t.total(), 0u);
+  EXPECT_EQ(t.afl_unique(), 0u);
+  EXPECT_EQ(t.crashwalk_unique(), 0u);
+  EXPECT_EQ(t.ground_truth_unique(), 0u);
+}
+
+TEST(CrashTriageTest, CountsTotals) {
+  CrashTriage t;
+  t.record(crash(0, 10, 111), true);
+  t.record(crash(0, 10, 111), false);
+  t.record(crash(0, 10, 111), false);
+  EXPECT_EQ(t.total(), 3u);
+  EXPECT_EQ(t.afl_unique(), 1u);
+  EXPECT_EQ(t.crashwalk_unique(), 1u);
+  EXPECT_EQ(t.ground_truth_unique(), 1u);
+}
+
+TEST(CrashTriageTest, DistinctBugsDistinctEverywhere) {
+  CrashTriage t;
+  t.record(crash(0, 10, 111), true);
+  t.record(crash(1, 20, 222), true);
+  t.record(crash(2, 30, 333), true);
+  EXPECT_EQ(t.crashwalk_unique(), 3u);
+  EXPECT_EQ(t.ground_truth_unique(), 3u);
+}
+
+TEST(CrashTriageTest, SameBugDifferentStackCountsAsDistinctCrashwalk) {
+  // Crashwalk keys on (stack, address): one planted bug reached through two
+  // call chains counts twice for crashwalk, once for ground truth.
+  CrashTriage t;
+  t.record(crash(0, 10, 111), true);
+  t.record(crash(0, 10, 999), false);
+  EXPECT_EQ(t.crashwalk_unique(), 2u);
+  EXPECT_EQ(t.ground_truth_unique(), 1u);
+}
+
+TEST(CrashTriageTest, SameStackDifferentBlockDistinct) {
+  CrashTriage t;
+  t.record(crash(0, 10, 111), true);
+  t.record(crash(1, 11, 111), false);
+  EXPECT_EQ(t.crashwalk_unique(), 2u);
+}
+
+TEST(CrashTriageTest, AflUniqueIndependentOfOtherDedup) {
+  // AFL's map-based uniqueness can over- or under-count relative to
+  // crashwalk; the triage records whatever the virgin-map comparison said.
+  CrashTriage t;
+  t.record(crash(0, 10, 111), false);  // AFL saw nothing new
+  EXPECT_EQ(t.afl_unique(), 0u);
+  EXPECT_EQ(t.crashwalk_unique(), 1u);
+  t.record(crash(0, 10, 111), true);  // later, AFL map says new
+  EXPECT_EQ(t.afl_unique(), 1u);
+  EXPECT_EQ(t.crashwalk_unique(), 1u);
+}
+
+TEST(CrashTriageTest, BugIdsExposed) {
+  CrashTriage t;
+  t.record(crash(3, 1, 1), true);
+  t.record(crash(9, 2, 2), true);
+  EXPECT_TRUE(t.bug_ids().count(3));
+  EXPECT_TRUE(t.bug_ids().count(9));
+  EXPECT_FALSE(t.bug_ids().count(4));
+}
+
+}  // namespace
+}  // namespace bigmap

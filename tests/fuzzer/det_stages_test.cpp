@@ -1,0 +1,115 @@
+// Tests for the extended deterministic mutation stages.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "fuzzer/mutator.h"
+
+namespace bigmap {
+namespace {
+
+Mutator make() { return Mutator({.max_input_size = 1024}, 1); }
+
+TEST(DetByteflipTest, SingleByteWindowFlipsEveryByte) {
+  Mutator m = make();
+  const Input base{0x00, 0x11, 0x22};
+  std::set<Input> variants;
+  const usize n = m.det_byteflips(base, 1, [&](const Input& v) {
+    variants.insert(v);
+  });
+  EXPECT_EQ(n, 3u);
+  EXPECT_TRUE(variants.count(Input{0xFF, 0x11, 0x22}));
+  EXPECT_TRUE(variants.count(Input{0x00, 0xEE, 0x22}));
+  EXPECT_TRUE(variants.count(Input{0x00, 0x11, 0xDD}));
+}
+
+TEST(DetByteflipTest, WiderWindows) {
+  Mutator m = make();
+  const Input base(8, 0x00);
+  EXPECT_EQ(m.det_byteflips(base, 2, [](const Input&) {}), 7u);
+  EXPECT_EQ(m.det_byteflips(base, 4, [](const Input&) {}), 5u);
+  EXPECT_EQ(m.det_byteflips(Input{1}, 2, [](const Input&) {}), 0u);
+}
+
+TEST(DetArith16Test, ProducesBothEndiannesses) {
+  Mutator m = make();
+  const Input base{0x00, 0x01};  // LE value 0x0100, BE view 0x0001
+  std::set<Input> variants;
+  const usize n =
+      m.det_arith16(base, [&](const Input& v) { variants.insert(v); });
+  EXPECT_EQ(n, 35u * 4);  // +/-d in LE and BE per position (1 position)
+  // LE +1: 0x0101 -> bytes {01, 01}.
+  EXPECT_TRUE(variants.count(Input{0x01, 0x01}));
+  // BE +1: swap(0x0001 + 1 = 0x0002) -> bytes {00, 02}... stored swapped:
+  // bswap16(0x0002) = 0x0200 -> LE bytes {00, 02}.
+  EXPECT_TRUE(variants.count(Input{0x00, 0x02}));
+}
+
+TEST(DetArith32Test, CountAndRestore) {
+  Mutator m = make();
+  const Input base{1, 2, 3, 4, 5};
+  usize count = 0;
+  Input last_seen;
+  const usize n = m.det_arith32(base, [&](const Input& v) {
+    ++count;
+    last_seen = v;
+    EXPECT_EQ(v.size(), base.size());
+  });
+  EXPECT_EQ(n, count);
+  EXPECT_EQ(n, 2u * 35u * 4);  // 2 positions x 35 deltas x (LE/BE +/-)
+}
+
+TEST(DetInteresting16Test, ContainsCanonicalValues) {
+  Mutator m = make();
+  const Input base{0xAA, 0xBB};
+  std::set<Input> variants;
+  m.det_interesting16(base, [&](const Input& v) { variants.insert(v); });
+  // LE 0x7FFF (32767) -> {FF, 7F}; BE form -> {7F, FF}.
+  EXPECT_TRUE(variants.count(Input{0xFF, 0x7F}));
+  EXPECT_TRUE(variants.count(Input{0x7F, 0xFF}));
+}
+
+TEST(DetInteresting32Test, ProducesExpectedCount) {
+  Mutator m = make();
+  const Input base(6, 0);
+  usize n = m.det_interesting32(base, [](const Input&) {});
+  EXPECT_EQ(n, 3u * interesting_32().size() * 2);  // 3 positions x LE/BE
+}
+
+TEST(DetDictionaryTest, OverwritesAtEveryPosition) {
+  Mutator::Options opts;
+  opts.max_input_size = 64;
+  opts.dictionary = {{0xDE, 0xAD}};
+  Mutator m(opts, 1);
+  const Input base(4, 0x00);
+  std::set<Input> variants;
+  const usize n =
+      m.det_dictionary(base, [&](const Input& v) { variants.insert(v); });
+  EXPECT_EQ(n, 3u);  // positions 0, 1, 2
+  EXPECT_TRUE(variants.count(Input{0xDE, 0xAD, 0x00, 0x00}));
+  EXPECT_TRUE(variants.count(Input{0x00, 0xDE, 0xAD, 0x00}));
+  EXPECT_TRUE(variants.count(Input{0x00, 0x00, 0xDE, 0xAD}));
+}
+
+TEST(DetDictionaryTest, SkipsOversizedTokens) {
+  Mutator::Options opts;
+  opts.max_input_size = 64;
+  opts.dictionary = {{1, 2, 3, 4, 5}};
+  Mutator m(opts, 1);
+  EXPECT_EQ(m.det_dictionary(Input{0, 0}, [](const Input&) {}), 0u);
+}
+
+TEST(DetStagesTest, AllRestoreBase) {
+  // Property: after any deterministic stage completes, emitting the base
+  // again must produce identical variants (working buffer fully restored).
+  Mutator m = make();
+  const Input base{10, 20, 30, 40, 50, 60};
+  std::set<Input> first, second;
+  m.det_arith16(base, [&](const Input& v) { first.insert(v); });
+  m.det_arith16(base, [&](const Input& v) { second.insert(v); });
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace bigmap

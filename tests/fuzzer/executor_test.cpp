@@ -1,0 +1,181 @@
+// Tests for the executor: the per-test-case map-operation pipeline.
+#include "fuzzer/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/flat_map.h"
+#include "core/two_level_map.h"
+#include "fuzzer/queue.h"
+#include "target/generator.h"
+
+namespace bigmap {
+namespace {
+
+// 0 branch(input[0]==7) -> 1 : 2 ; 1 bug ; 2 exit.
+Program tiny_program() {
+  Program p;
+  p.name = "tiny";
+  p.blocks.resize(3);
+  p.blocks[0].kind = BlockKind::kBranch;
+  p.blocks[0].pred = CmpPred::kEq;
+  p.blocks[0].expected = 7;
+  p.blocks[0].targets = {1, 2};
+  p.blocks[1].kind = BlockKind::kBug;
+  p.blocks[1].bug_id = 0;
+  p.blocks[2].kind = BlockKind::kExit;
+  p.num_bugs = 1;
+  p.validate();
+  return p;
+}
+
+MapOptions opts(usize size = 1u << 12) {
+  MapOptions o;
+  o.map_size = size;
+  o.huge_pages = false;
+  return o;
+}
+
+template <class Map>
+struct ExecutorFixtureT {
+  Program prog = tiny_program();
+  BlockIdTable ids{3, 1u << 12, 77};
+  Executor<Map, EdgeMetric> ex{prog, opts(), ids, 1u << 12};
+  OpTimeBreakdown timing;
+};
+
+TEST(ExecutorTest, FirstRunIsInterestingSecondIsNot) {
+  ExecutorFixtureT<FlatCoverageMap> f;
+  auto out1 = f.ex.run(Input{0}, f.timing);
+  EXPECT_EQ(out1.exec.outcome, ExecResult::Outcome::kOk);
+  EXPECT_EQ(out1.new_bits, NewBits::kNewTuple);
+  EXPECT_TRUE(out1.interesting());
+
+  auto out2 = f.ex.run(Input{0}, f.timing);
+  EXPECT_EQ(out2.new_bits, NewBits::kNone);
+  EXPECT_FALSE(out2.interesting());
+}
+
+TEST(ExecutorTest, TwoLevelSameDecisions) {
+  ExecutorFixtureT<TwoLevelCoverageMap> f;
+  auto out1 = f.ex.run(Input{0}, f.timing);
+  EXPECT_EQ(out1.new_bits, NewBits::kNewTuple);
+  auto out2 = f.ex.run(Input{0}, f.timing);
+  EXPECT_EQ(out2.new_bits, NewBits::kNone);
+}
+
+TEST(ExecutorTest, CrashGoesToCrashVirgin) {
+  ExecutorFixtureT<TwoLevelCoverageMap> f;
+  auto out = f.ex.run(Input{7}, f.timing);
+  EXPECT_TRUE(out.exec.crashed());
+  EXPECT_EQ(out.new_bits, NewBits::kNone);  // queue virgin untouched
+  EXPECT_NE(out.outcome_new_bits, NewBits::kNone);  // crash virgin hit
+  EXPECT_EQ(f.ex.virgin_queue().count_covered(), 0u);
+  EXPECT_GT(f.ex.virgin_crash().count_covered(), 0u);
+
+  // Same crash again: no longer new in the crash map.
+  auto out2 = f.ex.run(Input{7}, f.timing);
+  EXPECT_EQ(out2.outcome_new_bits, NewBits::kNone);
+}
+
+TEST(ExecutorTest, HangGoesToHangVirgin) {
+  // Loop program with budget too small.
+  Program p;
+  p.blocks.resize(3);
+  p.blocks[0].kind = BlockKind::kLoop;
+  p.blocks[0].loop_max = 100;
+  p.blocks[0].targets = {1, 2};
+  p.blocks[1].kind = BlockKind::kFallthrough;
+  p.blocks[1].targets = {0};
+  p.blocks[2].kind = BlockKind::kExit;
+  p.validate();
+
+  BlockIdTable ids(3, 1u << 12, 5);
+  Executor<FlatCoverageMap, EdgeMetric> ex(p, opts(), ids, /*budget=*/8);
+  OpTimeBreakdown t;
+  auto out = ex.run(Input{99}, t);
+  EXPECT_TRUE(out.exec.hung());
+  EXPECT_NE(out.outcome_new_bits, NewBits::kNone);
+  EXPECT_GT(ex.virgin_hang().count_covered(), 0u);
+}
+
+TEST(ExecutorTest, HashComputedOnlyWhenInteresting) {
+  ExecutorFixtureT<FlatCoverageMap> f;
+  auto out1 = f.ex.run(Input{0}, f.timing);
+  EXPECT_NE(out1.hash, 0u);  // crc32 of a non-empty trace is nonzero here
+  auto out2 = f.ex.run(Input{0}, f.timing);
+  EXPECT_EQ(out2.hash, 0u);  // not interesting: hash skipped
+}
+
+TEST(ExecutorTest, TimingCategoriesPopulated) {
+  ExecutorFixtureT<FlatCoverageMap> f;
+  for (int i = 0; i < 50; ++i) f.ex.run(Input{static_cast<u8>(i)}, f.timing);
+  EXPECT_GT(f.timing.ns(MapOp::kExecution), 0u);
+  EXPECT_GT(f.timing.ns(MapOp::kReset), 0u);
+  // Merged classify+compare splits between the two categories.
+  EXPECT_GT(f.timing.ns(MapOp::kClassify) + f.timing.ns(MapOp::kCompare),
+            0u);
+}
+
+TEST(ExecutorTest, LastTraceSpanMatchesScheme) {
+  ExecutorFixtureT<FlatCoverageMap> flat;
+  flat.ex.run(Input{0}, flat.timing);
+  EXPECT_EQ(flat.ex.last_trace().size(), flat.ex.map().map_size());
+
+  ExecutorFixtureT<TwoLevelCoverageMap> two;
+  two.ex.run(Input{0}, two.timing);
+  EXPECT_EQ(two.ex.last_trace().size(), two.ex.map().used_key());
+  EXPECT_LT(two.ex.last_trace().size(), two.ex.map().map_size());
+}
+
+TEST(ExecutorTest, UsedKeyGrowsOnlyOnNewEdges) {
+  ExecutorFixtureT<TwoLevelCoverageMap> f;
+  f.ex.run(Input{0}, f.timing);
+  const u32 used1 = f.ex.map().used_key();
+  f.ex.run(Input{0}, f.timing);
+  EXPECT_EQ(f.ex.map().used_key(), used1);  // same path: no growth
+  f.ex.run(Input{7}, f.timing);             // crash path: new edge
+  EXPECT_GT(f.ex.map().used_key(), used1);
+}
+
+TEST(ExecutorTest, ContextMetricHooksEngage) {
+  // Program with a call: 0 call(2 cont 1); 1 exit; 2 return.
+  Program p;
+  p.blocks.resize(3);
+  p.blocks[0].kind = BlockKind::kCall;
+  p.blocks[0].targets = {2, 1};
+  p.blocks[1].kind = BlockKind::kExit;
+  p.blocks[2].kind = BlockKind::kReturn;
+  p.validate();
+
+  BlockIdTable ids(3, 1u << 12, 5);
+  Executor<TwoLevelCoverageMap, ContextMetric> ex(p, opts(), ids, 1u << 12);
+  OpTimeBreakdown t;
+  auto out = ex.run(Input{}, t);
+  EXPECT_EQ(out.exec.outcome, ExecResult::Outcome::kOk);
+  EXPECT_GT(ex.map().used_key(), 0u);
+}
+
+TEST(ExecutorTest, IdenticalPathsIdenticalHashesAcrossUsedKeyGrowth) {
+  // End-to-end validation of the §IV-D hash rule through the executor.
+  GeneratorParams gp;
+  gp.seed = 2;
+  gp.live_blocks = 200;
+  auto target = generate_target(gp);
+  BlockIdTable ids(target.program.blocks.size(), 1u << 16, 9);
+  Executor<TwoLevelCoverageMap, EdgeMetric> ex(target.program, opts(1u << 16),
+                                               ids, 1u << 14);
+  OpTimeBreakdown t;
+
+  const Input a(64, 0x11);
+  const Input b(64, 0x77);  // different path: grows used_key
+  auto out_a1 = ex.run(a, t);
+  ex.run(b, t);
+  auto out_a2 = ex.run(a, t);
+  // a2 is not interesting, so its hash field is 0; recompute directly.
+  EXPECT_FALSE(out_a2.interesting());
+  ex.run(a, t);
+  EXPECT_EQ(ex.map().hash(), out_a1.hash);
+}
+
+}  // namespace
+}  // namespace bigmap

@@ -1,0 +1,144 @@
+// Tests for the seed queue: top_rated scoring, culling, perf score.
+#include "fuzzer/queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bigmap {
+namespace {
+
+Input bytes(usize n, u8 fill = 0xAA) { return Input(n, fill); }
+
+TEST(SeedQueueTest, StartsEmpty) {
+  SeedQueue q(64);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.favored_count(), 0u);
+  EXPECT_EQ(q.top_rated_positions(), 0u);
+}
+
+TEST(SeedQueueTest, AddStoresMetadata) {
+  SeedQueue q(64);
+  const usize idx = q.add(bytes(10), 5000, 0xDEAD, 2);
+  EXPECT_EQ(q.size(), 1u);
+  const QueueEntry& e = q.entry(idx);
+  EXPECT_EQ(e.data.size(), 10u);
+  EXPECT_EQ(e.exec_ns, 5000u);
+  EXPECT_EQ(e.bitmap_hash, 0xDEADu);
+  EXPECT_EQ(e.depth, 2u);
+  EXPECT_FALSE(e.favored);
+  EXPECT_FALSE(e.was_fuzzed);
+}
+
+TEST(SeedQueueTest, EntryReferencesStableAcrossGrowth) {
+  SeedQueue q(64);
+  q.add(bytes(4, 1), 1, 0, 0);
+  QueueEntry& first = q.entry(0);
+  for (int i = 0; i < 100; ++i) q.add(bytes(4, 2), 1, 0, 0);
+  EXPECT_EQ(first.data[0], 1);  // reference still valid
+}
+
+TEST(SeedQueueTest, TopRatedPrefersFasterSmaller) {
+  SeedQueue q(16);
+  std::vector<u8> trace(16, 0);
+  trace[3] = 1;
+
+  const usize slow = q.add(bytes(100), 10000, 0, 0);
+  q.update_scores(slow, trace);
+  q.cull();
+  EXPECT_TRUE(q.entry(slow).favored);
+
+  // A faster, smaller entry covering the same position takes over.
+  const usize fast = q.add(bytes(10), 1000, 0, 0);
+  q.update_scores(fast, trace);
+  q.cull();
+  EXPECT_TRUE(q.entry(fast).favored);
+  EXPECT_FALSE(q.entry(slow).favored);
+}
+
+TEST(SeedQueueTest, WorseEntryDoesNotDethrone) {
+  SeedQueue q(16);
+  std::vector<u8> trace(16, 0);
+  trace[3] = 1;
+
+  const usize good = q.add(bytes(10), 1000, 0, 0);
+  q.update_scores(good, trace);
+  const usize bad = q.add(bytes(100), 9000, 0, 0);
+  q.update_scores(bad, trace);
+  q.cull();
+  EXPECT_TRUE(q.entry(good).favored);
+  EXPECT_FALSE(q.entry(bad).favored);
+}
+
+TEST(SeedQueueTest, DisjointCoverageBothFavored) {
+  SeedQueue q(16);
+  std::vector<u8> t1(16, 0), t2(16, 0);
+  t1[1] = 1;
+  t2[9] = 1;
+  const usize a = q.add(bytes(8), 100, 0, 0);
+  q.update_scores(a, t1);
+  const usize b = q.add(bytes(8), 100, 0, 0);
+  q.update_scores(b, t2);
+  q.cull();
+  EXPECT_TRUE(q.entry(a).favored);
+  EXPECT_TRUE(q.entry(b).favored);
+  EXPECT_EQ(q.top_rated_positions(), 2u);
+}
+
+TEST(SeedQueueTest, TraceSpanShorterThanMapIsFine) {
+  // BigMap passes only the used region; positions beyond must be ignored.
+  SeedQueue q(1024);
+  std::vector<u8> used(5, 0);
+  used[4] = 2;
+  const usize e = q.add(bytes(8), 100, 0, 0);
+  q.update_scores(e, used);
+  q.cull();
+  EXPECT_TRUE(q.entry(e).favored);
+  EXPECT_EQ(q.top_rated_positions(), 1u);
+}
+
+TEST(SeedQueueTest, PerfScoreRewardsFastEntries) {
+  SeedQueue q(16);
+  const usize fast = q.add(bytes(8), 100, 0, 0);
+  const usize slow = q.add(bytes(8), 10000, 0, 0);
+  const u64 avg = q.average_exec_ns();
+  EXPECT_GT(q.perf_score(fast, avg), q.perf_score(slow, avg));
+}
+
+TEST(SeedQueueTest, PerfScoreRewardsDepth) {
+  SeedQueue q(16);
+  const usize shallow = q.add(bytes(8), 100, 0, 0);
+  const usize deep = q.add(bytes(8), 100, 0, 20);
+  const u64 avg = q.average_exec_ns();
+  EXPECT_GT(q.perf_score(deep, avg), q.perf_score(shallow, avg));
+}
+
+TEST(SeedQueueTest, PerfScoreClamped) {
+  SeedQueue q(16);
+  const usize e = q.add(bytes(8), 1, 0, 100);
+  EXPECT_LE(q.perf_score(e, 1000000), 1600.0);
+  EXPECT_GE(q.perf_score(e, 0), 10.0);
+}
+
+TEST(SeedQueueTest, AverageExecNs) {
+  SeedQueue q(16);
+  EXPECT_EQ(q.average_exec_ns(), 0u);
+  q.add(bytes(1), 100, 0, 0);
+  q.add(bytes(1), 300, 0, 0);
+  EXPECT_EQ(q.average_exec_ns(), 200u);
+}
+
+TEST(SeedQueueTest, CullIsIdempotent) {
+  SeedQueue q(16);
+  std::vector<u8> trace(16, 0);
+  trace[0] = 1;
+  q.update_scores(q.add(bytes(4), 10, 0, 0), trace);
+  q.cull();
+  const usize favored = q.favored_count();
+  q.cull();  // no pending changes: must not alter anything
+  EXPECT_EQ(q.favored_count(), favored);
+}
+
+}  // namespace
+}  // namespace bigmap

@@ -1,0 +1,167 @@
+// Tests for input trimming and coverage-series sampling.
+#include <gtest/gtest.h>
+
+#include "core/two_level_map.h"
+#include "fuzzer/campaign.h"
+#include "fuzzer/executor.h"
+#include "fuzzer/queue.h"
+#include "target/generator.h"
+
+namespace bigmap {
+namespace {
+
+// Target whose path depends only on input[0]: trailing bytes are
+// redundant, so trimming should strip most of them.
+Program prefix_only_program() {
+  Program p;
+  p.blocks.resize(3);
+  p.blocks[0].kind = BlockKind::kBranch;
+  p.blocks[0].pred = CmpPred::kLt;
+  p.blocks[0].expected = 0x80;
+  p.blocks[0].input_offset = 0;
+  p.blocks[0].targets = {1, 2};
+  p.blocks[1].kind = BlockKind::kExit;
+  p.blocks[2].kind = BlockKind::kExit;
+  p.num_bugs = 0;
+  p.validate();
+  return p;
+}
+
+TEST(RunForHashTest, StablePathStableHash) {
+  Program p = prefix_only_program();
+  BlockIdTable ids(3, 1u << 12, 5);
+  MapOptions o;
+  o.map_size = 1u << 12;
+  o.huge_pages = false;
+  Executor<TwoLevelCoverageMap, EdgeMetric> ex(p, o, ids, 1u << 12);
+  OpTimeBreakdown t;
+
+  const auto a = ex.run_for_hash(Input{0x10, 1, 2, 3}, t);
+  const auto b = ex.run_for_hash(Input{0x10, 9, 9}, t);  // same path
+  const auto c = ex.run_for_hash(Input{0x90}, t);        // other path
+  EXPECT_EQ(a.hash, b.hash);
+  EXPECT_NE(a.hash, c.hash);
+  EXPECT_EQ(a.exec.outcome, ExecResult::Outcome::kOk);
+}
+
+TEST(RunForHashTest, MatchesInterestingRunHash) {
+  // The hash produced by run_for_hash must equal the hash the normal
+  // pipeline stored for the same input (trim compares against it).
+  Program p = prefix_only_program();
+  BlockIdTable ids(3, 1u << 12, 5);
+  MapOptions o;
+  o.map_size = 1u << 12;
+  o.huge_pages = false;
+  Executor<TwoLevelCoverageMap, EdgeMetric> ex(p, o, ids, 1u << 12);
+  OpTimeBreakdown t;
+
+  auto full = ex.run(Input{0x10}, t);
+  ASSERT_TRUE(full.interesting());
+  auto silent = ex.run_for_hash(Input{0x10}, t);
+  EXPECT_EQ(silent.hash, full.hash);
+}
+
+TEST(TrimTest, CampaignTrimsRedundantSeeds) {
+  Program p = prefix_only_program();
+  std::vector<Input> seeds = {Input(512, 0x10)};  // 511 redundant bytes
+
+  CampaignConfig c;
+  c.scheme = MapScheme::kTwoLevel;
+  c.map.map_size = 1u << 12;
+  c.map.huge_pages = false;
+  c.max_execs = 2000;
+  c.seed = 1;
+  c.trim_enabled = true;
+  c.keep_corpus = true;
+  auto r = run_campaign(p, seeds, c);
+
+  EXPECT_GT(r.trim_execs, 0u);
+  EXPECT_GT(r.trimmed_bytes, 300u);
+  // The seed entry itself must have shrunk.
+  ASSERT_FALSE(r.corpus.empty());
+  EXPECT_LT(r.corpus[0].size(), 128u);
+}
+
+TEST(TrimTest, DisabledMeansNoTrimExecs) {
+  Program p = prefix_only_program();
+  std::vector<Input> seeds = {Input(512, 0x10)};
+  CampaignConfig c;
+  c.scheme = MapScheme::kTwoLevel;
+  c.map.map_size = 1u << 12;
+  c.map.huge_pages = false;
+  c.max_execs = 2000;
+  c.trim_enabled = false;
+  c.keep_corpus = true;
+  auto r = run_campaign(p, seeds, c);
+  EXPECT_EQ(r.trim_execs, 0u);
+  EXPECT_EQ(r.corpus[0].size(), 512u);
+}
+
+TEST(TrimTest, PreservesBehaviorOnRealTarget) {
+  // Trimming must never lose coverage: replaying the trimmed corpus gives
+  // at least the coverage of the campaign (the hash guard guarantees the
+  // per-entry path is intact).
+  GeneratorParams gp;
+  gp.seed = 31;
+  gp.live_blocks = 300;
+  auto target = generate_target(gp);
+  auto seeds = make_seed_corpus(target, 4, 1);
+
+  CampaignConfig c;
+  c.scheme = MapScheme::kTwoLevel;
+  c.map.map_size = 1u << 16;
+  c.map.huge_pages = false;
+  c.max_execs = 15000;
+  c.seed = 2;
+  c.keep_corpus = true;
+
+  c.trim_enabled = true;
+  auto trimmed = run_campaign(target.program, seeds, c);
+  const u64 edges_trimmed =
+      measure_corpus_edges(target.program, trimmed.corpus);
+  EXPECT_GT(edges_trimmed, 0u);
+  EXPECT_GT(trimmed.covered_positions, 0u);
+}
+
+TEST(SeriesTest, SamplesCoverageGrowth) {
+  GeneratorParams gp;
+  gp.seed = 8;
+  gp.live_blocks = 300;
+  auto target = generate_target(gp);
+  auto seeds = make_seed_corpus(target, 4, 1);
+
+  CampaignConfig c;
+  c.scheme = MapScheme::kTwoLevel;
+  c.map.map_size = 1u << 16;
+  c.map.huge_pages = false;
+  c.max_execs = 10000;
+  c.series_interval = 1000;
+  auto r = run_campaign(target.program, seeds, c);
+
+  ASSERT_GE(r.coverage_series.size(), 5u);
+  // Exec counters strictly increase; coverage is non-decreasing.
+  for (usize i = 1; i < r.coverage_series.size(); ++i) {
+    EXPECT_GT(r.coverage_series[i].first, r.coverage_series[i - 1].first);
+    EXPECT_GE(r.coverage_series[i].second,
+              r.coverage_series[i - 1].second);
+  }
+  // Final sample matches the final coverage.
+  EXPECT_LE(r.coverage_series.back().second, r.covered_positions);
+}
+
+TEST(SeriesTest, DisabledByDefault) {
+  GeneratorParams gp;
+  gp.seed = 8;
+  gp.live_blocks = 300;
+  auto target = generate_target(gp);
+  CampaignConfig c;
+  c.scheme = MapScheme::kTwoLevel;
+  c.map.map_size = 1u << 16;
+  c.map.huge_pages = false;
+  c.max_execs = 2000;
+  auto r = run_campaign(target.program, make_seed_corpus(target, 2, 1), c);
+  EXPECT_TRUE(r.coverage_series.empty());
+}
+
+}  // namespace
+}  // namespace bigmap

@@ -1,0 +1,210 @@
+// Tests for block-ID assignment and the coverage metrics.
+#include "instrumentation/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <vector>
+
+namespace bigmap {
+namespace {
+
+TEST(BlockIdTableTest, DeterministicAndInRange) {
+  BlockIdTable a(1000, 1u << 16, 7);
+  BlockIdTable b(1000, 1u << 16, 7);
+  for (u32 i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.id(i), b.id(i));
+    EXPECT_LT(a.id(i), 1u << 16);
+  }
+}
+
+TEST(BlockIdTableTest, SeedChangesAssignment) {
+  BlockIdTable a(1000, 1u << 16, 7);
+  BlockIdTable b(1000, 1u << 16, 8);
+  usize diffs = 0;
+  for (u32 i = 0; i < 1000; ++i) diffs += (a.id(i) != b.id(i));
+  EXPECT_GT(diffs, 900u);
+}
+
+TEST(BlockIdTableTest, CollisionsMatchBirthdayExpectation) {
+  // With 1000 blocks in a 64k space, some ID collisions are expected —
+  // that is the premise of the paper. Verify they occur but are few.
+  BlockIdTable t(1000, 1u << 16, 3);
+  std::unordered_set<u32> ids;
+  for (u32 i = 0; i < 1000; ++i) ids.insert(t.id(i));
+  EXPECT_LT(ids.size(), 1000u);  // at least one collision (overwhelmingly)
+  EXPECT_GT(ids.size(), 950u);   // but only a few
+}
+
+TEST(EdgeMetricTest, ImplementsListingOneFormula) {
+  BlockIdTable ids(4, 1u << 16, 1);
+  EdgeMetric m(ids);
+  m.begin_execution();
+  // First block: prev = 0.
+  EXPECT_EQ(m.visit(2), (0u >> 1) ^ ids.id(2));
+  // Second block: E = (B_prev >> 1) ^ B_cur.
+  EXPECT_EQ(m.visit(3), (ids.id(2) >> 1) ^ ids.id(3));
+}
+
+TEST(EdgeMetricTest, DirectionalityPreserved) {
+  // E_xy != E_yx thanks to the shift (§II-A2).
+  BlockIdTable ids(2, 1u << 16, 5);
+  EdgeMetric m(ids);
+  m.begin_execution();
+  m.visit(0);
+  const u32 e01 = m.visit(1);
+  m.begin_execution();
+  m.visit(1);
+  const u32 e10 = m.visit(0);
+  EXPECT_NE(e01, e10);
+}
+
+TEST(EdgeMetricTest, SelfLoopsDistinct) {
+  // E_xx != E_yy != 0 (§II-A2).
+  BlockIdTable ids(2, 1u << 16, 9);
+  EdgeMetric m(ids);
+  m.begin_execution();
+  m.visit(0);
+  const u32 e00 = m.visit(0);
+  m.begin_execution();
+  m.visit(1);
+  const u32 e11 = m.visit(1);
+  EXPECT_NE(e00, e11);
+  EXPECT_NE(e00, 0u);
+  EXPECT_NE(e11, 0u);
+}
+
+TEST(EdgeMetricTest, BeginExecutionResetsPrev) {
+  BlockIdTable ids(3, 1u << 16, 2);
+  EdgeMetric m(ids);
+  m.begin_execution();
+  const u32 first_a = m.visit(1);
+  m.visit(2);
+  m.begin_execution();
+  const u32 first_b = m.visit(1);
+  EXPECT_EQ(first_a, first_b);
+}
+
+TEST(NGramMetricTest, DependsOnLastNBlocks) {
+  BlockIdTable ids(8, 1u << 16, 4);
+  NGramMetric<3> m(ids);
+
+  // Key after path a->b->c differs from d->b->c (3-gram context).
+  m.begin_execution();
+  m.visit(0);
+  m.visit(1);
+  const u32 k_abc = m.visit(2);
+
+  m.begin_execution();
+  m.visit(3);
+  m.visit(1);
+  const u32 k_dbc = m.visit(2);
+  EXPECT_NE(k_abc, k_dbc);
+}
+
+TEST(NGramMetricTest, BlocksBeyondWindowIgnored) {
+  BlockIdTable ids(8, 1u << 16, 4);
+  NGramMetric<3> m(ids);
+
+  m.begin_execution();
+  m.visit(5);  // will fall out of the window
+  m.visit(0);
+  m.visit(1);
+  const u32 a = m.visit(2);
+
+  m.begin_execution();
+  m.visit(6);  // different, but also out of window
+  m.visit(0);
+  m.visit(1);
+  const u32 b = m.visit(2);
+  EXPECT_EQ(a, b);
+}
+
+TEST(NGramMetricTest, OrderSensitive) {
+  BlockIdTable ids(8, 1u << 16, 4);
+  NGramMetric<3> m(ids);
+  m.begin_execution();
+  m.visit(0);
+  m.visit(1);
+  const u32 k012 = m.visit(2);
+  m.begin_execution();
+  m.visit(1);
+  m.visit(0);
+  const u32 k102 = m.visit(2);
+  EXPECT_NE(k012, k102);
+}
+
+TEST(NGramMetricTest, ProducesMoreDistinctKeysThanEdge) {
+  // The paper's composition rationale: N-gram exerts higher map pressure
+  // than plain edge coverage on the same trace set.
+  BlockIdTable ids(16, 1u << 20, 11);
+  EdgeMetric em(ids);
+  NGramMetric<3> nm(ids);
+
+  std::unordered_set<u32> edge_keys, ngram_keys;
+  // Walk many short random-ish paths over 16 blocks.
+  u32 state = 12345;
+  for (int path = 0; path < 200; ++path) {
+    em.begin_execution();
+    nm.begin_execution();
+    for (int step = 0; step < 6; ++step) {
+      state = state * 1103515245 + 12345;
+      const u32 block = (state >> 16) % 16;
+      edge_keys.insert(em.visit(block));
+      ngram_keys.insert(nm.visit(block));
+    }
+  }
+  EXPECT_GT(ngram_keys.size(), edge_keys.size());
+}
+
+TEST(ContextMetricTest, SameEdgeDifferentContextDifferentKey) {
+  BlockIdTable ids(8, 1u << 16, 6);
+  ContextMetric m(ids);
+
+  m.begin_execution();
+  m.on_call(5);
+  m.visit(0);
+  const u32 in_ctx5 = m.visit(1);
+
+  m.begin_execution();
+  m.on_call(6);
+  m.visit(0);
+  const u32 in_ctx6 = m.visit(1);
+  EXPECT_NE(in_ctx5, in_ctx6);
+}
+
+TEST(ContextMetricTest, ReturnRestoresContext) {
+  BlockIdTable ids(8, 1u << 16, 6);
+  ContextMetric m(ids);
+
+  m.begin_execution();
+  m.visit(0);
+  const u32 base_key = m.visit(1);
+
+  m.begin_execution();
+  m.visit(0);
+  m.on_call(5);
+  m.on_return();
+  const u32 after_call = m.visit(1);
+  EXPECT_EQ(base_key, after_call);
+}
+
+TEST(ContextMetricTest, UnbalancedReturnIsSafe) {
+  BlockIdTable ids(4, 1u << 16, 6);
+  ContextMetric m(ids);
+  m.begin_execution();
+  m.on_return();  // stack empty: must not crash
+  m.on_return();
+  EXPECT_NO_FATAL_FAILURE(m.visit(0));
+}
+
+TEST(MetricNameTest, AllNamed) {
+  EXPECT_STREQ(metric_name(MetricKind::kEdge), "edge");
+  EXPECT_STREQ(metric_name(MetricKind::kNGram), "ngram3");
+  EXPECT_STREQ(metric_name(MetricKind::kNGram2), "ngram2");
+  EXPECT_STREQ(metric_name(MetricKind::kNGram8), "ngram8");
+  EXPECT_STREQ(metric_name(MetricKind::kContext), "context");
+}
+
+}  // namespace
+}  // namespace bigmap

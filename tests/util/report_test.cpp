@@ -1,0 +1,63 @@
+// Tests for the table/CSV report formatting helpers.
+#include "util/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace bigmap {
+namespace {
+
+TEST(TableWriterTest, PrintsHeaderRowsAndSeparator) {
+  TableWriter t({"Name", "Value"});
+  t.add_row({"zlib", "722"});
+  t.add_row({"libpng", "1218"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("Name"), std::string::npos);
+  EXPECT_NE(s.find("zlib"), std::string::npos);
+  EXPECT_NE(s.find("1218"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableWriterTest, RejectsWrongWidthRow) {
+  TableWriter t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TableWriterTest, CsvOutput) {
+  TableWriter t({"a", "b", "c"});
+  t.add_row({"1", "2", "3"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b,c\n1,2,3\n");
+}
+
+TEST(FmtDoubleTest, RoundsToDigits) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(3.14159, 0), "3");
+  EXPECT_EQ(fmt_double(-1.005, 1), "-1.0");
+}
+
+TEST(FmtCountTest, ThousandsSeparators) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_count(1234567), "1,234,567");
+  EXPECT_EQ(fmt_count(1000000000), "1,000,000,000");
+}
+
+TEST(FmtBytesTest, BinaryUnits) {
+  EXPECT_EQ(fmt_bytes(64 * 1024), "64k");
+  EXPECT_EQ(fmt_bytes(256 * 1024), "256k");
+  EXPECT_EQ(fmt_bytes(2 * 1024 * 1024), "2M");
+  EXPECT_EQ(fmt_bytes(8 * 1024 * 1024), "8M");
+  EXPECT_EQ(fmt_bytes(1u << 30), "1G");
+  EXPECT_EQ(fmt_bytes(1000), "1000");  // non-multiple falls through
+}
+
+}  // namespace
+}  // namespace bigmap

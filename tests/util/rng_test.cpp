@@ -1,0 +1,119 @@
+// Tests for the deterministic RNG stack.
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+namespace bigmap {
+namespace {
+
+TEST(SplitMix64Test, DeterministicSequence) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64Test, ReferenceValues) {
+  // Reference outputs of SplitMix64 with seed 1234567.
+  SplitMix64 sm(1234567);
+  EXPECT_EQ(sm.next(), 6457827717110365317ULL);
+  EXPECT_EQ(sm.next(), 3203168211198807973ULL);
+}
+
+TEST(Xoshiro256Test, DeterministicAndSeedSensitive) {
+  Xoshiro256 a(1), b(1), c(2);
+  bool differs = false;
+  for (int i = 0; i < 64; ++i) {
+    const u64 va = a.next();
+    EXPECT_EQ(va, b.next());
+    if (va != c.next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Xoshiro256Test, ReseedRestartsSequence) {
+  Xoshiro256 r(7);
+  std::array<u64, 8> first{};
+  for (auto& v : first) v = r.next();
+  r.reseed(7);
+  for (u64 v : first) EXPECT_EQ(r.next(), v);
+}
+
+TEST(Xoshiro256Test, BelowStaysInRange) {
+  Xoshiro256 r(3);
+  for (u32 bound : {1u, 2u, 3u, 10u, 255u, 65536u, 1u << 30}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(r.below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256Test, BelowZeroBoundReturnsZero) {
+  Xoshiro256 r(3);
+  EXPECT_EQ(r.below(0), 0u);
+}
+
+TEST(Xoshiro256Test, BetweenInclusive) {
+  Xoshiro256 r(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const u32 v = r.between(10, 13);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 13u);
+    saw_lo |= (v == 10);
+    saw_hi |= (v == 13);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro256Test, UnitInHalfOpenInterval) {
+  Xoshiro256 r(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.unit();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Xoshiro256Test, ChanceExtremes) {
+  Xoshiro256 r(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0, 100));
+    EXPECT_TRUE(r.chance(100, 100));
+  }
+}
+
+TEST(Xoshiro256Test, ChanceApproximatesProbability) {
+  Xoshiro256 r(17);
+  int hits = 0;
+  constexpr int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (r.chance(1, 4)) ++hits;
+  }
+  const double rate = static_cast<double>(hits) / kTrials;
+  EXPECT_NEAR(rate, 0.25, 0.01);
+}
+
+// Uniformity sweep: below(bound) should fill every bucket roughly evenly.
+class RngUniformityTest : public ::testing::TestWithParam<u32> {};
+
+TEST_P(RngUniformityTest, BelowIsRoughlyUniform) {
+  const u32 bound = GetParam();
+  Xoshiro256 r(0xFEEDu + bound);
+  std::vector<u32> counts(bound, 0);
+  const u32 per_bucket = 2000;
+  const u32 total = bound * per_bucket;
+  for (u32 i = 0; i < total; ++i) ++counts[r.below(bound)];
+  for (u32 b = 0; b < bound; ++b) {
+    EXPECT_GT(counts[b], per_bucket / 2) << "bucket " << b;
+    EXPECT_LT(counts[b], per_bucket * 2) << "bucket " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngUniformityTest,
+                         ::testing::Values(2, 3, 7, 16, 100));
+
+}  // namespace
+}  // namespace bigmap

@@ -1,0 +1,90 @@
+// Tests for the Figure 3 timing-breakdown accounting.
+#include "util/timing.h"
+
+#include <gtest/gtest.h>
+
+namespace bigmap {
+namespace {
+
+TEST(OpTimeBreakdownTest, StartsEmpty) {
+  OpTimeBreakdown b;
+  EXPECT_EQ(b.total_ns(), 0u);
+  for (usize i = 0; i < kNumMapOps; ++i) {
+    EXPECT_EQ(b.ns(static_cast<MapOp>(i)), 0u);
+  }
+}
+
+TEST(OpTimeBreakdownTest, AccumulatesPerCategory) {
+  OpTimeBreakdown b;
+  b.add(MapOp::kReset, 100);
+  b.add(MapOp::kReset, 50);
+  b.add(MapOp::kHash, 25);
+  EXPECT_EQ(b.ns(MapOp::kReset), 150u);
+  EXPECT_EQ(b.ns(MapOp::kHash), 25u);
+  EXPECT_EQ(b.total_ns(), 175u);
+}
+
+TEST(OpTimeBreakdownTest, FractionsSumToOne) {
+  OpTimeBreakdown b;
+  b.add(MapOp::kExecution, 300);
+  b.add(MapOp::kClassify, 100);
+  EXPECT_DOUBLE_EQ(b.fraction(MapOp::kExecution), 0.75);
+  EXPECT_DOUBLE_EQ(b.fraction(MapOp::kClassify), 0.25);
+  EXPECT_DOUBLE_EQ(b.fraction(MapOp::kHash), 0.0);
+}
+
+TEST(OpTimeBreakdownTest, FractionOfEmptyIsZero) {
+  OpTimeBreakdown b;
+  EXPECT_DOUBLE_EQ(b.fraction(MapOp::kReset), 0.0);
+}
+
+TEST(OpTimeBreakdownTest, PlusEqualsMerges) {
+  OpTimeBreakdown a, b;
+  a.add(MapOp::kCompare, 10);
+  b.add(MapOp::kCompare, 5);
+  b.add(MapOp::kOther, 7);
+  a += b;
+  EXPECT_EQ(a.ns(MapOp::kCompare), 15u);
+  EXPECT_EQ(a.ns(MapOp::kOther), 7u);
+}
+
+TEST(OpTimeBreakdownTest, ResetClears) {
+  OpTimeBreakdown b;
+  b.add(MapOp::kExecution, 42);
+  b.reset();
+  EXPECT_EQ(b.total_ns(), 0u);
+}
+
+TEST(ScopedOpTimerTest, AttributesElapsedTime) {
+  OpTimeBreakdown b;
+  {
+    ScopedOpTimer t(b, MapOp::kClassify);
+    // Burn a little time.
+    volatile u64 x = 0;
+    for (int i = 0; i < 10000; ++i) x += i;
+    (void)x;
+  }
+  EXPECT_GT(b.ns(MapOp::kClassify), 0u);
+  EXPECT_EQ(b.ns(MapOp::kReset), 0u);
+}
+
+TEST(MapOpNameTest, AllCategoriesNamed) {
+  EXPECT_EQ(map_op_name(MapOp::kExecution), "Execution");
+  EXPECT_EQ(map_op_name(MapOp::kReset), "Map Reset");
+  EXPECT_EQ(map_op_name(MapOp::kClassify), "Map Classify");
+  EXPECT_EQ(map_op_name(MapOp::kCompare), "Map Compare");
+  EXPECT_EQ(map_op_name(MapOp::kHash), "Map Hash");
+  EXPECT_EQ(map_op_name(MapOp::kOther), "Others");
+}
+
+TEST(MonotonicNsTest, MonotonicallyNonDecreasing) {
+  u64 prev = monotonic_ns();
+  for (int i = 0; i < 1000; ++i) {
+    const u64 now = monotonic_ns();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+}  // namespace
+}  // namespace bigmap
