@@ -1,4 +1,4 @@
-// Table III: coverage-metric composition — laf-intel + N-gram(3) on the 13
+// Table III: coverage-metric composition — laf-intel + N-gram(3) on the 12
 // LLVM harnesses, 64kB vs. 2MB maps, BOTH running BigMap (the experiment
 // isolates collision mitigation, not data-structure speed).
 //

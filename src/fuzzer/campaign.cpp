@@ -268,6 +268,7 @@ class Campaign {
     res_.covered_positions = ex_.virgin_queue().count_covered();
     if constexpr (Map::kScheme == MapScheme::kTwoLevel) {
       res_.used_key = ex_.map().used_key();
+      res_.saturated_updates = ex_.map().saturated_updates();
     }
     res_.crashes_total = triage_.total();
     res_.crashes_afl_unique = triage_.afl_unique();

@@ -114,6 +114,11 @@ struct CampaignResult {
   // BigMap only: distinct keys seen (== used_key); 0 for the flat scheme.
   u32 used_key = 0;
 
+  // BigMap only: map updates that aliased into the overflow slot because
+  // the condensed bitmap was full (graceful-degradation counter; 0 unless
+  // condensed_size was deliberately undersized).
+  u64 saturated_updates = 0;
+
   u64 interesting = 0;  // test cases that produced new bits
   u64 hangs = 0;
 

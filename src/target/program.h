@@ -1,0 +1,97 @@
+// Synthetic-target program model.
+//
+// DESIGN.md §2: the paper fuzzes instrumented real binaries; we replace them
+// with control-flow graphs whose blocks compare input bytes against
+// constants. AFL's instrumentation reduces a target to a stream of
+// (prev_block, cur_block) events hitting the bitmap, and the interpreter in
+// interpreter.h produces exactly that stream from these Programs.
+//
+// A Program is a flat vector of Blocks; block 0 is the entry. Each block's
+// kind decides how its successor is chosen from `targets`:
+//
+//   kExit         no targets; execution ends with Outcome::kOk.
+//   kFallthrough  targets = {next}.
+//   kBranch       targets = {taken, not_taken}; reads `cmp_width` little-
+//                 endian bytes at `input_offset` and compares against
+//                 `expected` with `pred`.
+//   kSwitch       targets = {case_0, ..., case_{n-1}, default}; matches the
+//                 read value against `cases` (cases.size() + 1 == targets).
+//   kStrcmp       targets = {equal, not_equal}; byte-wise compares
+//                 input[input_offset ...] against `str`.
+//   kLoop         targets = {body, exit}; iterates the body
+//                 min(input[input_offset], loop_max) times per execution.
+//   kCall         targets = {callee_entry, continuation}; pushes the
+//                 continuation on the simulated call stack.
+//   kReturn       no targets; pops the call stack (empty stack exits kOk).
+//   kBug          no targets; planted fault site, terminates with
+//                 Outcome::kCrash recording `bug_id` and the call stack.
+//
+// Programs constructed by hand or by the generator must pass validate()
+// before being handed to the interpreter: the validator rejects malformed
+// CFGs (out-of-range targets, unreachable blocks, call/return imbalance)
+// with std::invalid_argument instead of letting the interpreter walk off
+// the graph.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace bigmap {
+
+enum class BlockKind : u8 {
+  kExit = 0,
+  kFallthrough,
+  kBranch,
+  kSwitch,
+  kStrcmp,
+  kLoop,
+  kCall,
+  kReturn,
+  kBug,
+};
+
+enum class CmpPred : u8 { kEq = 0, kNe, kLt, kLe, kGt, kGe };
+
+struct Block {
+  BlockKind kind = BlockKind::kExit;
+  CmpPred pred = CmpPred::kEq;
+  // Width in bytes of the compared value (1, 2, 4 or 8), little-endian.
+  // Widths > 1 are the "rare multi-byte gates" that laf-intel splits.
+  u8 cmp_width = 1;
+  u32 input_offset = 0;
+  u64 expected = 0;
+  // kLoop: hard cap on iterations regardless of the input byte.
+  u32 loop_max = 0;
+  // kBug: stable ground-truth identity of the planted fault.
+  u32 bug_id = 0;
+  std::vector<u32> targets;
+  // kSwitch only: case values; targets.size() == cases.size() + 1.
+  std::vector<u64> cases;
+  // kStrcmp only: the expected byte string.
+  std::vector<u8> str;
+};
+
+struct Program {
+  std::string name = "unnamed";
+  std::vector<Block> blocks;
+  // Number of planted kBug sites (ground truth for crash triage).
+  u32 num_bugs = 0;
+  // Input size the target was generated for; the campaign's dummy-seed
+  // fallback and the seed corpus use this.
+  usize nominal_input_size = 64;
+
+  // Number of distinct (block, successor) pairs — the static edge count a
+  // compiler pass (CollAFL, Table II "static edges") would see.
+  usize static_edge_count() const noexcept;
+
+  // Structural CFG checks; throws std::invalid_argument describing the
+  // first problem found. Checks per-kind target arity, target ranges,
+  // switch/strcmp/loop field consistency, reachability of every block from
+  // the entry, and call/return balance (no kReturn reachable with an empty
+  // simulated call stack).
+  void validate() const;
+};
+
+}  // namespace bigmap

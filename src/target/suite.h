@@ -1,0 +1,60 @@
+// The Table II benchmark suite (paper §V).
+//
+// Nineteen calibrated generator profiles stand in for the paper's real
+// targets: seven application harnesses (zlib … sqlite3) and twelve LLVM-opt
+// pass harnesses (adce … simplifycfg), spanning ≈0.7k–131k discoverable
+// edges. Each BenchmarkInfo carries the paper's reported numbers (for the
+// comparison columns in bench_table2) alongside the GeneratorParams that
+// reproduce the profile's scale in our substrate. composition_suite() adds
+// the "+comp" variants used by the Table III metric-composition experiment:
+// the same harnesses re-generated with a much higher density of multi-byte
+// and string gates, the raw material for laf-intel + N-gram.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "target/generator.h"
+#include "target/program.h"
+#include "util/types.h"
+
+namespace bigmap {
+
+struct BenchmarkInfo {
+  std::string name;
+  std::string version;
+  // Seed-corpus size used by the paper's campaign for this target.
+  u32 num_seeds = 0;
+  // Paper Table II columns.
+  u64 paper_discovered_edges = 0;
+  u64 paper_static_edges = 0;
+  double paper_collision_rate = 0.0;  // percent, at a 64 kB map
+  // Calibrated generator profile reproducing the target's scale.
+  GeneratorParams gen;
+};
+
+// All 19 Table II profiles, ordered by discovered-edge count (zlib lowest,
+// instcombine highest).
+const std::vector<BenchmarkInfo>& full_table2_suite();
+
+// The 12 LLVM-opt pass harnesses (the crash-heavy subset used by the
+// Figure 8/10 experiments).
+const std::vector<BenchmarkInfo>& llvm_suite();
+
+// "+comp" variants of the LLVM harnesses for the Table III composition
+// workload (dense multi-byte/string gates; pair with apply_laf_intel and
+// NGramMetric).
+const std::vector<BenchmarkInfo>& composition_suite();
+
+// Lookup across all suites (including "+comp" names); nullptr if unknown.
+const BenchmarkInfo* find_benchmark(std::string_view name);
+
+// Deterministically builds the benchmark's program (validated).
+GeneratedTarget build_benchmark(const BenchmarkInfo& info);
+
+// The benchmark's deterministic seed corpus (info.num_seeds inputs).
+std::vector<std::vector<u8>> benchmark_seeds(const GeneratedTarget& target,
+                                             const BenchmarkInfo& info);
+
+}  // namespace bigmap

@@ -1,0 +1,146 @@
+// Robustness of the execution substrate inside the fuzzing loop:
+//  - hang path end-to-end: step-budget exhaustion -> kHang -> virgin_hang_
+//    routing in Executor::run -> CampaignResult::hangs, and
+//  - graceful degradation when the condensed coverage bitmap saturates
+//    (deliberately tiny condensed_size): new keys alias into the overflow
+//    slot, saturated_updates() counts them, and the campaign keeps running.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/two_level_map.h"
+#include "fuzzer/campaign.h"
+#include "fuzzer/executor.h"
+#include "instrumentation/metrics.h"
+#include "target/generator.h"
+#include "target/program.h"
+#include "util/timing.h"
+
+namespace bigmap {
+namespace {
+
+// A loop whose iteration count is input[0]: byte values above the step
+// budget reliably exhaust it.
+Program hang_prone_program() {
+  Program p;
+  p.name = "hang-prone";
+  p.nominal_input_size = 16;
+  p.blocks.resize(3);
+  p.blocks[0].kind = BlockKind::kLoop;
+  p.blocks[0].loop_max = 255;
+  p.blocks[0].targets = {1, 2};
+  p.blocks[1].kind = BlockKind::kFallthrough;
+  p.blocks[1].targets = {0};
+  p.blocks[2].kind = BlockKind::kExit;
+  p.validate();
+  return p;
+}
+
+TEST(RobustnessTest, HangRoutesToHangVirginInExecutor) {
+  const Program p = hang_prone_program();
+  MapOptions opts;
+  opts.map_size = 1u << 12;
+  const BlockIdTable ids(p.blocks.size(), opts.map_size, 1);
+  Executor<TwoLevelCoverageMap, EdgeMetric> ex(p, opts, ids,
+                                               /*step_budget=*/16);
+  OpTimeBreakdown timing;
+
+  const std::vector<u8> hangy(16, 0xFF);
+  const auto out = ex.run(hangy, timing);
+  EXPECT_EQ(out.exec.outcome, ExecResult::Outcome::kHang);
+  EXPECT_EQ(out.exec.steps, 16u);
+  // The hang's trace lands in virgin_hang_, not the queue/crash maps.
+  EXPECT_NE(out.outcome_new_bits, NewBits::kNone);
+  EXPECT_GT(ex.virgin_hang().count_covered(), 0u);
+  EXPECT_EQ(ex.virgin_queue().count_covered(), 0u);
+  EXPECT_EQ(ex.virgin_crash().count_covered(), 0u);
+
+  // The identical hang is no longer new.
+  const auto again = ex.run(hangy, timing);
+  EXPECT_EQ(again.exec.outcome, ExecResult::Outcome::kHang);
+  EXPECT_EQ(again.outcome_new_bits, NewBits::kNone);
+
+  // A clean input still goes down the ordinary queue path.
+  const std::vector<u8> ok(16, 0);
+  const auto clean = ex.run(ok, timing);
+  EXPECT_EQ(clean.exec.outcome, ExecResult::Outcome::kOk);
+  EXPECT_TRUE(clean.interesting());
+  EXPECT_GT(ex.virgin_queue().count_covered(), 0u);
+}
+
+TEST(RobustnessTest, CampaignCountsHangsEndToEnd) {
+  const Program p = hang_prone_program();
+  CampaignConfig cfg;
+  cfg.scheme = MapScheme::kTwoLevel;
+  cfg.map.map_size = 1u << 12;
+  cfg.step_budget = 64;  // bytes >= 32 at offset 0 hang
+  cfg.max_execs = 4000;
+  cfg.deterministic_timing = true;
+  cfg.seed = 3;
+  const std::vector<Input> seeds = {Input(16, 0)};
+
+  const CampaignResult res = run_campaign(p, seeds, cfg);
+  EXPECT_GE(res.execs, cfg.max_execs);
+  EXPECT_GT(res.hangs, 0u);
+  EXPECT_EQ(res.crashes_total, 0u);
+
+  // Hang detection is a deterministic step count, not wall clock: the same
+  // campaign reproduces the same hang tally.
+  const CampaignResult rerun = run_campaign(p, seeds, cfg);
+  EXPECT_EQ(res.hangs, rerun.hangs);
+}
+
+GeneratorParams saturation_params() {
+  GeneratorParams gp;
+  gp.name = "saturation";
+  gp.seed = 5;
+  gp.live_blocks = 300;
+  return gp;
+}
+
+TEST(RobustnessTest, TinyCondensedMapCountsSaturatedUpdates) {
+  const GeneratedTarget target = generate_target(saturation_params());
+  MapOptions opts;
+  opts.map_size = 1u << 16;
+  opts.condensed_size = 64;  // far fewer slots than discoverable keys
+  const BlockIdTable ids(target.program.blocks.size(), opts.map_size, 7);
+  Executor<TwoLevelCoverageMap, EdgeMetric> ex(target.program, opts, ids,
+                                               1u << 16);
+  OpTimeBreakdown timing;
+  for (const auto& input : make_seed_corpus(target, 20, 11)) {
+    ex.run(input, timing);
+  }
+  // Every slot allocated, and the overflow keys were counted, not dropped.
+  EXPECT_EQ(ex.map().used_key(), 64u);
+  EXPECT_GT(ex.map().saturated_updates(), 0u);
+  EXPECT_LE(ex.virgin_queue().count_covered(), 64u);
+}
+
+TEST(RobustnessTest, CampaignKeepsRunningUnderMapSaturation) {
+  GeneratorParams gp = saturation_params();
+  gp.num_bugs = 2;
+  const GeneratedTarget target = generate_target(gp);
+
+  CampaignConfig cfg;
+  cfg.scheme = MapScheme::kTwoLevel;
+  cfg.map.map_size = 1u << 16;
+  cfg.map.condensed_size = 64;
+  cfg.max_execs = 6000;
+  cfg.deterministic_timing = true;
+  cfg.seed = 9;
+  cfg.dictionary = target.dictionary();
+
+  const CampaignResult res =
+      run_campaign(target.program, make_seed_corpus(target, 8, 3), cfg);
+  // The campaign ran to its budget and degraded gracefully: coverage is
+  // capped by the condensed capacity, aliased keys were counted, and the
+  // loop never produced out-of-range state.
+  EXPECT_GE(res.execs, cfg.max_execs);
+  EXPECT_EQ(res.used_key, 64u);
+  EXPECT_GT(res.saturated_updates, 0u);
+  EXPECT_GT(res.covered_positions, 0u);
+  EXPECT_LE(res.covered_positions, 64u);
+}
+
+}  // namespace
+}  // namespace bigmap

@@ -1,0 +1,151 @@
+// Program model and validate() hardening: malformed CFGs must be rejected
+// with std::invalid_argument instead of reaching the interpreter.
+#include "target/program.h"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace bigmap {
+namespace {
+
+Program small_valid_program() {
+  Program p;
+  p.blocks.resize(4);
+  p.blocks[0].kind = BlockKind::kBranch;
+  p.blocks[0].pred = CmpPred::kEq;
+  p.blocks[0].expected = 7;
+  p.blocks[0].targets = {1, 2};
+  p.blocks[1].kind = BlockKind::kFallthrough;
+  p.blocks[1].targets = {3};
+  p.blocks[2].kind = BlockKind::kFallthrough;
+  p.blocks[2].targets = {3};
+  p.blocks[3].kind = BlockKind::kExit;
+  return p;
+}
+
+TEST(ProgramTest, ValidProgramPassesValidation) {
+  EXPECT_NO_THROW(small_valid_program().validate());
+}
+
+TEST(ProgramTest, EmptyProgramIsRejected) {
+  Program p;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(ProgramTest, OutOfRangeTargetIsRejected) {
+  Program p = small_valid_program();
+  p.blocks[1].targets = {42};
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(ProgramTest, WrongTargetArityIsRejected) {
+  Program p = small_valid_program();
+  p.blocks[0].targets = {1};  // a branch needs exactly two successors
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(ProgramTest, ExitWithTargetsIsRejected) {
+  Program p = small_valid_program();
+  p.blocks[3].targets = {0};
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(ProgramTest, UnreachableBlockIsRejected) {
+  Program p = small_valid_program();
+  p.blocks.emplace_back();  // orphan exit block
+  p.blocks.back().kind = BlockKind::kExit;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(ProgramTest, InvalidCmpWidthIsRejected) {
+  Program p = small_valid_program();
+  p.blocks[0].cmp_width = 3;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(ProgramTest, SwitchArityMismatchIsRejected) {
+  Program p;
+  p.blocks.resize(3);
+  p.blocks[0].kind = BlockKind::kSwitch;
+  p.blocks[0].cases = {1, 2};
+  p.blocks[0].targets = {1, 2};  // needs cases.size() + 1 targets
+  p.blocks[1].kind = BlockKind::kExit;
+  p.blocks[2].kind = BlockKind::kExit;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(ProgramTest, EmptyStrcmpStringIsRejected) {
+  Program p = small_valid_program();
+  p.blocks[1].kind = BlockKind::kStrcmp;
+  p.blocks[1].targets = {3, 3};
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(ProgramTest, ZeroLoopMaxIsRejected) {
+  Program p = small_valid_program();
+  p.blocks[1].kind = BlockKind::kLoop;
+  p.blocks[1].loop_max = 0;
+  p.blocks[1].targets = {3, 3};
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(ProgramTest, ReturnWithoutCallIsRejected) {
+  // Block 1 is a kReturn reachable straight from the entry: the simulated
+  // call stack would underflow.
+  Program p;
+  p.blocks.resize(2);
+  p.blocks[0].kind = BlockKind::kFallthrough;
+  p.blocks[0].targets = {1};
+  p.blocks[1].kind = BlockKind::kReturn;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(ProgramTest, BalancedCallReturnIsAccepted) {
+  Program p;
+  p.blocks.resize(3);
+  p.blocks[0].kind = BlockKind::kCall;
+  p.blocks[0].targets = {2, 1};  // callee, continuation
+  p.blocks[1].kind = BlockKind::kExit;
+  p.blocks[2].kind = BlockKind::kReturn;
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(ProgramTest, ReturnReachableWithEmptyStackViaSecondPathIsRejected) {
+  // The return is fine through the call edge but also reachable at depth 0
+  // through the branch's false edge.
+  Program p;
+  p.blocks.resize(4);
+  p.blocks[0].kind = BlockKind::kBranch;
+  p.blocks[0].targets = {1, 3};
+  p.blocks[1].kind = BlockKind::kCall;
+  p.blocks[1].targets = {3, 2};
+  p.blocks[2].kind = BlockKind::kExit;
+  p.blocks[3].kind = BlockKind::kReturn;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(ProgramTest, StaticEdgeCountDeduplicatesPairs) {
+  Program p = small_valid_program();
+  EXPECT_EQ(p.static_edge_count(), 4u);
+  // A duplicate successor pair adds no new static edge.
+  p.blocks[0].kind = BlockKind::kBranch;
+  p.blocks[0].targets = {1, 1};
+  EXPECT_EQ(p.static_edge_count(), 3u);
+}
+
+TEST(ProgramTest, StaticEdgeCountCountsSwitchFanout) {
+  Program p;
+  p.blocks.resize(4);
+  p.blocks[0].kind = BlockKind::kSwitch;
+  p.blocks[0].cases = {5, 9};
+  p.blocks[0].targets = {1, 2, 3};
+  p.blocks[1].kind = BlockKind::kExit;
+  p.blocks[2].kind = BlockKind::kExit;
+  p.blocks[3].kind = BlockKind::kExit;
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_EQ(p.static_edge_count(), 3u);
+}
+
+}  // namespace
+}  // namespace bigmap

@@ -1,0 +1,117 @@
+// Cross-module determinism properties of the execution substrate: the same
+// seed + the same input must give the identical block trace, outcome, and
+// coverage-map hash across runs, interpreters, and executor instances.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/flat_map.h"
+#include "core/map_options.h"
+#include "core/two_level_map.h"
+#include "fuzzer/executor.h"
+#include "instrumentation/metrics.h"
+#include "target/generator.h"
+#include "target/interpreter.h"
+#include "target/lafintel.h"
+#include "util/timing.h"
+
+namespace bigmap {
+namespace {
+
+class TargetPropertiesTest : public ::testing::TestWithParam<u64> {};
+
+GeneratorParams params_for(u64 seed) {
+  GeneratorParams p;
+  p.name = "props";
+  p.seed = seed;
+  p.live_blocks = 350;
+  p.dead_blocks = 80;
+  p.num_bugs = 4;
+  p.frac_wide_cmp = 0.3;
+  return p;
+}
+
+TEST_P(TargetPropertiesTest, RegenerationIsBitIdentical) {
+  const GeneratedTarget a = generate_target(params_for(GetParam()));
+  const GeneratedTarget b = generate_target(params_for(GetParam()));
+  ASSERT_EQ(a.program.blocks.size(), b.program.blocks.size());
+  EXPECT_EQ(a.program.static_edge_count(), b.program.static_edge_count());
+  EXPECT_EQ(a.tokens, b.tokens);
+  for (u32 bug = 0; bug < a.program.num_bugs; ++bug) {
+    EXPECT_EQ(a.crashing_input(bug), b.crashing_input(bug));
+  }
+}
+
+TEST_P(TargetPropertiesTest, SameSeedSameInputSameTraceAndOutcome) {
+  const GeneratedTarget target = generate_target(params_for(GetParam()));
+  const auto corpus = make_seed_corpus(target, 6, GetParam());
+  Interpreter a(1u << 16);
+  Interpreter b(1u << 16);
+  for (const auto& input : corpus) {
+    std::vector<u32> trace_a, trace_b;
+    const ExecResult ra =
+        a.run(target.program, input, [&](u32 blk) { trace_a.push_back(blk); });
+    const ExecResult rb =
+        b.run(target.program, input, [&](u32 blk) { trace_b.push_back(blk); });
+    EXPECT_EQ(trace_a, trace_b);
+    EXPECT_EQ(static_cast<int>(ra.outcome), static_cast<int>(rb.outcome));
+    EXPECT_EQ(ra.steps, rb.steps);
+    EXPECT_EQ(ra.bug_id, rb.bug_id);
+    EXPECT_EQ(ra.stack_hash, rb.stack_hash);
+  }
+}
+
+// The same execution must condense to the same classified-map hash in
+// independent executor instances, for both map schemes.
+template <class Map>
+void expect_identical_map_hashes(const GeneratedTarget& target, u64 seed) {
+  MapOptions opts;
+  opts.map_size = 1u << 16;
+  const BlockIdTable ids(target.program.blocks.size(), opts.map_size, seed);
+  Executor<Map, EdgeMetric> ex_a(target.program, opts, ids, 1u << 16);
+  Executor<Map, EdgeMetric> ex_b(target.program, opts, ids, 1u << 16);
+  OpTimeBreakdown timing;
+  for (const auto& input : make_seed_corpus(target, 6, seed)) {
+    const auto ra = ex_a.run_for_hash(input, timing);
+    const auto rb = ex_b.run_for_hash(input, timing);
+    EXPECT_EQ(ra.hash, rb.hash);
+    EXPECT_EQ(static_cast<int>(ra.exec.outcome),
+              static_cast<int>(rb.exec.outcome));
+  }
+}
+
+TEST_P(TargetPropertiesTest, MapHashIsReproducibleAcrossExecutors) {
+  const GeneratedTarget target = generate_target(params_for(GetParam()));
+  expect_identical_map_hashes<TwoLevelCoverageMap>(target, GetParam());
+  expect_identical_map_hashes<FlatCoverageMap>(target, GetParam());
+}
+
+TEST_P(TargetPropertiesTest, CrashIdentityIsStableAcrossRuns) {
+  const GeneratedTarget target = generate_target(params_for(GetParam()));
+  Interpreter interp(1u << 16);
+  for (u32 bug = 0; bug < target.program.num_bugs; ++bug) {
+    const std::vector<u8> input = target.crashing_input(bug);
+    const ExecResult first = interp.run(target.program, input, [](u32) {});
+    const ExecResult second = interp.run(target.program, input, [](u32) {});
+    ASSERT_TRUE(first.crashed());
+    EXPECT_EQ(first.bug_id, second.bug_id);
+    EXPECT_EQ(first.faulting_block, second.faulting_block);
+    EXPECT_EQ(first.stack_hash, second.stack_hash);
+  }
+}
+
+TEST_P(TargetPropertiesTest, LafTransformIsDeterministic) {
+  const GeneratedTarget target = generate_target(params_for(GetParam()));
+  LafIntelStats sa, sb;
+  const Program a = apply_laf_intel(target.program, &sa);
+  const Program b = apply_laf_intel(target.program, &sb);
+  EXPECT_EQ(a.blocks.size(), b.blocks.size());
+  EXPECT_EQ(sa.split_compares, sb.split_compares);
+  EXPECT_EQ(a.static_edge_count(), b.static_edge_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TargetPropertiesTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace bigmap
