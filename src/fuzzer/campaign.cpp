@@ -1,7 +1,10 @@
 #include "fuzzer/campaign.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <unordered_set>
 #include <utility>
 
@@ -38,17 +41,30 @@ class Campaign {
     res_.scheme = Map::kScheme;
     res_.map_size = cfg_.map.map_size;
 
-    seed_queue();
-    res_.seed_execs = res_.execs;
-    res_.seed_seconds =
-        static_cast<double>(monotonic_ns() - start_ns_) * 1e-9;
-    main_loop();
+    // A kInstanceKill fault unwinds to here; everything the instance found
+    // before dying is still in the triage/queue state, so finalize() turns
+    // it into a normal — but partial and flagged — result. The supervisor
+    // unions those finds before restarting, so a dying instance never
+    // loses them.
+    try {
+      seed_queue();
+      res_.seed_execs = res_.execs;
+      res_.seed_seconds =
+          static_cast<double>(monotonic_ns() - start_ns_) * 1e-9;
+      main_loop();
+    } catch (const InjectedInstanceKill&) {
+      res_.fault_aborted = true;
+    }
     finalize();
     return std::move(res_);
   }
 
  private:
   bool exhausted() const noexcept {
+    if (cfg_.control != nullptr &&
+        cfg_.control->stop.load(std::memory_order_relaxed)) {
+      return true;
+    }
     if (cfg_.max_execs != 0 && res_.execs >= cfg_.max_execs) return true;
     if (cfg_.max_seconds > 0.0) {
       const double elapsed =
@@ -66,11 +82,47 @@ class Campaign {
                                       ex_.virgin_queue().count_covered());
   }
 
+  void note_exec() noexcept {
+    if (cfg_.control != nullptr) {
+      cfg_.control->progress.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // Consults the fault injector before an execution. Returns false when
+  // this execution is aborted (kExecAbort); throws InjectedInstanceKill for
+  // kInstanceKill; serves kTransientHang in place, polling the stop flag so
+  // a watchdog can always cut the stall short.
+  bool fault_gate() {
+    if (cfg_.fault == nullptr) return true;
+    if (cfg_.fault->fire(FaultSite::kInstanceKill, cfg_.sync_id)) {
+      throw InjectedInstanceKill{};
+    }
+    if (cfg_.fault->fire(FaultSite::kTransientHang, cfg_.sync_id)) {
+      ++res_.injected_hangs;
+      const u64 deadline_ns =
+          monotonic_ns() + static_cast<u64>(cfg_.fault->hang_ms()) * 1000000;
+      while (monotonic_ns() < deadline_ns) {
+        if (cfg_.control != nullptr &&
+            cfg_.control->stop.load(std::memory_order_relaxed)) {
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    if (cfg_.fault->fire(FaultSite::kExecAbort, cfg_.sync_id)) {
+      ++res_.faulted_execs;
+      return false;
+    }
+    return true;
+  }
+
   // Runs one input; adds it to the queue when interesting (or when it is a
   // non-crashing seed — AFL keeps all seeds). Returns true if queued.
   bool process(Input input, u32 depth, bool is_seed) {
+    if (!fault_gate()) return false;
     auto out = ex_.run(input, res_.timing);
     ++res_.execs;
+    note_exec();
     maybe_sample_series();
 
     if (out.exec.crashed()) {
@@ -143,9 +195,14 @@ class Campaign {
                          data.begin() + static_cast<long>(pos + remove),
                          data.end());
 
+        if (!fault_gate()) {
+          pos += remove;
+          continue;
+        }
         auto sr = ex_.run_for_hash(candidate, res_.timing);
         ++res_.execs;
         ++res_.trim_execs;
+        note_exec();
         maybe_sample_series();
 
         if (sr.exec.outcome == ExecResult::Outcome::kOk &&
@@ -319,6 +376,15 @@ CampaignResult dispatch_scheme(const Program& prog,
 CampaignResult run_campaign(const Program& program,
                             const std::vector<Input>& seeds,
                             const CampaignConfig& config) {
+  // A sync_id past the hub's instance count would index other instances'
+  // cursors out of bounds deep in the sync path; reject it up front.
+  if (config.sync != nullptr &&
+      config.sync_id >= config.sync->num_instances()) {
+    throw std::invalid_argument(
+        "run_campaign: sync_id " + std::to_string(config.sync_id) +
+        " out of range for SyncHub with " +
+        std::to_string(config.sync->num_instances()) + " instances");
+  }
   switch (config.metric) {
     case MetricKind::kEdge:
       return dispatch_scheme<EdgeMetric>(program, seeds, config);

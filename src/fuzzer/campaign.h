@@ -7,6 +7,7 @@
 // experimental control.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <string>
 #include <vector>
@@ -17,10 +18,20 @@
 #include "fuzzer/sync.h"
 #include "instrumentation/metrics.h"
 #include "target/program.h"
+#include "util/fault.h"
 #include "util/timing.h"
 #include "util/types.h"
 
 namespace bigmap {
+
+// Shared-memory control block between a running campaign and its
+// supervisor: the campaign publishes an execution heartbeat the watchdog
+// samples for stall detection, and honours a cooperative stop request at
+// the next execution boundary (finalizing a normal, partial result).
+struct CampaignControl {
+  std::atomic<u64> progress{0};  // executions performed (heartbeat)
+  std::atomic<bool> stop{false};  // request cooperative early exit
+};
 
 struct CampaignConfig {
   MapScheme scheme = MapScheme::kTwoLevel;
@@ -79,6 +90,12 @@ struct CampaignConfig {
   u32 sync_id = 0;
   u32 sync_interval = 4096;
   bool is_master = false;
+
+  // Supervision hooks (both optional; zero overhead when null). `control`
+  // carries the heartbeat/stop channel; `fault` injects deterministic
+  // faults into the exec / sync / allocation paths, keyed by sync_id.
+  CampaignControl* control = nullptr;
+  FaultInjector* fault = nullptr;
 };
 
 struct CampaignResult {
@@ -121,6 +138,11 @@ struct CampaignResult {
 
   u64 interesting = 0;  // test cases that produced new bits
   u64 hangs = 0;
+
+  // Fault-injection accounting (all zero without a FaultInjector).
+  bool fault_aborted = false;  // died to kInstanceKill; result is partial
+  u64 faulted_execs = 0;       // executions lost to kExecAbort
+  u64 injected_hangs = 0;      // kTransientHang stalls served
 
   u64 crashes_total = 0;
   u64 crashes_afl_unique = 0;        // AFL's map-biased dedup

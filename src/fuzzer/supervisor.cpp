@@ -1,0 +1,286 @@
+#include "fuzzer/supervisor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+
+#include "util/timing.h"
+
+namespace bigmap {
+namespace {
+
+// Per-instance supervision state. The worker thread writes `result` /
+// `error` and then sets `done` (release); the supervisor reads them only
+// after observing `done` (acquire) and joining, so the handoff is clean.
+struct Slot {
+  enum class Phase { kPending, kRunning, kFinished };
+
+  u32 id = 0;
+  Phase phase = Phase::kPending;
+  std::unique_ptr<CampaignControl> control;
+  std::thread thread;
+
+  std::atomic<bool> done{false};
+  bool has_result = false;
+  bool bad_alloc = false;
+  CampaignResult result;
+  std::string error;
+
+  bool stall_requested = false;
+  bool wall_stopped = false;
+  u64 last_progress = 0;
+  u64 last_progress_ns = 0;
+  u64 next_start_ns = 0;
+
+  InstanceHealth health;
+};
+
+u64 backoff_ns(const SupervisorConfig& cfg, u32 restarts_done) {
+  double ms = static_cast<double>(cfg.backoff_initial_ms);
+  for (u32 i = 1; i < restarts_done; ++i) ms *= cfg.backoff_multiplier;
+  ms = std::min(ms, static_cast<double>(cfg.backoff_cap_ms));
+  return static_cast<u64>(ms * 1e6);
+}
+
+// Did this attempt run to its configured stop condition (as opposed to
+// being cut short by a stop request)?
+bool reached_own_bound(const CampaignConfig& base, const CampaignResult& r) {
+  if (base.max_execs != 0 && r.execs >= base.max_execs) return true;
+  if (base.max_seconds > 0.0 && r.wall_seconds >= base.max_seconds) {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+SupervisorResult run_supervised_campaign(const Program& program,
+                                         const std::vector<Input>& seeds,
+                                         const SupervisorConfig& config) {
+  SupervisorResult out;
+  if (config.num_instances == 0) return out;
+
+  SyncHubOptions hub_opts;
+  hub_opts.num_instances = config.num_instances;
+  hub_opts.max_records = config.sync_max_records;
+  hub_opts.max_input_size = config.sync_max_input_size;
+  SyncHub hub(hub_opts);
+  hub.set_fault_injector(config.fault);
+
+  const u64 start_ns = monotonic_ns();
+  const u64 stall_ns = static_cast<u64>(config.stall_deadline_ms) * 1000000;
+
+  std::vector<std::unique_ptr<Slot>> slots;
+  slots.reserve(config.num_instances);
+  for (u32 id = 0; id < config.num_instances; ++id) {
+    auto s = std::make_unique<Slot>();
+    s->id = id;
+    s->health.id = id;
+    slots.push_back(std::move(s));
+  }
+
+  std::unordered_set<u32> bug_union;
+  std::unordered_set<u64> stack_union;
+
+  auto launch = [&](Slot& s) {
+    s.control = std::make_unique<CampaignControl>();
+    s.done.store(false, std::memory_order_relaxed);
+    s.has_result = false;
+    s.bad_alloc = false;
+    s.error.clear();
+    s.stall_requested = false;
+    s.last_progress = 0;
+    s.last_progress_ns = monotonic_ns();
+    ++s.health.attempts;
+    s.phase = Slot::Phase::kRunning;
+
+    s.thread = std::thread([&hub, &program, &seeds, &config, &s]() {
+      FaultInjector::ScopedThreadBinding bind(config.fault, s.id);
+      try {
+        CampaignConfig c = config.base;
+        c.seed = config.base.seed + s.id * config.instance_seed_stride;
+        c.sync = &hub;
+        c.sync_id = s.id;
+        c.is_master = (s.id == 0);
+        c.control = s.control.get();
+        c.fault = config.fault;
+        s.result = run_campaign(program, seeds, c);
+        s.has_result = true;
+      } catch (const std::bad_alloc&) {
+        s.bad_alloc = true;
+        s.error = "std::bad_alloc";
+      } catch (const std::exception& e) {
+        s.error = e.what();
+      }
+      s.done.store(true, std::memory_order_release);
+    });
+  };
+
+  auto absorb_result = [&](Slot& s) {
+    const CampaignResult& r = s.result;
+    s.health.execs += r.execs;
+    s.health.interesting += r.interesting;
+    s.health.crashes_total += r.crashes_total;
+    s.health.faulted_execs += r.faulted_execs;
+    s.health.injected_hangs += r.injected_hangs;
+    for (u32 b : r.found_bug_ids) bug_union.insert(b);
+    for (u64 h : r.found_stack_hashes) stack_union.insert(h);
+  };
+
+  auto finish = [&](Slot& s, InstanceState state) {
+    s.phase = Slot::Phase::kFinished;
+    s.health.state = state;
+  };
+
+  // Joins a finished worker and decides: completed, restart, or give up.
+  auto handle_outcome = [&](Slot& s) {
+    s.thread.join();
+
+    bool restart_needed;
+    if (s.has_result) {
+      absorb_result(s);
+      if (s.result.fault_aborted) {
+        ++s.health.kills;
+        restart_needed = true;
+      } else if (s.stall_requested && !reached_own_bound(config.base,
+                                                         s.result)) {
+        restart_needed = true;
+      } else {
+        restart_needed = false;
+      }
+    } else {
+      if (s.bad_alloc) ++s.health.alloc_failures;
+      s.health.last_error = s.error;
+      restart_needed = true;
+    }
+
+    if (s.wall_stopped) {
+      // Safety stop: no replacements; an attempt cut short of its own
+      // stop condition is reported as failed, not quietly completed.
+      const bool completed = s.has_result && !s.result.fault_aborted &&
+                             reached_own_bound(config.base, s.result);
+      finish(s, completed ? InstanceState::kCompleted
+                          : InstanceState::kFailed);
+      if (s.health.state == InstanceState::kFailed &&
+          s.health.last_error.empty()) {
+        s.health.last_error = "supervisor wall-clock limit";
+      }
+      return;
+    }
+
+    if (!restart_needed) {
+      finish(s, InstanceState::kCompleted);
+      return;
+    }
+    if (s.health.restarts >= config.max_restarts_per_instance) {
+      if (s.health.last_error.empty()) {
+        s.health.last_error = "retry budget exhausted";
+      }
+      finish(s, InstanceState::kFailed);
+      return;
+    }
+    ++s.health.restarts;
+    s.next_start_ns = monotonic_ns() + backoff_ns(config, s.health.restarts);
+    // The restarted instance rebuilds its queue from the seeds; rewinding
+    // its cursor lets it re-import everything the hub still retains.
+    hub.reset_cursor(s.id);
+    s.phase = Slot::Phase::kPending;
+  };
+
+  bool wall_stop_issued = false;
+  for (;;) {
+    usize unfinished = 0;
+    const u64 now = monotonic_ns();
+
+    if (config.max_wall_seconds > 0.0 && !wall_stop_issued &&
+        static_cast<double>(now - start_ns) * 1e-9 >
+            config.max_wall_seconds) {
+      wall_stop_issued = true;
+      for (auto& sp : slots) {
+        sp->wall_stopped = true;
+        if (sp->phase == Slot::Phase::kRunning && sp->control != nullptr) {
+          sp->control->stop.store(true, std::memory_order_relaxed);
+        } else if (sp->phase == Slot::Phase::kPending) {
+          // Never started (or waiting out a backoff): give up on it.
+          if (sp->health.last_error.empty()) {
+            sp->health.last_error = "supervisor wall-clock limit";
+          }
+          finish(*sp, InstanceState::kFailed);
+        }
+      }
+    }
+
+    for (auto& sp : slots) {
+      Slot& s = *sp;
+      switch (s.phase) {
+        case Slot::Phase::kPending:
+          if (now >= s.next_start_ns) launch(s);
+          ++unfinished;
+          break;
+        case Slot::Phase::kRunning:
+          if (s.done.load(std::memory_order_acquire)) {
+            handle_outcome(s);
+            if (s.phase != Slot::Phase::kFinished) ++unfinished;
+            break;
+          }
+          ++unfinished;
+          {
+            const u64 p =
+                s.control->progress.load(std::memory_order_relaxed);
+            if (p != s.last_progress) {
+              s.last_progress = p;
+              s.last_progress_ns = now;
+            } else if (!s.stall_requested &&
+                       now - s.last_progress_ns > stall_ns) {
+              // Watchdog: no exec progress within the deadline. Ask the
+              // instance to wind down; the restart decision happens when
+              // it does.
+              s.stall_requested = true;
+              ++s.health.stalls;
+              s.control->stop.store(true, std::memory_order_relaxed);
+            }
+          }
+          break;
+        case Slot::Phase::kFinished:
+          break;
+      }
+    }
+
+    if (unfinished == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(config.poll_ms));
+  }
+
+  out.wall_seconds = static_cast<double>(monotonic_ns() - start_ns) * 1e-9;
+  out.instances.reserve(slots.size());
+  for (auto& sp : slots) {
+    Slot& s = *sp;
+    if (config.fault != nullptr) {
+      s.health.faults_injected = config.fault->injected_for(s.id);
+      out.faults_injected += s.health.faults_injected;
+      if (s.health.state == InstanceState::kCompleted) {
+        out.faults_survived += s.health.faults_injected;
+      }
+    }
+    out.total_execs += s.health.execs;
+    out.total_interesting += s.health.interesting;
+    out.total_crashes += s.health.crashes_total;
+    out.total_restarts += s.health.restarts;
+    out.instances.push_back(s.health);
+  }
+  out.found_bug_ids.assign(bug_union.begin(), bug_union.end());
+  std::sort(out.found_bug_ids.begin(), out.found_bug_ids.end());
+  out.found_stack_hashes.assign(stack_union.begin(), stack_union.end());
+  std::sort(out.found_stack_hashes.begin(), out.found_stack_hashes.end());
+  out.aggregate_throughput =
+      out.wall_seconds > 0
+          ? static_cast<double>(out.total_execs) / out.wall_seconds
+          : 0.0;
+  out.sync = hub.stats();
+  return out;
+}
+
+}  // namespace bigmap

@@ -1,0 +1,134 @@
+// Fault-tolerant multi-threaded campaign supervisor.
+//
+// The paper's parallel results (Figures 9/10) assume every instance
+// survives a 24 h run; real campaigns don't — instances stall on
+// pathological inputs, die to resource exhaustion, and lose their corpus
+// state. run_supervised_campaign() runs N run_campaign instances on real
+// std::threads against a shared SyncHub and keeps the campaign alive:
+//
+//  - watchdog: each instance publishes an exec-count heartbeat through
+//    CampaignControl; an instance with no progress within
+//    stall_deadline_ms gets a cooperative stop request and is restarted;
+//  - restarts: exponential backoff (initial * multiplier^k, capped) with a
+//    per-instance retry budget; a restarted instance re-runs from scratch
+//    with its original seed and full exec budget, and its SyncHub cursor is
+//    rewound so it re-imports everything still retained;
+//  - no lost finds: the partial result of every attempt — a stalled stop, a
+//    kInstanceKill death, a clean finish — has its found_bug_ids /
+//    found_stack_hashes unioned into the supervisor result before the
+//    instance goes down, so crash/coverage semantics survive restarts;
+//  - deterministic failure drills: wire a FaultInjector into
+//    SupervisorConfig::fault and every recovery path above becomes
+//    reproducibly testable (the injector is also bound thread-locally
+//    around each attempt so PageBuffer allocation failures surface as
+//    std::bad_alloc retries).
+//
+// Limits: cancellation is cooperative (checked at execution boundaries);
+// a thread wedged inside a single execution cannot be preempted — the
+// step-budget hang detector bounds that window.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fuzzer/campaign.h"
+#include "fuzzer/sync.h"
+#include "target/program.h"
+#include "util/fault.h"
+#include "util/types.h"
+
+namespace bigmap {
+
+struct SupervisorConfig {
+  u32 num_instances = 4;
+
+  // Template for every instance; per-instance fields (seed, sync_id,
+  // is_master, control, fault, sync) are filled in by the supervisor.
+  // Instance i runs with seed = base.seed + i * instance_seed_stride.
+  CampaignConfig base;
+  u64 instance_seed_stride = 1;
+
+  // Watchdog: poll heartbeats every poll_ms; restart an instance whose
+  // exec count has not moved within stall_deadline_ms.
+  u32 poll_ms = 5;
+  u32 stall_deadline_ms = 500;
+
+  // Restart policy.
+  u32 max_restarts_per_instance = 3;
+  u32 backoff_initial_ms = 10;
+  double backoff_multiplier = 2.0;
+  u32 backoff_cap_ms = 1000;
+
+  // Shared hub sizing (see SyncHubOptions).
+  usize sync_max_records = 1u << 14;
+  usize sync_max_input_size = 1u << 16;
+
+  // Optional deterministic fault schedule, applied to every instance
+  // (keyed by instance id) and to the hub's publish path.
+  FaultInjector* fault = nullptr;
+
+  // Safety net for tests: when > 0 and the whole supervised run exceeds
+  // this, all instances get a stop request and the run winds down.
+  double max_wall_seconds = 0.0;
+};
+
+enum class InstanceState : u8 {
+  kCompleted,  // final attempt ran to its own stop condition
+  kFailed,     // retry budget exhausted (or wall-clock safety stop)
+};
+
+struct InstanceHealth {
+  u32 id = 0;
+  InstanceState state = InstanceState::kCompleted;
+  u32 attempts = 0;        // campaign runs started (>= 1)
+  u32 restarts = 0;        // attempts - successful completions
+  u32 stalls = 0;          // watchdog-triggered stops
+  u32 kills = 0;           // kInstanceKill deaths observed
+  u32 alloc_failures = 0;  // attempts lost to std::bad_alloc
+  u64 execs = 0;           // summed across attempts
+  u64 interesting = 0;
+  u64 crashes_total = 0;
+  u64 faulted_execs = 0;
+  u64 injected_hangs = 0;
+  u64 faults_injected = 0;  // all faults delivered to this instance
+  std::string last_error;   // last exception message, if any
+};
+
+struct SupervisorResult {
+  std::vector<InstanceHealth> instances;
+
+  // Union across every attempt of every instance (the Figure 9/10
+  // cross-instance crash metric).
+  std::vector<u32> found_bug_ids;
+  std::vector<u64> found_stack_hashes;
+
+  u64 total_execs = 0;
+  u64 total_interesting = 0;
+  u64 total_crashes = 0;
+  u64 total_restarts = 0;
+  double wall_seconds = 0.0;
+  double aggregate_throughput = 0.0;  // total_execs / wall_seconds
+
+  // Fault accounting: faults delivered overall, and the subset delivered
+  // to instances that nevertheless completed (i.e. survived faults).
+  u64 faults_injected = 0;
+  u64 faults_survived = 0;
+
+  SyncHubStats sync;
+
+  bool all_completed() const noexcept {
+    for (const InstanceHealth& h : instances) {
+      if (h.state != InstanceState::kCompleted) return false;
+    }
+    return !instances.empty();
+  }
+};
+
+// Runs `config.num_instances` supervised campaigns of `config.base` over
+// `program`/`seeds` on real threads. Blocks until every instance completes
+// or exhausts its retry budget.
+SupervisorResult run_supervised_campaign(const Program& program,
+                                         const std::vector<Input>& seeds,
+                                         const SupervisorConfig& config);
+
+}  // namespace bigmap

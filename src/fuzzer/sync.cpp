@@ -1,0 +1,95 @@
+#include "fuzzer/sync.h"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace bigmap {
+
+SyncHub::SyncHub(const SyncHubOptions& options)
+    : opts_(options), cursors_(options.num_instances, 0) {
+  stats_.missed.assign(options.num_instances, 0);
+}
+
+void SyncHub::check_instance(u32 instance) const {
+  if (instance >= cursors_.size()) {
+    throw std::out_of_range("SyncHub: instance id " +
+                            std::to_string(instance) + " out of range (" +
+                            std::to_string(cursors_.size()) + " instances)");
+  }
+}
+
+bool SyncHub::publish(u32 instance, Input input) {
+  // The fault decision is taken outside the hub lock: fire() has its own
+  // mutex and the (instance, site) counter keeps the schedule deterministic
+  // regardless of publish interleaving.
+  const bool dropped =
+      fault_ != nullptr && fault_->fire(FaultSite::kPublishDrop, instance);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  check_instance(instance);
+  if (dropped) {
+    ++stats_.dropped_faults;
+    return false;
+  }
+  if (opts_.max_input_size != 0 && input.size() > opts_.max_input_size) {
+    ++stats_.rejected_oversize;
+    return false;
+  }
+
+  log_.push_back({instance, std::move(input)});
+  ++stats_.total_published;
+
+  if (opts_.max_records != 0) {
+    while (log_.size() > opts_.max_records) {
+      log_.pop_front();
+      ++base_;
+      ++stats_.evicted;
+    }
+  }
+  return true;
+}
+
+std::vector<Input> SyncHub::fetch_new(u32 instance) {
+  std::lock_guard<std::mutex> lock(mu_);
+  check_instance(instance);
+  u64& cursor = cursors_[instance];
+
+  // Fell behind the eviction frontier: the gap is gone for good. Account
+  // for it as backpressure and resume from the oldest retained record.
+  if (cursor < base_) {
+    stats_.missed[instance] += base_ - cursor;
+    cursor = base_;
+  }
+
+  std::vector<Input> out;
+  const u64 end = base_ + log_.size();
+  for (; cursor < end; ++cursor) {
+    const Record& rec = log_[static_cast<usize>(cursor - base_)];
+    if (rec.publisher != instance) {
+      out.push_back(rec.data);
+      ++stats_.fetched;
+    }
+  }
+  return out;
+}
+
+void SyncHub::reset_cursor(u32 instance) {
+  std::lock_guard<std::mutex> lock(mu_);
+  check_instance(instance);
+  cursors_[instance] = base_;
+}
+
+u64 SyncHub::total_published() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.total_published;
+}
+
+SyncHubStats SyncHub::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SyncHubStats snap = stats_;
+  snap.live_records = log_.size();
+  return snap;
+}
+
+}  // namespace bigmap

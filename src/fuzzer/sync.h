@@ -2,55 +2,95 @@
 //
 // Real AFL instances synchronize through an output directory that each
 // secondary periodically scans for other fuzzers' queue entries. SyncHub is
-// the in-process equivalent: a shared, mutex-protected append-only log of
-// interesting inputs tagged with the publishing instance. Each instance
-// keeps a cursor and fetches everything new that others published.
+// the in-process equivalent: a shared, mutex-protected log of interesting
+// inputs tagged with the publishing instance. Each instance keeps a cursor
+// and fetches everything new that others published.
+//
+// Hardened for long real-thread campaigns under supervision:
+//  - instance ids are validated (publish/fetch with a bad id throws instead
+//    of indexing out of bounds);
+//  - oversized inputs are rejected rather than queued;
+//  - the retained log is bounded: old records are evicted in eviction
+//    epochs, cursors are absolute indices into the lifetime stream, and a
+//    laggard whose cursor fell behind the eviction frontier has the gap
+//    counted as `missed` backpressure instead of silently re-reading freed
+//    slots;
+//  - total_published() reports the lifetime accepted count, not live size;
+//  - reset_cursor() re-opens the retained window for a restarted instance
+//    so it can re-import everything still held (supervisor restart path);
+//  - an optional FaultInjector drops publishes deterministically
+//    (FaultSite::kPublishDrop) for recovery testing.
 //
 // The master/secondary distinction of the paper's setup is carried in
 // CampaignConfig (the master would run the deterministic stage; all the
 // paper's runs skip it for 24h campaigns).
 #pragma once
 
+#include <deque>
 #include <mutex>
 #include <vector>
 
 #include "fuzzer/queue.h"
+#include "util/fault.h"
 #include "util/types.h"
 
 namespace bigmap {
 
+struct SyncHubOptions {
+  u32 num_instances = 1;
+  // Retained-log cap; once exceeded the oldest records are evicted
+  // (0 = unbounded, the pre-supervision behaviour).
+  usize max_records = 1u << 14;
+  // Publishes larger than this are rejected (0 = no limit).
+  usize max_input_size = 1u << 20;
+};
+
+// Backpressure / health accounting, snapshotted under the hub lock.
+struct SyncHubStats {
+  u64 total_published = 0;    // lifetime accepted publishes
+  u64 evicted = 0;            // records dropped by the log bound
+  usize live_records = 0;     // currently retained
+  u64 rejected_oversize = 0;  // publishes over max_input_size
+  u64 dropped_faults = 0;     // publishes lost to injected faults
+  u64 fetched = 0;            // records handed out by fetch_new
+  // Per instance: records evicted before the instance fetched them.
+  std::vector<u64> missed;
+};
+
 class SyncHub {
  public:
-  explicit SyncHub(u32 num_instances) : cursors_(num_instances, 0) {}
+  explicit SyncHub(u32 num_instances)
+      : SyncHub(SyncHubOptions{num_instances}) {}
+  explicit SyncHub(const SyncHubOptions& options);
 
   u32 num_instances() const noexcept {
     return static_cast<u32>(cursors_.size());
   }
+  const SyncHubOptions& options() const noexcept { return opts_; }
 
-  // Publishes an interesting input found by `instance`.
-  void publish(u32 instance, Input input) {
-    std::lock_guard<std::mutex> lock(mu_);
-    log_.push_back({instance, std::move(input)});
-  }
+  // Deterministically drops publishes via FaultSite::kPublishDrop when set.
+  void set_fault_injector(FaultInjector* fault) noexcept { fault_ = fault; }
+
+  // Publishes an interesting input found by `instance`. Returns true when
+  // the record was accepted, false when it was rejected (oversize) or
+  // dropped by fault injection. Throws std::out_of_range on a bad id.
+  bool publish(u32 instance, Input input);
 
   // Returns all inputs published by *other* instances since this
-  // instance's previous fetch.
-  std::vector<Input> fetch_new(u32 instance) {
-    std::lock_guard<std::mutex> lock(mu_);
-    std::vector<Input> out;
-    usize& cursor = cursors_[instance];
-    for (; cursor < log_.size(); ++cursor) {
-      if (log_[cursor].publisher != instance) {
-        out.push_back(log_[cursor].data);
-      }
-    }
-    return out;
-  }
+  // instance's previous fetch. Records evicted before this instance got to
+  // them are counted as missed. Throws std::out_of_range on a bad id.
+  std::vector<Input> fetch_new(u32 instance);
 
-  usize total_published() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return log_.size();
-  }
+  // Rewinds `instance`'s cursor to the eviction frontier so a restarted
+  // instance re-imports every record still retained (its in-memory queue
+  // died with it). Throws std::out_of_range on a bad id.
+  void reset_cursor(u32 instance);
+
+  // Lifetime count of accepted publishes (monotone; unaffected by
+  // eviction).
+  u64 total_published() const;
+
+  SyncHubStats stats() const;
 
  private:
   struct Record {
@@ -58,9 +98,18 @@ class SyncHub {
     Input data;
   };
 
+  void check_instance(u32 instance) const;  // caller holds mu_
+
+  const SyncHubOptions opts_;
+  FaultInjector* fault_ = nullptr;
+
   mutable std::mutex mu_;
-  std::vector<Record> log_;
-  std::vector<usize> cursors_;
+  std::deque<Record> log_;
+  // Absolute index of log_.front() in the lifetime stream; cursors are
+  // absolute too, so eviction never aliases old records onto new ones.
+  u64 base_ = 0;
+  std::vector<u64> cursors_;
+  SyncHubStats stats_;
 };
 
 }  // namespace bigmap

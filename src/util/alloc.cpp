@@ -7,6 +7,8 @@
 #include <new>
 #include <utility>
 
+#include "util/fault.h"
+
 #if defined(__SSE2__)
 #include <emmintrin.h>
 #endif
@@ -24,6 +26,9 @@ usize round_up(usize v, usize align) noexcept {
 
 PageBuffer::PageBuffer(usize size, PageBacking backing) {
   if (size == 0) return;
+  // Deterministic allocation-failure injection (supervisor robustness
+  // tests); inert unless a FaultInjector is bound to this thread.
+  if (FaultInjector::fire_alloc()) throw std::bad_alloc();
   size_ = size;
 
   if (backing == PageBacking::kHugeIfAvailable && size >= kHugePageSize) {

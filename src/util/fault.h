@@ -1,0 +1,130 @@
+// Deterministic fault injection for robustness testing (supervision layer).
+//
+// Long parallel campaigns die in boring, hard-to-reproduce ways: an exec
+// fails, a sync publish is lost, an instance wedges, an allocation fails
+// under memory pressure. FaultInjector makes every one of those failure
+// modes a first-class, *reproducible* event: all decisions flow from a
+// 64-bit seed plus per-(instance, site) occurrence counters, so a fault
+// schedule replays identically regardless of thread interleaving — each
+// instance observes its own deterministic sequence.
+//
+// Two trigger mechanisms compose:
+//  - explicit triggers: "the nth occurrence of site S on instance I faults"
+//    (0-based, cumulative across restarts — a kill trigger therefore fires
+//    exactly once, which is what supervisor recovery tests want);
+//  - seeded rates: every occurrence faults with probability per_million /
+//    1e6, decided by hashing (seed, site, instance, occurrence index).
+//
+// Deep paths that cannot be plumbed explicitly (PageBuffer in util/alloc)
+// consult a thread-local binding installed by the supervisor around each
+// campaign attempt.
+#pragma once
+
+#include <array>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.h"
+
+namespace bigmap {
+
+enum class FaultSite : u8 {
+  kExecAbort = 0,   // one execution fails; the campaign survives
+  kPublishDrop,     // a SyncHub publish is silently lost
+  kTransientHang,   // the instance makes no progress for hang_ms
+  kAllocFail,       // a PageBuffer allocation throws std::bad_alloc
+  kInstanceKill,    // the campaign dies mid-run (partial result preserved)
+};
+inline constexpr usize kNumFaultSites = 5;
+
+const char* fault_site_name(FaultSite site) noexcept;
+
+// Fires on the `nth` (0-based) occurrence of `site` on `instance`.
+// Occurrence counters are cumulative across campaign restarts.
+struct FaultTrigger {
+  FaultSite site{};
+  u32 instance = 0;
+  u64 nth = 0;
+};
+
+// Fires each occurrence of `site` with probability per_million / 1e6,
+// decided deterministically from the injector seed. `instance` filters to
+// one instance; kAllInstances applies the rate everywhere.
+struct FaultRate {
+  static constexpr u32 kAllInstances = 0xFFFFFFFFu;
+  FaultSite site{};
+  u32 per_million = 0;
+  u32 instance = kAllInstances;
+};
+
+struct FaultPlan {
+  std::vector<FaultTrigger> triggers;
+  std::vector<FaultRate> rates;
+  // Duration of injected kTransientHang stalls. The hang polls the
+  // campaign's stop flag, so a watchdog can always cut it short.
+  u32 hang_ms = 50;
+};
+
+struct FaultStats {
+  std::array<u64, kNumFaultSites> checked{};   // fire() calls per site
+  std::array<u64, kNumFaultSites> injected{};  // faults delivered per site
+  u64 checked_total() const noexcept;
+  u64 injected_total() const noexcept;
+};
+
+// Thrown by the campaign when a kInstanceKill fault fires. Deliberately not
+// derived from std::exception so generic catch(std::exception&) handlers in
+// library code cannot swallow it; the campaign driver catches it by type,
+// finalizes the partial result, and marks it fault_aborted.
+struct InjectedInstanceKill {};
+
+class FaultInjector {
+ public:
+  FaultInjector(u64 seed, FaultPlan plan);
+
+  // True when the current occurrence of `site` on `instance` must fault.
+  // Thread-safe; advances the (instance, site) occurrence counter.
+  bool fire(FaultSite site, u32 instance);
+
+  u32 hang_ms() const noexcept { return plan_.hang_ms; }
+
+  FaultStats stats() const;
+  // Faults delivered to one instance, across all sites.
+  u64 injected_for(u32 instance) const;
+
+  // Binds this injector (and an instance id) to the current thread so that
+  // paths without an explicit FaultInjector* — PageBuffer allocation — can
+  // consult it. Restores the previous binding on destruction.
+  class ScopedThreadBinding {
+   public:
+    ScopedThreadBinding(FaultInjector* injector, u32 instance) noexcept;
+    ~ScopedThreadBinding();
+    ScopedThreadBinding(const ScopedThreadBinding&) = delete;
+    ScopedThreadBinding& operator=(const ScopedThreadBinding&) = delete;
+
+   private:
+    FaultInjector* prev_injector_;
+    u32 prev_instance_;
+  };
+
+  // Consults the current thread's binding; false when none is installed.
+  // Called by PageBuffer before mapping memory.
+  static bool fire_alloc() noexcept;
+
+ private:
+  static u64 key(FaultSite site, u32 instance) noexcept {
+    return (static_cast<u64>(instance) << 8) | static_cast<u64>(site);
+  }
+
+  const u64 seed_;
+  const FaultPlan plan_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<u64, u64> counters_;          // (instance,site) -> n
+  std::unordered_map<u64, u64> injected_by_key_;   // (instance,site) -> hits
+  FaultStats stats_;
+};
+
+}  // namespace bigmap

@@ -1,0 +1,224 @@
+// Tests for the fault-tolerant multi-threaded campaign supervisor.
+//
+// The key property (ISSUE acceptance): under a deterministic fault
+// schedule that kills/stalls instances mid-run, the supervisor restarts
+// them and the unioned found_bug_ids / found_stack_hashes equal the
+// fault-free run's on the same seed. The target is sized so every instance
+// saturates the (small) planted-bug set well within its budget, which
+// makes the union comparison robust to sync-import interleaving.
+#include "fuzzer/supervisor.h"
+
+#include <gtest/gtest.h>
+
+#include "target/generator.h"
+
+namespace bigmap {
+namespace {
+
+GeneratedTarget make_target() {
+  GeneratorParams gp;
+  gp.seed = 33;
+  gp.live_blocks = 200;
+  gp.num_bugs = 3;
+  gp.bug_min_depth = 1;
+  gp.bug_max_depth = 1;
+  return generate_target(gp);
+}
+
+SupervisorConfig make_config() {
+  SupervisorConfig sc;
+  sc.num_instances = 4;
+  sc.base.scheme = MapScheme::kTwoLevel;
+  sc.base.map.map_size = 1u << 16;
+  sc.base.map.huge_pages = false;
+  sc.base.max_execs = 10000;
+  sc.base.seed = 501;
+  sc.base.sync_interval = 1024;
+  sc.base.deterministic_timing = true;
+  sc.poll_ms = 2;
+  sc.stall_deadline_ms = 400;
+  sc.max_restarts_per_instance = 3;
+  sc.backoff_initial_ms = 5;
+  sc.backoff_cap_ms = 50;
+  return sc;
+}
+
+TEST(SupervisorTest, FaultFreeRunCompletesAllInstances) {
+  auto target = make_target();
+  auto seeds = make_seed_corpus(target, 4, 1);
+  SupervisorConfig sc = make_config();
+
+  auto r = run_supervised_campaign(target.program, seeds, sc);
+  ASSERT_EQ(r.instances.size(), 4u);
+  EXPECT_TRUE(r.all_completed());
+  EXPECT_EQ(r.total_restarts, 0u);
+  EXPECT_EQ(r.total_execs, 4u * sc.base.max_execs);
+  EXPECT_GT(r.aggregate_throughput, 0.0);
+  for (const InstanceHealth& h : r.instances) {
+    EXPECT_EQ(h.attempts, 1u) << h.id;
+    EXPECT_EQ(h.state, InstanceState::kCompleted) << h.id;
+    EXPECT_EQ(h.execs, sc.base.max_execs) << h.id;
+  }
+  // Budget is sized to saturate the planted-bug set (3 bugs).
+  EXPECT_EQ(r.found_bug_ids.size(), 3u);
+  EXPECT_GE(r.found_stack_hashes.size(), 3u);
+  EXPECT_GT(r.sync.total_published, 0u);
+}
+
+// ISSUE acceptance: kill one instance and stall another mid-run; the
+// supervisor must restart both and the crash union must match the
+// fault-free run on the same seeds.
+TEST(SupervisorTest, KilledAndStalledInstancesRecoverWithoutLosingFinds) {
+  auto target = make_target();
+  auto seeds = make_seed_corpus(target, 4, 1);
+
+  SupervisorConfig baseline_cfg = make_config();
+  auto baseline = run_supervised_campaign(target.program, seeds,
+                                          baseline_cfg);
+  ASSERT_TRUE(baseline.all_completed());
+  ASSERT_EQ(baseline.found_bug_ids.size(), 3u);
+
+  FaultPlan plan;
+  // Instance 1 dies outright at its 2000th execution attempt; instance 2
+  // wedges for far longer than the watchdog deadline at its 2500th.
+  plan.triggers.push_back({FaultSite::kInstanceKill, 1, 2000});
+  plan.triggers.push_back({FaultSite::kTransientHang, 2, 2500});
+  plan.hang_ms = 5000;
+  FaultInjector inj(77, plan);
+
+  SupervisorConfig sc = make_config();
+  sc.stall_deadline_ms = 150;
+  sc.fault = &inj;
+  auto r = run_supervised_campaign(target.program, seeds, sc);
+
+  EXPECT_TRUE(r.all_completed());
+  EXPECT_GE(r.instances[1].kills, 1u);
+  EXPECT_GE(r.instances[1].restarts, 1u);
+  EXPECT_GE(r.instances[2].stalls, 1u);
+  EXPECT_GE(r.instances[2].restarts, 1u);
+  EXPECT_GE(r.total_restarts, 2u);
+  // Restarted instances re-ran with a fresh budget, so the faulted run
+  // executed strictly more than the fault-free one.
+  EXPECT_GT(r.total_execs, baseline.total_execs);
+
+  EXPECT_EQ(r.found_bug_ids, baseline.found_bug_ids);
+  EXPECT_EQ(r.found_stack_hashes, baseline.found_stack_hashes);
+
+  EXPECT_GE(r.faults_injected, 2u);
+  EXPECT_EQ(r.faults_survived, r.faults_injected);
+}
+
+TEST(SupervisorTest, AllocationFailureIsRetried) {
+  auto target = make_target();
+  auto seeds = make_seed_corpus(target, 4, 1);
+
+  FaultPlan plan;
+  // First PageBuffer allocation of instance 0's first attempt fails.
+  plan.triggers.push_back({FaultSite::kAllocFail, 0, 0});
+  FaultInjector inj(11, plan);
+
+  SupervisorConfig sc = make_config();
+  sc.fault = &inj;
+  auto r = run_supervised_campaign(target.program, seeds, sc);
+
+  EXPECT_TRUE(r.all_completed());
+  EXPECT_EQ(r.instances[0].alloc_failures, 1u);
+  EXPECT_EQ(r.instances[0].attempts, 2u);
+  EXPECT_EQ(r.instances[0].last_error, "std::bad_alloc");
+  EXPECT_EQ(r.instances[0].execs, sc.base.max_execs);
+}
+
+TEST(SupervisorTest, RetryBudgetExhaustionMarksInstanceFailed) {
+  auto target = make_target();
+  auto seeds = make_seed_corpus(target, 4, 1);
+
+  FaultPlan plan;
+  // Kill instance 0 on every attempt: the occurrence counter is cumulative
+  // across restarts, so spaced triggers land one per attempt.
+  plan.triggers.push_back({FaultSite::kInstanceKill, 0, 100});
+  plan.triggers.push_back({FaultSite::kInstanceKill, 0, 3000});
+  plan.triggers.push_back({FaultSite::kInstanceKill, 0, 6000});
+  FaultInjector inj(13, plan);
+
+  SupervisorConfig sc = make_config();
+  sc.num_instances = 2;
+  sc.max_restarts_per_instance = 1;
+  sc.fault = &inj;
+  auto r = run_supervised_campaign(target.program, seeds, sc);
+
+  EXPECT_FALSE(r.all_completed());
+  EXPECT_EQ(r.instances[0].state, InstanceState::kFailed);
+  EXPECT_EQ(r.instances[0].attempts, 2u);
+  EXPECT_EQ(r.instances[0].kills, 2u);
+  EXPECT_EQ(r.instances[0].last_error, "retry budget exhausted");
+  EXPECT_EQ(r.instances[1].state, InstanceState::kCompleted);
+  // Partial finds from the doomed instance's attempts are still unioned.
+  EXPECT_GT(r.total_execs, 0u);
+  EXPECT_EQ(r.found_bug_ids.size(), 3u);
+}
+
+TEST(SupervisorTest, ExecAbortFaultsAreSurvivedInPlace) {
+  auto target = make_target();
+  auto seeds = make_seed_corpus(target, 4, 1);
+
+  FaultPlan plan;
+  plan.rates.push_back(
+      {FaultSite::kExecAbort, /*per_million=*/20000});  // 2% of execs
+  FaultInjector inj(29, plan);
+
+  SupervisorConfig sc = make_config();
+  sc.num_instances = 2;
+  sc.fault = &inj;
+  auto r = run_supervised_campaign(target.program, seeds, sc);
+
+  EXPECT_TRUE(r.all_completed());
+  EXPECT_EQ(r.total_restarts, 0u);
+  u64 aborted = 0;
+  for (const InstanceHealth& h : r.instances) aborted += h.faulted_execs;
+  EXPECT_GT(aborted, 0u);
+  EXPECT_EQ(r.faults_survived, r.faults_injected);
+}
+
+TEST(SupervisorTest, PublishDropsAreAccounted) {
+  auto target = make_target();
+  auto seeds = make_seed_corpus(target, 4, 1);
+
+  FaultPlan plan;
+  plan.rates.push_back(
+      {FaultSite::kPublishDrop, /*per_million=*/500000});  // 50%
+  FaultInjector inj(31, plan);
+
+  SupervisorConfig sc = make_config();
+  sc.num_instances = 2;
+  sc.fault = &inj;
+  auto r = run_supervised_campaign(target.program, seeds, sc);
+
+  EXPECT_TRUE(r.all_completed());
+  EXPECT_GT(r.sync.dropped_faults, 0u);
+  // Dropped publishes never cost the publisher its own triage record, so
+  // the bug union is still intact.
+  EXPECT_EQ(r.found_bug_ids.size(), 3u);
+}
+
+TEST(SupervisorTest, WallClockSafetyStopTerminatesRun) {
+  auto target = make_target();
+  auto seeds = make_seed_corpus(target, 4, 1);
+
+  SupervisorConfig sc = make_config();
+  sc.num_instances = 2;
+  sc.base.max_execs = 0;           // unbounded instances...
+  sc.base.max_seconds = 60.0;      // ...that would run for a minute
+  sc.max_wall_seconds = 0.3;       // ...cut off by the supervisor
+  auto r = run_supervised_campaign(target.program, seeds, sc);
+
+  EXPECT_LT(r.wall_seconds, 10.0);
+  ASSERT_EQ(r.instances.size(), 2u);
+  for (const InstanceHealth& h : r.instances) {
+    EXPECT_EQ(h.state, InstanceState::kFailed) << h.id;
+    EXPECT_EQ(h.last_error, "supervisor wall-clock limit") << h.id;
+  }
+  EXPECT_GT(r.total_execs, 0u);
+}
+
+}  // namespace
+}  // namespace bigmap

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -67,6 +68,119 @@ TEST(SyncHubTest, ThreadSafetyUnderContention) {
     received[id] += hub.fetch_new(id).size();
     EXPECT_EQ(received[id], (kInstances - 1) * kPerThread) << id;
   }
+}
+
+TEST(SyncHubTest, BadInstanceIdsAreRejectedExplicitly) {
+  SyncHub hub(2);
+  EXPECT_THROW(hub.publish(2, Input{1}), std::out_of_range);
+  EXPECT_THROW(hub.fetch_new(7), std::out_of_range);
+  EXPECT_THROW(hub.reset_cursor(2), std::out_of_range);
+  EXPECT_EQ(hub.total_published(), 0u);
+}
+
+TEST(SyncHubTest, CampaignRejectsBadSyncIdAtStart) {
+  GeneratorParams gp;
+  gp.seed = 5;
+  gp.live_blocks = 64;
+  auto target = generate_target(gp);
+  auto seeds = make_seed_corpus(target, 2, 1);
+
+  SyncHub hub(2);
+  CampaignConfig c;
+  c.map.huge_pages = false;
+  c.max_execs = 100;
+  c.sync = &hub;
+  c.sync_id = 2;  // hub only has instances 0 and 1
+  EXPECT_THROW(run_campaign(target.program, seeds, c),
+               std::invalid_argument);
+}
+
+TEST(SyncHubTest, BoundedLogEvictsButKeepsLifetimeCount) {
+  SyncHubOptions opts;
+  opts.num_instances = 2;
+  opts.max_records = 4;
+  SyncHub hub(opts);
+
+  for (u8 i = 0; i < 10; ++i) {
+    EXPECT_TRUE(hub.publish(0, Input{i}));
+  }
+  EXPECT_EQ(hub.total_published(), 10u);  // lifetime, not live size
+
+  auto got = hub.fetch_new(1);  // only the retained tail survives
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_EQ(got[0], (Input{6}));
+  EXPECT_EQ(got[3], (Input{9}));
+
+  const SyncHubStats s = hub.stats();
+  EXPECT_EQ(s.evicted, 6u);
+  EXPECT_EQ(s.live_records, 4u);
+  ASSERT_EQ(s.missed.size(), 2u);
+  EXPECT_EQ(s.missed[1], 6u);  // the gap is accounted, not silently lost
+}
+
+TEST(SyncHubTest, OversizedPublishesAreRejected) {
+  SyncHubOptions opts;
+  opts.num_instances = 2;
+  opts.max_input_size = 4;
+  SyncHub hub(opts);
+
+  EXPECT_TRUE(hub.publish(0, Input{1, 2, 3, 4}));
+  EXPECT_FALSE(hub.publish(0, Input{1, 2, 3, 4, 5}));
+  EXPECT_EQ(hub.total_published(), 1u);
+  EXPECT_EQ(hub.stats().rejected_oversize, 1u);
+}
+
+TEST(SyncHubTest, ResetCursorReimportsRetainedRecords) {
+  SyncHub hub(2);
+  hub.publish(0, Input{1});
+  hub.publish(0, Input{2});
+  EXPECT_EQ(hub.fetch_new(1).size(), 2u);
+  EXPECT_TRUE(hub.fetch_new(1).empty());
+
+  hub.reset_cursor(1);  // what the supervisor does on instance restart
+  auto again = hub.fetch_new(1);
+  ASSERT_EQ(again.size(), 2u);
+  EXPECT_EQ(again[0], (Input{1}));
+}
+
+TEST(SyncHubTest, InjectedPublishDropsAreDeterministic) {
+  FaultPlan plan;
+  plan.triggers.push_back({FaultSite::kPublishDrop, /*instance=*/0,
+                           /*nth=*/0});
+  FaultInjector inj(3, plan);
+
+  SyncHub hub(2);
+  hub.set_fault_injector(&inj);
+  EXPECT_FALSE(hub.publish(0, Input{1}));  // dropped
+  EXPECT_TRUE(hub.publish(0, Input{2}));   // next occurrence passes
+  EXPECT_EQ(hub.total_published(), 1u);
+  EXPECT_EQ(hub.stats().dropped_faults, 1u);
+}
+
+TEST(SyncHubTest, ConcurrentPublishFetchWithEviction) {
+  constexpr u32 kInstances = 8;
+  constexpr int kPerThread = 500;
+  SyncHubOptions opts;
+  opts.num_instances = kInstances;
+  opts.max_records = 256;
+  SyncHub hub(opts);
+
+  std::vector<std::thread> threads;
+  for (u32 id = 0; id < kInstances; ++id) {
+    threads.emplace_back([&hub, id]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        hub.publish(id, Input{static_cast<u8>(id), static_cast<u8>(i)});
+        hub.fetch_new(id);
+        if (i % 100 == 0) hub.reset_cursor(id);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const SyncHubStats s = hub.stats();
+  EXPECT_EQ(s.total_published, u64{kInstances} * kPerThread);
+  EXPECT_EQ(s.live_records, 256u);
+  EXPECT_EQ(s.evicted, u64{kInstances} * kPerThread - 256u);
 }
 
 TEST(ParallelCampaignTest, InstancesShareFindings) {
