@@ -14,7 +14,8 @@
 
 using namespace bigmap;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "ablation_collafl");
   bench::print_header(
       "§VI ablation — CollAFL static assignment vs. BigMap",
       "CollAFL eliminates collisions but must size the map to the static "
@@ -56,7 +57,7 @@ int main() {
          assignment.hashed_fallback() == 0 ? "0%" : ">0%",
          fmt_count(r.used_key)});
   }
-  table.print(std::cout);
+  bench::emit("collafl_vs_bigmap", table);
 
   std::printf(
       "\nReading: CollAFL needs a map sized to the static edges (last LLVM "
@@ -65,5 +66,5 @@ int main() {
       "map while its per-test-case costs track the visited keys only — "
       "and it composes with N-gram/context metrics, which CollAFL's "
       "static edge assignment cannot host.\n");
-  return 0;
+  return bench::finish();
 }

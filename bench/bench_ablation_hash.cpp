@@ -23,7 +23,8 @@ u32 hash_up_to_used_key(const TwoLevelCoverageMap& m) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "ablation_hash");
   bench::print_header(
       "§IV-D ablation — hash-up-to-last-nonzero rule",
       "hashing [0, used_key) gives wrong duplicates; hashing to the last "
@@ -55,10 +56,18 @@ int main() {
   const u32 p3_naive = hash_up_to_used_key(m);
 
   std::printf("P1 vs P3 (same path, used_key grew in between):\n");
-  std::printf("  naive [0,used_key) hash: %08x vs %08x  -> %s\n", p1_naive,
-              p3_naive, p1_naive == p3_naive ? "match" : "MISMATCH (bug)");
-  std::printf("  last-non-zero rule:      %08x vs %08x  -> %s\n\n", p1_rule,
-              p3_rule, p1_rule == p3_rule ? "match (correct)" : "MISMATCH");
+  TableWriter correctness({"Hash rule", "P1", "P3", "Verdict"});
+  char buf[16];
+  auto hex = [&](u32 v) {
+    std::snprintf(buf, sizeof(buf), "%08x", v);
+    return std::string(buf);
+  };
+  correctness.add_row({"naive [0,used_key)", hex(p1_naive), hex(p3_naive),
+                       p1_naive == p3_naive ? "match" : "MISMATCH (bug)"});
+  correctness.add_row({"last-non-zero rule", hex(p1_rule), hex(p3_rule),
+                       p1_rule == p3_rule ? "match (correct)" : "MISMATCH"});
+  bench::emit("hash_rule_correctness", correctness);
+  std::printf("\n");
 
   // ---- cost: rule vs. naive on a realistically-filled map -----------------
   TwoLevelCoverageMap big(o);
@@ -75,12 +84,16 @@ int main() {
 
   std::printf("hash cost on %u used keys (%d iterations):\n",
               big.used_key(), iters);
-  std::printf("  last-non-zero rule: %.2f us/hash\n",
-              static_cast<double>(t1 - t0) / iters / 1000.0);
-  std::printf("  naive used_key:     %.2f us/hash\n",
-              static_cast<double>(t2 - t1) / iters / 1000.0);
+  TableWriter cost({"Hash rule", "us/hash"});
+  cost.add_row({"last-non-zero rule",
+                fmt_double(static_cast<double>(t1 - t0) / iters / 1000.0,
+                           2)});
+  cost.add_row({"naive used_key",
+                fmt_double(static_cast<double>(t2 - t1) / iters / 1000.0,
+                           2)});
+  bench::emit("hash_rule_cost", cost);
   __asm__ volatile("" : : "r"(sink) : "memory");  // keep the loops alive
   std::printf("\n(The rule scans backward over trailing zeros once per "
               "hash — noise-level overhead.)\n");
-  return 0;
+  return bench::finish();
 }

@@ -11,7 +11,8 @@
 
 using namespace bigmap;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "ablation_ngram");
   bench::print_header(
       "Metric ablation — map pressure of edge vs. N-gram{2,3,4,8} vs. "
       "context coverage",
@@ -50,10 +51,10 @@ int main() {
          fmt_double(collision_rate(65536.0, r.used_key) * 100, 1) + "%",
          fmt_double(r.steady_throughput(), 0)});
   }
-  table.print(std::cout);
+  bench::emit("map_pressure", table);
   std::printf(
       "\nBigMap's costs track the distinct-key count, not the map size — "
       "so even the 8-gram's key population runs at full speed on an 8MB "
       "map.\n");
-  return 0;
+  return bench::finish();
 }

@@ -26,7 +26,8 @@ double run_config(const GeneratedTarget& target,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "ablation_optimizations");
   bench::print_header(
       "§IV-E ablations — merged classify+compare, non-temporal reset, huge "
       "pages",
@@ -60,10 +61,10 @@ int main() {
                      rel(huge), rel(all)});
     }
   }
-  table.print(std::cout);
+  bench::emit("optimizations", table);
   std::printf(
       "\nShape check: '+merged' should help the flat scheme at 2MB the "
       "most; NT reset should not hurt BigMap (its reset touches only the "
       "used region).\n");
-  return 0;
+  return bench::finish();
 }

@@ -13,7 +13,8 @@
 
 using namespace bigmap;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "ablation_tlb");
   bench::print_header(
       "§IV-E ablation — DTLB pressure and huge pages (modeled 64/512-entry "
       "DTLB)",
@@ -40,10 +41,10 @@ int main() {
       }
     }
   }
-  table.print(std::cout);
+  bench::emit("tlb_pressure", table);
   std::printf(
       "\nShape check: AFL @8M on 4k pages should show thousands of walks "
       "per execution, collapsing to ~zero on 2M pages; BigMap should be "
       "near-zero in all configurations.\n");
-  return 0;
+  return bench::finish();
 }

@@ -65,7 +65,7 @@ void run_real_thread_section() {
                    fmt_count(crashes[1]), fmt_count(execs[0]),
                    fmt_count(execs[1]), std::to_string(restarts)});
   }
-  table.print(std::cout);
+  bench::emit("real_thread_crashes", table);
   std::printf(
       "Note: concurrent instances share one SyncHub and a per-instance "
       "exec budget; on a single-core host the schemes' wall-clock gap "
@@ -74,7 +74,8 @@ void run_real_thread_section() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "fig10");
   bench::print_header(
       "Figure 10 — Unique crashes vs. number of instances (2MB map)",
       "AFL's crash yield suffers from its throughput collapse; BigMap "
@@ -148,7 +149,7 @@ int main() {
                      fmt_count(execs[1])});
     }
   }
-  table.print(std::cout);
+  bench::emit("unique_crashes", table);
 
   std::printf("\nTotals (Crashwalk-unique, unioned across instances):\n");
   TableWriter tot({"Instances", "AFL", "BigMap", "BigMap advantage"});
@@ -162,7 +163,7 @@ int main() {
     tot.add_row({std::to_string(counts[ci]), fmt_count(totals[0][ci]),
                  fmt_count(totals[1][ci]), fmt_double(adv, 0) + "%"});
   }
-  tot.print(std::cout);
+  bench::emit("totals", tot);
   std::printf("\nPaper: +20%% / +36%% / +49%% more crashes at 4/8/12 "
               "instances.\n");
 
@@ -173,5 +174,5 @@ int main() {
         "\nSet BIGMAP_REAL_THREADS=1 for measured real-thread supervised "
         "campaigns alongside the virtual-time protocol.\n");
   }
-  return 0;
+  return bench::finish();
 }

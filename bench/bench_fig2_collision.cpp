@@ -9,7 +9,8 @@
 
 using namespace bigmap;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "fig2");
   bench::print_header(
       "Figure 2 — Collision rate vs. bitmap size (Equation 1)",
       "collision rate drops as the bitmap grows; 64kB maps see ~30% at 50k "
@@ -33,7 +34,7 @@ int main() {
     }
     table.add_row(std::move(row));
   }
-  table.print(std::cout);
+  bench::emit("collision_rate", table);
 
   // Monte-Carlo validation of Equation 1 at a few grid points.
   std::printf("\nMonte-Carlo cross-check (empirical vs Equation 1):\n");
@@ -52,7 +53,7 @@ int main() {
                            3) +
                     "%"});
   }
-  mc.print(std::cout);
+  bench::emit("monte_carlo_check", mc);
 
   // §III: birthday bound cited in the paper.
   std::printf(
@@ -60,5 +61,5 @@ int main() {
       "IDs (paper: ~300)\n",
       static_cast<unsigned long long>(
           keys_for_collision_probability(65536, 0.5)));
-  return 0;
+  return bench::finish();
 }

@@ -14,7 +14,8 @@
 
 using namespace bigmap;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "fig3");
   bench::print_header(
       "Figure 3 — Runtime composition vs. map size (time per 1M test cases)",
       "map operations are negligible at 64kB but dominate at 8MB (AFL)");
@@ -65,9 +66,9 @@ int main() {
                      fmt_double(map_pct, 1)});
     }
   }
-  table.print(std::cout);
+  bench::emit("runtime_composition", table);
   std::printf(
       "\nShape check: MapOps%% should be small at 64k and dominate (>50%%) "
       "at 8M, mirroring the paper's stacked bars.\n");
-  return 0;
+  return bench::finish();
 }

@@ -9,7 +9,8 @@
 
 using namespace bigmap;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "fig6");
   bench::print_header(
       "Figure 6 — Throughput vs. map size (AFL vs. BigMap)",
       "AFL collapses as maps grow (avg 4,400/s @64kB to 125/s @8MB); "
@@ -46,7 +47,7 @@ int main() {
                      fmt_double(tput[1], 0), fmt_double(speedup, 2) + "x"});
     }
   }
-  table.print(std::cout);
+  bench::emit("throughput", table);
 
   std::printf("\nAverages across %d benchmarks:\n", count);
   TableWriter avg({"Map", "AFL avg exec/s", "BigMap avg exec/s",
@@ -58,6 +59,6 @@ int main() {
                  fmt_double(std::exp(geo_sum[si] / count), 2) + "x",
                  paper[si]});
   }
-  avg.print(std::cout);
-  return 0;
+  bench::emit("averages", avg);
+  return bench::finish();
 }

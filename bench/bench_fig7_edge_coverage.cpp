@@ -10,7 +10,8 @@
 
 using namespace bigmap;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "fig7");
   bench::print_header(
       "Figure 7 — Edge coverage vs. map size (fixed time budget)",
       "AFL's edge coverage degrades on big maps (throughput loss); BigMap "
@@ -47,10 +48,10 @@ int main() {
                      fmt_count(execs[1])});
     }
   }
-  table.print(std::cout);
+  bench::emit("edge_coverage", table);
   std::printf(
       "\nShape check: BigMap's edge column should be roughly constant per "
       "benchmark across map sizes; AFL's should fall off at 2M/8M on the "
       "bigger benchmarks.\n");
-  return 0;
+  return bench::finish();
 }

@@ -10,7 +10,8 @@
 
 using namespace bigmap;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "fig8");
   bench::print_header(
       "Figure 8 — Unique crashes vs. map size (LLVM benchmarks)",
       "AFL finds the most crashes at 256kB and degrades on bigger maps; "
@@ -41,7 +42,7 @@ int main() {
                      fmt_count(cw[1]), fmt_count(gt[0]), fmt_count(gt[1])});
     }
   }
-  table.print(std::cout);
+  bench::emit("unique_crashes", table);
 
   std::printf("\nTotals across the suite (Crashwalk-unique):\n");
   TableWriter tot({"Map", "AFL", "BigMap"});
@@ -49,9 +50,9 @@ int main() {
     tot.add_row({fmt_bytes(sizes[si]), fmt_count(totals[0][si]),
                  fmt_count(totals[1][si])});
   }
-  tot.print(std::cout);
+  bench::emit("totals", tot);
   std::printf(
       "\nShape check: AFL's total should peak at 256kB and fall at 2M/8M; "
       "BigMap's should be flat or rising with map size.\n");
-  return 0;
+  return bench::finish();
 }

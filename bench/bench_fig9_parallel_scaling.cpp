@@ -21,6 +21,7 @@
 #include "cachesim/smp.h"
 #include "fuzzer/supervisor.h"
 #include "target/generator.h"
+#include "telemetry/emit.h"
 
 using namespace bigmap;
 
@@ -44,12 +45,18 @@ void run_real_thread_section() {
   const u32 counts[] = {1, 2, 4};
   TableWriter table(
       {"Scheme", "n=1", "n=2", "n=4", "execs/s (n=4)", "restarts"});
+  // Telemetry cross-check: each instance's last plot_data row carries its
+  // lifetime exec count (the sink survives restarts); their sum must equal
+  // the fleet total the supervisor stamps at the end of the run.
+  TableWriter check({"Scheme", "n", "sum(plot_data execs)", "fleet total",
+                     "supervisor execs", "match"});
   for (MapScheme scheme : {MapScheme::kFlat, MapScheme::kTwoLevel}) {
     std::vector<std::string> row{map_scheme_name(scheme)};
     double base = 0;
     double last_agg = 0;
     u64 restarts = 0;
     for (u32 n : counts) {
+      telemetry::FleetTelemetry fleet(n);
       SupervisorConfig sc;
       sc.num_instances = n;
       sc.base.scheme = scheme;
@@ -57,6 +64,9 @@ void run_real_thread_section() {
       sc.base.max_execs = 0;
       sc.base.max_seconds = bench::config_seconds(0.5);
       sc.base.seed = 0xF19;
+      sc.base.telemetry_interval = 2048;
+      sc.telemetry = &fleet;
+      sc.fleet_stamp_ms = 50;
       auto r = run_supervised_campaign(target.program, seeds, sc);
       if (n == counts[0]) base = r.aggregate_throughput;
       last_agg = r.aggregate_throughput;
@@ -64,12 +74,37 @@ void run_real_thread_section() {
       row.push_back(
           fmt_double(base > 0 ? r.aggregate_throughput / base : 0.0, 2) +
           "x");
+
+      u64 plot_sum = 0;
+      for (u32 id = 0; id < n; ++id) {
+        plot_sum += fleet.instance(id).latest().execs;
+      }
+      const bool match = plot_sum == r.fleet_total.execs &&
+                         r.fleet_total.execs == r.total_execs;
+      check.add_row({map_scheme_name(scheme), std::to_string(n),
+                     fmt_count(plot_sum), fmt_count(r.fleet_total.execs),
+                     fmt_count(r.total_execs), match ? "yes" : "MISMATCH"});
+
+      if (n == counts[2]) {
+        bench::report().add_series(
+            std::string("fleet_") + map_scheme_name(scheme),
+            fleet.fleet_series());
+        if (!bench::telemetry_dir().empty()) {
+          telemetry::StatsEmitter emitter(bench::telemetry_dir() + "/" +
+                                          map_scheme_name(scheme));
+          if (!emitter.emit_fleet(fleet, "bigmap-bench-fig9")) {
+            std::fprintf(stderr, "warning: telemetry emission to %s failed\n",
+                         emitter.root().c_str());
+          }
+        }
+      }
     }
     row.push_back(fmt_double(last_agg, 0));
     row.push_back(std::to_string(restarts));
     table.add_row(std::move(row));
   }
-  table.print(std::cout);
+  bench::emit("real_thread_scaling", table);
+  bench::emit("telemetry_consistency", check);
   std::printf(
       "Note: measured on this host's real cores — scaling flattens at the "
       "physical core count; the simulated section above models the paper's "
@@ -91,7 +126,8 @@ constexpr Profile kProfiles[] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "fig9");
   bench::print_header(
       "Figure 9 — Parallel-fuzzing scalability at a 2MB map (simulated "
       "12-core Xeon E5645)",
@@ -133,7 +169,7 @@ int main() {
     }
   }
   std::printf("(a) Aggregate throughput normalized to one instance:\n");
-  table.print(std::cout);
+  bench::emit("normalized_throughput", table);
 
   std::printf("\n(b) BigMap speedup over AFL at equal instance counts "
               "(average over benchmarks):\n");
@@ -145,7 +181,7 @@ int main() {
                 fmt_double(sum_speedup[ci] / kNumProfiles, 1) + "x",
                 paper[ci]});
   }
-  sp.print(std::cout);
+  bench::emit("speedup_vs_afl", sp);
   std::printf(
       "\nNote: the paper normalizes (b) to AFL at the same instance count; "
       "absolute ratios here inherit this reproduction's single-instance "
@@ -160,5 +196,5 @@ int main() {
         "\nSet BIGMAP_REAL_THREADS=1 for measured real-thread supervised "
         "campaigns alongside the simulation.\n");
   }
-  return 0;
+  return bench::finish();
 }

@@ -7,6 +7,8 @@
 // while two-level cost tracks the used-key count.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "core/flat_map.h"
@@ -130,4 +132,34 @@ BENCHMARK(BM_HashTwoLevel)->Arg(1 << 16)->Arg(2 << 20)->Arg(8 << 20);
 }  // namespace
 }  // namespace bigmap
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): translates the repo-wide
+// `--json <path>` / BIGMAP_BENCH_JSON convention into google-benchmark's
+// own JSON reporter flags, so CI collects BENCH_micro.json with the same
+// one switch it uses for the table benches. All other arguments pass
+// through to the benchmark library untouched.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  const char* json_path = std::getenv("BIGMAP_BENCH_JSON");
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[i + 1];
+      args.erase(args.begin() + i, args.begin() + i + 2);
+      break;
+    }
+  }
+  if (json_path != nullptr) {
+    out_flag = std::string("--benchmark_out=") + json_path;
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -58,7 +58,9 @@ void report(MapScheme scheme, usize map_size) {
                fmt_double(s->memory_rate() * 100, 1),
                locality_label(*s), pollution_label(occ)});
   }
-  t.print(std::cout);
+  bench::emit(std::string("access_patterns_") + map_scheme_name(scheme) +
+                  "_" + fmt_bytes(map_size),
+              t);
   std::printf(
       "  L3 occupancy by map data: %.1f%% | app working-set miss rate: "
       "%.2f%%\n\n",
@@ -67,7 +69,8 @@ void report(MapScheme scheme, usize map_size) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "table1");
   bench::print_header(
       "Table I — Access patterns of the bitmap operations",
       "AFL: whole-map ops have low temporal locality and high cache "
@@ -78,5 +81,5 @@ int main() {
     report(MapScheme::kFlat, size);
     report(MapScheme::kTwoLevel, size);
   }
-  return 0;
+  return bench::finish();
 }

@@ -13,7 +13,8 @@
 
 using namespace bigmap;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "table2");
   bench::print_header(
       "Table II — Benchmark characteristics (paper vs. this reproduction)",
       "19 benchmarks spanning ~1k-131k discoverable edges and 0.5%-57% "
@@ -48,10 +49,10 @@ int main() {
                    fmt_count(target.program.static_edge_count()),
                    info.version});
   }
-  table.print(std::cout);
+  bench::emit("benchmarks", table);
   std::printf(
       "\nShape check: measured discovered/static edges should track the "
       "paper column within a small factor, and the collision-rate ordering "
       "must match (zlib lowest ... instcombine highest).\n");
-  return 0;
+  return bench::finish();
 }

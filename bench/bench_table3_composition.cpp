@@ -13,7 +13,8 @@
 
 using namespace bigmap;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "table3");
   bench::print_header(
       "Table III — laf-intel + N-gram composition, 64kB vs 2MB (both "
       "BigMap)",
@@ -65,7 +66,7 @@ int main() {
     sum_keys_2m += static_cast<double>(keys[1]);
     ++rows;
   }
-  table.print(std::cout);
+  bench::emit("composition", table);
 
   if (rows > 0 && sum_crash_64k > 0) {
     std::printf(
@@ -75,5 +76,5 @@ int main() {
         sum_crash_2m / rows,
         100.0 * (sum_crash_2m - sum_crash_64k) / sum_crash_64k);
   }
-  return 0;
+  return bench::finish();
 }

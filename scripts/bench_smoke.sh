@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# Bench smoke pass: run the two headline benches at a reduced scale with
+# machine-readable output and validate the BENCH_*.json schema. CI runs
+# this to catch bench bit-rot and schema drift without paying for a
+# full-scale reproduction.
+#
+# Usage: scripts/bench_smoke.sh [output-dir]   (default: bench-artifacts)
+# Requires the bench binaries to be built (scripts/verify.sh or
+# `cmake --build build --target bench_fig6_throughput bench_fig9_parallel_scaling`).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT_DIR="${1:-bench-artifacts}"
+BUILD_DIR="${BUILD_DIR:-build}"
+export BIGMAP_BENCH_SCALE="${BIGMAP_BENCH_SCALE:-0.2}"
+
+mkdir -p "$OUT_DIR"
+
+echo "== bench_fig6_throughput (scale $BIGMAP_BENCH_SCALE) =="
+"$BUILD_DIR/bench/bench_fig6_throughput" --json "$OUT_DIR/BENCH_fig6.json"
+
+echo
+echo "== bench_fig9_parallel_scaling (scale $BIGMAP_BENCH_SCALE, real threads) =="
+BIGMAP_REAL_THREADS=1 "$BUILD_DIR/bench/bench_fig9_parallel_scaling" \
+  --json "$OUT_DIR/BENCH_fig9.json" \
+  --telemetry-dir "$OUT_DIR/telemetry_fig9"
+
+echo
+echo "== validating JSON schema and telemetry consistency =="
+python3 - "$OUT_DIR" <<'EOF'
+import json
+import os
+import sys
+
+out_dir = sys.argv[1]
+failures = []
+
+
+def check(cond, msg):
+    if not cond:
+        failures.append(msg)
+
+
+def load(name, expect_bench, expect_tables):
+    path = os.path.join(out_dir, name)
+    with open(path) as f:
+        doc = json.load(f)
+    check(doc.get("schema_version") == 1, f"{name}: schema_version != 1")
+    check(doc.get("bench") == expect_bench, f"{name}: bench != {expect_bench}")
+    check(isinstance(doc.get("scale"), (int, float)), f"{name}: scale missing")
+    check(isinstance(doc.get("meta"), dict), f"{name}: meta missing")
+    names = [t["name"] for t in doc.get("tables", [])]
+    for want in expect_tables:
+        check(want in names, f"{name}: missing table {want!r}")
+    for t in doc.get("tables", []):
+        ncols = len(t["columns"])
+        check(ncols > 0, f"{name}: table {t['name']} has no columns")
+        for row in t["rows"]:
+            check(len(row) == ncols,
+                  f"{name}: ragged row in table {t['name']}")
+    return doc
+
+
+fig6 = load("BENCH_fig6.json", "fig6", ["throughput", "averages"])
+fig9 = load("BENCH_fig9.json", "fig9",
+            ["normalized_throughput", "speedup_vs_afl",
+             "real_thread_scaling", "telemetry_consistency"])
+
+# Every real-thread run must report plot_data/fleet/supervisor exec
+# agreement (the telemetry acceptance invariant).
+consistency = next(t for t in fig9["tables"]
+                   if t["name"] == "telemetry_consistency")
+check(len(consistency["rows"]) > 0, "fig9: empty telemetry_consistency")
+for row in consistency["rows"]:
+    check(row[-1] == "yes",
+          f"fig9: telemetry mismatch in row {row}")
+
+# Fleet series snapshots must be present and monotone in execs.
+check(len(fig9.get("series", [])) >= 2, "fig9: missing fleet series")
+for series in fig9["series"]:
+    execs = [s["execs"] for s in series["snapshots"]]
+    check(execs == sorted(execs),
+          f"fig9: non-monotone exec series {series['name']}")
+
+# Emitted AFL-style trees: fuzzer_stats + plot_data for fleet and each
+# instance of the n=4 runs, under <scheme>/.
+tdir = os.path.join(out_dir, "telemetry_fig9")
+for scheme in ("AFL", "BigMap"):
+    for sub in ("fleet", "instance_0", "instance_3"):
+        for fname in ("fuzzer_stats", "plot_data"):
+            p = os.path.join(tdir, scheme, sub, fname)
+            check(os.path.isfile(p), f"missing telemetry file {p}")
+
+if failures:
+    print("SMOKE FAILURES:")
+    for f in failures:
+        print(" -", f)
+    sys.exit(1)
+print("bench smoke OK:",
+      f"fig6 tables={len(fig6['tables'])},",
+      f"fig9 tables={len(fig9['tables'])},",
+      f"series={len(fig9['series'])}")
+EOF

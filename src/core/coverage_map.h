@@ -73,6 +73,11 @@ class CoverageMapVariant {
     return std::visit([](const auto& m) { return m.count_nonzero(); }, map_);
   }
 
+  MapOpCounts op_counts() const noexcept {
+    return std::visit(
+        [](const auto& m) -> MapOpCounts { return m.op_counts(); }, map_);
+  }
+
   // Concrete access for scheme-specific introspection.
   FlatCoverageMap* as_flat() noexcept {
     return std::get_if<FlatCoverageMap>(&map_);

@@ -27,6 +27,7 @@ FlatCoverageMap::FlatCoverageMap(const MapOptions& opt)
       merged_classify_compare_(opt.merged_classify_compare) {}
 
 void FlatCoverageMap::reset() noexcept {
+  ++ops_.resets;
   if (nontemporal_reset_) {
     memset_zero_nontemporal(trace_.data(), trace_.size());
   } else {
@@ -35,16 +36,20 @@ void FlatCoverageMap::reset() noexcept {
 }
 
 void FlatCoverageMap::classify() noexcept {
+  ++ops_.classifies;
   classify_counts(trace_.data(), trace_.size());
 }
 
 NewBits FlatCoverageMap::compare_update(VirginMap& virgin) noexcept {
+  ++ops_.compares;
   return compare_and_update_virgin(trace_.data(), virgin.data(),
                                    trace_.size());
 }
 
 NewBits FlatCoverageMap::classify_and_compare(VirginMap& virgin) noexcept {
   if (merged_classify_compare_) {
+    ++ops_.classifies;
+    ++ops_.compares;
     return classify_compare_update(trace_.data(), virgin.data(),
                                    trace_.size());
   }
@@ -52,7 +57,10 @@ NewBits FlatCoverageMap::classify_and_compare(VirginMap& virgin) noexcept {
   return compare_update(virgin);
 }
 
-u32 FlatCoverageMap::hash() const noexcept { return crc32(trace_.span()); }
+u32 FlatCoverageMap::hash() const noexcept {
+  ++ops_.hashes;
+  return crc32(trace_.span());
+}
 
 usize FlatCoverageMap::count_nonzero() const noexcept {
   usize n = 0;

@@ -64,6 +64,9 @@ class FlatCoverageMap {
   // Number of distinct map positions currently non-zero.
   usize count_nonzero() const noexcept;
 
+  // Lifetime whole-map scan counts (telemetry; see MapOpCounts).
+  const MapOpCounts& op_counts() const noexcept { return ops_; }
+
   PageBackingResult backing() const noexcept { return trace_.backing(); }
 
  private:
@@ -71,6 +74,7 @@ class FlatCoverageMap {
   u32 mask_;
   bool nontemporal_reset_;
   bool merged_classify_compare_;
+  mutable MapOpCounts ops_;  // mutable: hash() is const
 };
 
 }  // namespace bigmap

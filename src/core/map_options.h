@@ -48,4 +48,15 @@ struct MapOptions {
 // std::invalid_argument on violation.
 void validate_map_options(const MapOptions& opt);
 
+// Lifetime whole-map operation counts, one per op *call* (a merged
+// classify+compare pass counts one of each). update() is deliberately not
+// counted per edge so the Listing 1/2 hot path stays untouched; telemetry
+// snapshots read these to attribute scan work (the Figure 3 cost centers).
+struct MapOpCounts {
+  u64 resets = 0;
+  u64 classifies = 0;
+  u64 compares = 0;
+  u64 hashes = 0;
+};
+
 }  // namespace bigmap

@@ -40,10 +40,12 @@ u32 TwoLevelCoverageMap::allocate_slot(u32* slot) noexcept {
 }
 
 void TwoLevelCoverageMap::reset() noexcept {
+  ++ops_.resets;
   std::memset(coverage_.data(), 0, used_key_);
 }
 
 void TwoLevelCoverageMap::classify() noexcept {
+  ++ops_.classifies;
   // Whole words first, bytewise tail: used_key is not always a multiple
   // of 8.
   const usize aligned = used_key_ & ~static_cast<usize>(7);
@@ -52,12 +54,15 @@ void TwoLevelCoverageMap::classify() noexcept {
 }
 
 NewBits TwoLevelCoverageMap::compare_update(VirginMap& virgin) noexcept {
+  ++ops_.compares;
   return compare_and_update_virgin(coverage_.data(), virgin.data(),
                                    used_key_);
 }
 
 NewBits TwoLevelCoverageMap::classify_and_compare(VirginMap& virgin) noexcept {
   if (merged_classify_compare_) {
+    ++ops_.classifies;
+    ++ops_.compares;
     return classify_compare_update(coverage_.data(), virgin.data(),
                                    used_key_);
   }
@@ -66,6 +71,7 @@ NewBits TwoLevelCoverageMap::classify_and_compare(VirginMap& virgin) noexcept {
 }
 
 u32 TwoLevelCoverageMap::hash() const noexcept {
+  ++ops_.hashes;
   // §IV-D: hash up to the last non-zero byte so the hash of a path is
   // independent of used_key growth caused by other paths.
   usize end = used_key_;

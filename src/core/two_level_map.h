@@ -106,6 +106,9 @@ class TwoLevelCoverageMap {
   // condensed_size == map_size.
   u64 saturated_updates() const noexcept { return saturated_; }
 
+  // Lifetime whole-map scan counts (telemetry; see MapOpCounts).
+  const MapOpCounts& op_counts() const noexcept { return ops_; }
+
   PageBackingResult coverage_backing() const noexcept {
     return coverage_.backing();
   }
@@ -125,6 +128,7 @@ class TwoLevelCoverageMap {
   u32 used_key_ = 0;
   u64 saturated_ = 0;
   bool merged_classify_compare_;
+  mutable MapOpCounts ops_;  // mutable: hash() is const
 };
 
 }  // namespace bigmap

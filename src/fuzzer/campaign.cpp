@@ -86,6 +86,40 @@ class Campaign {
     if (cfg_.control != nullptr) {
       cfg_.control->progress.fetch_add(1, std::memory_order_relaxed);
     }
+    if (cfg_.telemetry != nullptr) {
+      cfg_.telemetry->execs.add();
+    }
+  }
+
+  // Refreshes the map-state gauges and appends one StatsSnapshot to the
+  // sink. Gauge refresh scans the virgin map, so this runs only on the
+  // stamp cadence (and at finalize), charged to kOther like the coverage
+  // series sampler.
+  void stamp_telemetry() {
+    telemetry::TelemetrySink& t = *cfg_.telemetry;
+    ScopedOpTimer timer(res_.timing, MapOp::kOther);
+    t.queue_depth.set(queue_.size());
+    t.covered_positions.set(ex_.virgin_queue().count_covered());
+    t.map_positions.set(ex_.virgin_positions());
+    if constexpr (Map::kScheme == MapScheme::kTwoLevel) {
+      t.used_key.set(ex_.map().used_key());
+      t.saturated_updates.set(ex_.map().saturated_updates());
+    }
+    const MapOpCounts& ops = ex_.map().op_counts();
+    t.map_resets.set(ops.resets);
+    t.map_classifies.set(ops.classifies);
+    t.map_compares.set(ops.compares);
+    t.map_hashes.set(ops.hashes);
+    t.stamp();
+  }
+
+  void maybe_stamp_telemetry() {
+    if (cfg_.telemetry == nullptr || cfg_.telemetry_interval == 0 ||
+        res_.execs < next_stamp_) {
+      return;
+    }
+    next_stamp_ = res_.execs + cfg_.telemetry_interval;
+    stamp_telemetry();
   }
 
   // Consults the fault injector before an execution. Returns false when
@@ -99,6 +133,7 @@ class Campaign {
     }
     if (cfg_.fault->fire(FaultSite::kTransientHang, cfg_.sync_id)) {
       ++res_.injected_hangs;
+      if (cfg_.telemetry != nullptr) cfg_.telemetry->injected_hangs.add();
       const u64 deadline_ns =
           monotonic_ns() + static_cast<u64>(cfg_.fault->hang_ms()) * 1000000;
       while (monotonic_ns() < deadline_ns) {
@@ -111,6 +146,7 @@ class Campaign {
     }
     if (cfg_.fault->fire(FaultSite::kExecAbort, cfg_.sync_id)) {
       ++res_.faulted_execs;
+      if (cfg_.telemetry != nullptr) cfg_.telemetry->faulted_execs.add();
       return false;
     }
     return true;
@@ -124,23 +160,33 @@ class Campaign {
     ++res_.execs;
     note_exec();
     maybe_sample_series();
+    maybe_stamp_telemetry();
+    if (cfg_.telemetry != nullptr) cfg_.telemetry->exec_ns.record(out.exec_ns);
 
     if (out.exec.crashed()) {
+      if (cfg_.telemetry != nullptr) cfg_.telemetry->crashes.add();
       triage_.record(out.exec, out.outcome_new_bits != NewBits::kNone);
       return false;
     }
     if (out.exec.hung()) {
       ++res_.hangs;
+      if (cfg_.telemetry != nullptr) cfg_.telemetry->hangs.add();
       return false;
     }
 
     const bool fresh = out.interesting();
-    if (fresh) ++res_.interesting;
+    if (fresh) {
+      ++res_.interesting;
+      if (cfg_.telemetry != nullptr) cfg_.telemetry->interesting.add();
+    }
     if (!fresh && !is_seed) return false;
 
     ScopedOpTimer t(res_.timing, MapOp::kOther);
     if (cfg_.sync != nullptr && fresh) {
-      cfg_.sync->publish(cfg_.sync_id, input);
+      if (cfg_.sync->publish(cfg_.sync_id, input) &&
+          cfg_.telemetry != nullptr) {
+        cfg_.telemetry->sync_published.add();
+      }
     }
     const u64 sched_ns = cfg_.deterministic_timing
                              ? out.exec.steps * 100  // pseudo-time
@@ -203,7 +249,9 @@ class Campaign {
         ++res_.execs;
         ++res_.trim_execs;
         note_exec();
+        if (cfg_.telemetry != nullptr) cfg_.telemetry->trim_execs.add();
         maybe_sample_series();
+        maybe_stamp_telemetry();
 
         if (sr.exec.outcome == ExecResult::Outcome::kOk &&
             sr.hash == target_hash) {
@@ -280,6 +328,7 @@ class Campaign {
     next_sync_ = res_.execs + cfg_.sync_interval;
     for (Input& imported : cfg_.sync->fetch_new(cfg_.sync_id)) {
       if (exhausted()) break;
+      if (cfg_.telemetry != nullptr) cfg_.telemetry->sync_imported.add();
       process(std::move(imported), 0, false);
     }
   }
@@ -320,6 +369,9 @@ class Campaign {
   }
 
   void finalize() {
+    // Always leave a final snapshot so the last plot_data row reflects the
+    // instance's lifetime totals (fleet sums rely on this).
+    if (cfg_.telemetry != nullptr) stamp_telemetry();
     res_.wall_seconds =
         static_cast<double>(monotonic_ns() - start_ns_) * 1e-9;
     res_.covered_positions = ex_.virgin_queue().count_covered();
@@ -359,6 +411,7 @@ class Campaign {
   u64 start_ns_ = 0;
   u64 next_sync_ = 0;
   u64 next_sample_ = 0;
+  u64 next_stamp_ = 0;
 };
 
 template <class Metric>

@@ -18,6 +18,7 @@
 #include "fuzzer/sync.h"
 #include "instrumentation/metrics.h"
 #include "target/program.h"
+#include "telemetry/sink.h"
 #include "util/fault.h"
 #include "util/timing.h"
 #include "util/types.h"
@@ -96,6 +97,14 @@ struct CampaignConfig {
   // faults into the exec / sync / allocation paths, keyed by sync_id.
   CampaignControl* control = nullptr;
   FaultInjector* fault = nullptr;
+
+  // Telemetry (optional). When non-null, the campaign bumps the sink's
+  // lock-free counters on the hot path and stamps a StatsSnapshot — map
+  // gauges refreshed, rates computed — every telemetry_interval execs and
+  // once at finalize. The sink is owned by the caller (the supervisor keeps
+  // one per instance slot, so counters accumulate across restarts).
+  telemetry::TelemetrySink* telemetry = nullptr;
+  u64 telemetry_interval = 16384;
 };
 
 struct CampaignResult {

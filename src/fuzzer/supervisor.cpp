@@ -5,6 +5,7 @@
 #include <cmath>
 #include <memory>
 #include <thread>
+#include <stdexcept>
 #include <unordered_set>
 #include <utility>
 
@@ -63,6 +64,17 @@ SupervisorResult run_supervised_campaign(const Program& program,
                                          const SupervisorConfig& config) {
   SupervisorResult out;
   if (config.num_instances == 0) return out;
+  telemetry::FleetTelemetry* fleet = config.telemetry;
+  if (fleet != nullptr && fleet->num_instances() < config.num_instances) {
+    throw std::invalid_argument(
+        "run_supervised_campaign: FleetTelemetry has " +
+        std::to_string(fleet->num_instances()) + " sinks for " +
+        std::to_string(config.num_instances) + " instances");
+  }
+  if (fleet != nullptr && config.fault != nullptr) {
+    // Fault-injection runs become observable in the same scrape.
+    config.fault->set_registry(&fleet->registry());
+  }
 
   SyncHubOptions hub_opts;
   hub_opts.num_instances = config.num_instances;
@@ -108,6 +120,9 @@ SupervisorResult run_supervised_campaign(const Program& program,
         c.is_master = (s.id == 0);
         c.control = s.control.get();
         c.fault = config.fault;
+        if (config.telemetry != nullptr) {
+          c.telemetry = &config.telemetry->instance(s.id);
+        }
         s.result = run_campaign(program, seeds, c);
         s.has_result = true;
       } catch (const std::bad_alloc&) {
@@ -145,6 +160,7 @@ SupervisorResult run_supervised_campaign(const Program& program,
       absorb_result(s);
       if (s.result.fault_aborted) {
         ++s.health.kills;
+        if (fleet != nullptr) fleet->kills().add();
         restart_needed = true;
       } else if (s.stall_requested && !reached_own_bound(config.base,
                                                          s.result)) {
@@ -153,7 +169,10 @@ SupervisorResult run_supervised_campaign(const Program& program,
         restart_needed = false;
       }
     } else {
-      if (s.bad_alloc) ++s.health.alloc_failures;
+      if (s.bad_alloc) {
+        ++s.health.alloc_failures;
+        if (fleet != nullptr) fleet->alloc_failures().add();
+      }
       s.health.last_error = s.error;
       restart_needed = true;
     }
@@ -184,7 +203,13 @@ SupervisorResult run_supervised_campaign(const Program& program,
       return;
     }
     ++s.health.restarts;
-    s.next_start_ns = monotonic_ns() + backoff_ns(config, s.health.restarts);
+    const u64 backoff = backoff_ns(config, s.health.restarts);
+    if (fleet != nullptr) {
+      fleet->restarts().add();
+      fleet->instance(s.id).restarts.add();
+      fleet->backoff_ms_total().add(backoff / 1000000);
+    }
+    s.next_start_ns = monotonic_ns() + backoff;
     // The restarted instance rebuilds its queue from the seeds; rewinding
     // its cursor lets it re-import everything the hub still retains.
     hub.reset_cursor(s.id);
@@ -192,9 +217,17 @@ SupervisorResult run_supervised_campaign(const Program& program,
   };
 
   bool wall_stop_issued = false;
+  u64 next_fleet_stamp_ns = start_ns;
   for (;;) {
     usize unfinished = 0;
     const u64 now = monotonic_ns();
+
+    if (fleet != nullptr && config.fleet_stamp_ms > 0 &&
+        now >= next_fleet_stamp_ns) {
+      next_fleet_stamp_ns =
+          now + static_cast<u64>(config.fleet_stamp_ms) * 1000000;
+      fleet->stamp_fleet();
+    }
 
     if (config.max_wall_seconds > 0.0 && !wall_stop_issued &&
         static_cast<double>(now - start_ns) * 1e-9 >
@@ -241,6 +274,7 @@ SupervisorResult run_supervised_campaign(const Program& program,
               // it does.
               s.stall_requested = true;
               ++s.health.stalls;
+              if (fleet != nullptr) fleet->stalls().add();
               s.control->stop.store(true, std::memory_order_relaxed);
             }
           }
@@ -280,6 +314,9 @@ SupervisorResult run_supervised_campaign(const Program& program,
           ? static_cast<double>(out.total_execs) / out.wall_seconds
           : 0.0;
   out.sync = hub.stats();
+  if (fleet != nullptr) {
+    out.fleet_total = fleet->stamp_fleet();
+  }
   return out;
 }
 

@@ -34,6 +34,7 @@
 #include "fuzzer/campaign.h"
 #include "fuzzer/sync.h"
 #include "target/program.h"
+#include "telemetry/sink.h"
 #include "util/fault.h"
 #include "util/types.h"
 
@@ -66,6 +67,16 @@ struct SupervisorConfig {
   // Optional deterministic fault schedule, applied to every instance
   // (keyed by instance id) and to the hub's publish path.
   FaultInjector* fault = nullptr;
+
+  // Optional fleet telemetry (must have >= num_instances sinks; validated).
+  // The supervisor hands instance(i) to campaign i — the sink survives
+  // restarts, so per-instance counters are lifetime totals — bumps the
+  // fleet's restart/stall/kill/alloc/backoff counters from the watchdog
+  // loop, mirrors the fault injector's per-site counters into
+  // telemetry->registry(), and stamps a fleet-level snapshot every
+  // fleet_stamp_ms plus once at the end.
+  telemetry::FleetTelemetry* telemetry = nullptr;
+  u32 fleet_stamp_ms = 100;
 
   // Safety net for tests: when > 0 and the whole supervised run exceeds
   // this, all instances get a stop request and the run winds down.
@@ -115,6 +126,12 @@ struct SupervisorResult {
   u64 faults_survived = 0;
 
   SyncHubStats sync;
+
+  // Final fleet-level telemetry snapshot (zero-initialized when the run
+  // had no FleetTelemetry attached). fleet_total.execs equals the summed
+  // lifetime execs of every instance sink — the cross-check the fig9 bench
+  // reports against total_execs.
+  telemetry::StatsSnapshot fleet_total;
 
   bool all_completed() const noexcept {
     for (const InstanceHealth& h : instances) {

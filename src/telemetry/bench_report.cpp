@@ -1,0 +1,132 @@
+#include "telemetry/bench_report.h"
+
+#include <fstream>
+
+#include "telemetry/json.h"
+
+namespace bigmap::telemetry {
+
+void write_snapshot_json(JsonWriter& w, const StatsSnapshot& s) {
+  w.begin_object();
+  if (s.instance_id == 0xFFFFFFFFu) {
+    w.field("instance", "fleet");
+  } else {
+    w.field("instance", s.instance_id);
+  }
+  w.field("relative_ms", s.relative_ms);
+  w.field("execs", s.execs);
+  w.field("execs_per_sec", s.execs_per_sec);
+  w.field("execs_per_sec_now", s.execs_per_sec_now);
+  w.field("interesting", s.interesting);
+  w.field("crashes", s.crashes);
+  w.field("hangs", s.hangs);
+  w.field("queue_depth", s.queue_depth);
+  w.field("covered_positions", s.covered_positions);
+  w.field("map_positions", s.map_positions);
+  w.field("map_density", s.map_density());
+  w.field("used_key", s.used_key);
+  w.field("saturated_updates", s.saturated_updates);
+  w.field("trim_execs", s.trim_execs);
+  w.field("sync_published", s.sync_published);
+  w.field("sync_imported", s.sync_imported);
+  w.field("faulted_execs", s.faulted_execs);
+  w.field("injected_hangs", s.injected_hangs);
+  w.field("restarts", s.restarts);
+  w.field("map_resets", s.map_resets);
+  w.field("map_classifies", s.map_classifies);
+  w.field("map_compares", s.map_compares);
+  w.field("map_hashes", s.map_hashes);
+  w.end_object();
+}
+
+BenchReport::BenchReport(std::string bench_name, double scale)
+    : bench_(std::move(bench_name)), scale_(scale) {}
+
+void BenchReport::set_meta(std::string key, std::string value) {
+  meta_.emplace_back(std::move(key), MetaValue(std::move(value)));
+}
+
+void BenchReport::set_meta(std::string key, double value) {
+  meta_.emplace_back(std::move(key), MetaValue(value));
+}
+
+void BenchReport::set_meta(std::string key, u64 value) {
+  meta_.emplace_back(std::move(key), MetaValue(value));
+}
+
+void BenchReport::add_table(std::string name, const TableWriter& table) {
+  Table t;
+  t.name = std::move(name);
+  t.columns = table.header();
+  t.rows = table.rows();
+  tables_.push_back(std::move(t));
+}
+
+void BenchReport::add_series(std::string name,
+                             std::vector<StatsSnapshot> series) {
+  series_.push_back({std::move(name), std::move(series)});
+}
+
+std::string BenchReport::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.field("schema_version", kSchemaVersion);
+  w.field("bench", bench_);
+  w.field("scale", scale_);
+
+  w.key("meta").begin_object();
+  for (const auto& [k, v] : meta_) {
+    w.key(k);
+    if (const auto* s = std::get_if<std::string>(&v)) {
+      w.value(*s);
+    } else if (const auto* d = std::get_if<double>(&v)) {
+      w.value(*d);
+    } else {
+      w.value(std::get<u64>(v));
+    }
+  }
+  w.end_object();
+
+  w.key("tables").begin_array();
+  for (const Table& t : tables_) {
+    w.begin_object();
+    w.field("name", t.name);
+    w.key("columns").begin_array();
+    for (const std::string& c : t.columns) w.value(c);
+    w.end_array();
+    w.key("rows").begin_array();
+    for (const auto& row : t.rows) {
+      w.begin_array();
+      for (const std::string& cell : row) w.value(cell);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("series").begin_array();
+  for (const Series& s : series_) {
+    w.begin_object();
+    w.field("name", s.name);
+    w.key("snapshots").begin_array();
+    for (const StatsSnapshot& snap : s.snapshots) {
+      write_snapshot_json(w, snap);
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.end_object();
+  return w.str();
+}
+
+bool BenchReport::write_file(const std::string& path) const {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  f << to_json() << '\n';
+  return static_cast<bool>(f);
+}
+
+}  // namespace bigmap::telemetry

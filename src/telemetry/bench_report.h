@@ -1,0 +1,76 @@
+// Machine-readable bench reporting: every bench binary serializes the
+// tables it prints into one stable JSON document so CI can commit
+// BENCH_*.json artifacts and later PRs can diff perf trajectories.
+//
+// Schema (schema_version 1):
+//   {
+//     "schema_version": 1,
+//     "bench": "<name>",
+//     "scale": <BIGMAP_BENCH_SCALE>,
+//     "meta": { "<key>": "<string>" | <number>, ... },
+//     "tables": [
+//       { "name": "<table>", "columns": ["..."], "rows": [["..."], ...] }
+//     ],
+//     "series": [
+//       { "name": "<series>", "snapshots": [ { ...StatsSnapshot... } ] }
+//     ]
+//   }
+// Table cells stay the formatted strings the console table shows — the
+// schema is about structure, not re-deriving units; consumers that need
+// raw numbers read the meta entries or telemetry series.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "telemetry/snapshot.h"
+#include "util/report.h"
+#include "util/types.h"
+
+namespace bigmap::telemetry {
+
+class BenchReport {
+ public:
+  static constexpr int kSchemaVersion = 1;
+
+  BenchReport(std::string bench_name, double scale);
+
+  void set_meta(std::string key, std::string value);
+  void set_meta(std::string key, double value);
+  void set_meta(std::string key, u64 value);
+
+  void add_table(std::string name, const TableWriter& table);
+  void add_series(std::string name, std::vector<StatsSnapshot> series);
+
+  std::string to_json() const;
+
+  // Serializes to `path`; false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  struct Table {
+    std::string name;
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+  };
+  struct Series {
+    std::string name;
+    std::vector<StatsSnapshot> snapshots;
+  };
+  using MetaValue = std::variant<std::string, double, u64>;
+
+  std::string bench_;
+  double scale_;
+  std::vector<std::pair<std::string, MetaValue>> meta_;
+  std::vector<Table> tables_;
+  std::vector<Series> series_;
+};
+
+// Serializes one snapshot as a JSON object into an open writer (used by
+// BenchReport and available to tests).
+class JsonWriter;
+void write_snapshot_json(JsonWriter& w, const StatsSnapshot& s);
+
+}  // namespace bigmap::telemetry

@@ -1,0 +1,139 @@
+#include "telemetry/emit.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace bigmap::telemetry {
+namespace {
+
+void kv(std::string& out, const char* k, const std::string& v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%-18s: ", k);
+  out += buf;
+  out += v;
+  out += '\n';
+}
+
+void kv(std::string& out, const char* k, u64 v) {
+  kv(out, k, std::to_string(v));
+}
+
+std::string fixed2(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string render_fuzzer_stats(const StatsSnapshot& s,
+                                std::string_view banner) {
+  std::string out;
+  kv(out, "banner", std::string(banner));
+  kv(out, "instance_id",
+     s.instance_id == 0xFFFFFFFFu ? std::string("fleet")
+                                  : std::to_string(s.instance_id));
+  kv(out, "relative_ms", s.relative_ms);
+  kv(out, "execs_done", s.execs);
+  kv(out, "execs_per_sec", fixed2(s.execs_per_sec));
+  kv(out, "execs_per_sec_now", fixed2(s.execs_per_sec_now));
+  kv(out, "paths_total", s.queue_depth);
+  kv(out, "paths_found", s.interesting);
+  kv(out, "crashes", s.crashes);
+  kv(out, "hangs", s.hangs);
+  kv(out, "covered_positions", s.covered_positions);
+  kv(out, "map_positions", s.map_positions);
+  kv(out, "map_density_pct", fixed2(s.map_density() * 100.0));
+  kv(out, "used_key", s.used_key);
+  kv(out, "saturated_updates", s.saturated_updates);
+  kv(out, "trim_execs", s.trim_execs);
+  kv(out, "sync_published", s.sync_published);
+  kv(out, "sync_imported", s.sync_imported);
+  kv(out, "faulted_execs", s.faulted_execs);
+  kv(out, "injected_hangs", s.injected_hangs);
+  kv(out, "restarts", s.restarts);
+  kv(out, "map_resets", s.map_resets);
+  kv(out, "map_classifies", s.map_classifies);
+  kv(out, "map_compares", s.map_compares);
+  kv(out, "map_hashes", s.map_hashes);
+  return out;
+}
+
+std::string plot_data_header() {
+  return "# relative_ms, execs_done, execs_per_sec, execs_per_sec_now, "
+         "paths_total, covered_positions, map_density_pct, used_key, "
+         "saturated_updates, crashes, hangs, restarts\n";
+}
+
+std::string render_plot_data_row(const StatsSnapshot& s) {
+  std::string out;
+  out += std::to_string(s.relative_ms);
+  out += ", " + std::to_string(s.execs);
+  out += ", " + fixed2(s.execs_per_sec);
+  out += ", " + fixed2(s.execs_per_sec_now);
+  out += ", " + std::to_string(s.queue_depth);
+  out += ", " + std::to_string(s.covered_positions);
+  out += ", " + fixed2(s.map_density() * 100.0);
+  out += ", " + std::to_string(s.used_key);
+  out += ", " + std::to_string(s.saturated_updates);
+  out += ", " + std::to_string(s.crashes);
+  out += ", " + std::to_string(s.hangs);
+  out += ", " + std::to_string(s.restarts);
+  out += '\n';
+  return out;
+}
+
+std::string render_plot_data(const std::vector<StatsSnapshot>& series) {
+  std::string out = plot_data_header();
+  for (const StatsSnapshot& s : series) out += render_plot_data_row(s);
+  return out;
+}
+
+StatsEmitter::StatsEmitter(std::string root_dir)
+    : root_(std::move(root_dir)) {}
+
+bool StatsEmitter::write_pair(const std::string& dir,
+                              const StatsSnapshot& latest,
+                              const std::vector<StatsSnapshot>& series,
+                              std::string_view banner) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return false;
+
+  {
+    std::ofstream f(dir + "/fuzzer_stats", std::ios::trunc);
+    if (!f) return false;
+    f << render_fuzzer_stats(latest, banner);
+  }
+  {
+    std::ofstream f(dir + "/plot_data", std::ios::trunc);
+    if (!f) return false;
+    f << render_plot_data(series);
+  }
+  return true;
+}
+
+bool StatsEmitter::emit_sink(const TelemetrySink& sink,
+                             const std::string& subdir,
+                             std::string_view banner) {
+  return write_pair(root_ + "/" + subdir, sink.latest(), sink.series(),
+                    banner);
+}
+
+bool StatsEmitter::emit_fleet(const FleetTelemetry& fleet,
+                              std::string_view banner) {
+  bool ok = true;
+  for (u32 id = 0; id < fleet.num_instances(); ++id) {
+    ok = emit_sink(fleet.instance(id), "instance_" + std::to_string(id),
+                   banner) &&
+         ok;
+  }
+  std::vector<StatsSnapshot> series = fleet.fleet_series();
+  StatsSnapshot latest =
+      series.empty() ? fleet.fleet_total() : series.back();
+  ok = write_pair(root_ + "/fleet", latest, series, banner) && ok;
+  return ok;
+}
+
+}  // namespace bigmap::telemetry

@@ -1,0 +1,64 @@
+// AFL-style stats files: `fuzzer_stats` (current snapshot, key : value
+// lines) and `plot_data` (append-friendly time series, one CSV row per
+// stamped snapshot) — the same two-file interface afl-fuzz exposes per
+// output directory, which downstream tooling (afl-plot, monitors) treats as
+// the contract.
+//
+// Layout written by StatsEmitter under its root directory:
+//   <root>/instance_<id>/fuzzer_stats
+//   <root>/instance_<id>/plot_data
+//   <root>/fleet/fuzzer_stats
+//   <root>/fleet/plot_data
+//
+// The render_* functions are pure (snapshot in, text out) so golden-file
+// tests pin the formats byte-for-byte.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "telemetry/sink.h"
+#include "telemetry/snapshot.h"
+
+namespace bigmap::telemetry {
+
+// Key : value block, AFL fuzzer_stats style. `banner` names the producer
+// (bench/campaign name); written as the first entry.
+std::string render_fuzzer_stats(const StatsSnapshot& s,
+                                std::string_view banner);
+
+// Header line for plot_data (starts with '#', matches the row order).
+std::string plot_data_header();
+
+// One plot_data row, newline-terminated.
+std::string render_plot_data_row(const StatsSnapshot& s);
+
+// Header plus every row of `series`.
+std::string render_plot_data(const std::vector<StatsSnapshot>& series);
+
+// Writes fuzzer_stats/plot_data trees. Creation failures are reported by
+// return value (benches warn and move on; tests assert).
+class StatsEmitter {
+ public:
+  explicit StatsEmitter(std::string root_dir);
+
+  const std::string& root() const noexcept { return root_; }
+
+  // Writes <root>/<subdir>/{fuzzer_stats,plot_data} from the sink's latest
+  // snapshot and stamped series.
+  bool emit_sink(const TelemetrySink& sink, const std::string& subdir,
+                 std::string_view banner);
+
+  // Emits every instance (instance_<id>/) plus the fleet aggregate
+  // (fleet/, using the fleet series and fleet_total()).
+  bool emit_fleet(const FleetTelemetry& fleet, std::string_view banner);
+
+ private:
+  bool write_pair(const std::string& dir, const StatsSnapshot& latest,
+                  const std::vector<StatsSnapshot>& series,
+                  std::string_view banner);
+
+  std::string root_;
+};
+
+}  // namespace bigmap::telemetry

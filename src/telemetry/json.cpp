@@ -1,0 +1,148 @@
+#include "telemetry/json.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace bigmap::telemetry {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::pre_value() {
+  assert(!top_level_done_ && "value after complete document");
+  if (!stack_.empty()) {
+    if (stack_.back() == Frame::kObject) {
+      assert(key_pending_ && "object value requires a key");
+    } else if (has_elems_.back()) {
+      out_ += ',';
+    }
+    has_elems_.back() = true;
+  }
+  key_pending_ = false;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  pre_value();
+  out_ += '{';
+  stack_.push_back(Frame::kObject);
+  has_elems_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  assert(!stack_.empty() && stack_.back() == Frame::kObject);
+  assert(!key_pending_ && "dangling key at end_object");
+  out_ += '}';
+  stack_.pop_back();
+  has_elems_.pop_back();
+  if (stack_.empty()) top_level_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  pre_value();
+  out_ += '[';
+  stack_.push_back(Frame::kArray);
+  has_elems_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  assert(!stack_.empty() && stack_.back() == Frame::kArray);
+  out_ += ']';
+  stack_.pop_back();
+  has_elems_.pop_back();
+  if (stack_.empty()) top_level_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  assert(!stack_.empty() && stack_.back() == Frame::kObject);
+  assert(!key_pending_ && "two keys in a row");
+  if (has_elems_.back()) out_ += ',';
+  has_elems_.back() = true;
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += "\":";
+  // pre_value() must not emit another comma for this value.
+  has_elems_.back() = false;
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  pre_value();
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+  if (stack_.empty()) top_level_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  pre_value();
+  out_ += v ? "true" : "false";
+  if (stack_.empty()) top_level_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(u64 v) {
+  pre_value();
+  out_ += std::to_string(v);
+  if (stack_.empty()) top_level_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(i64 v) {
+  pre_value();
+  out_ += std::to_string(v);
+  if (stack_.empty()) top_level_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  if (!std::isfinite(v)) return null();
+  pre_value();
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  out_ += buf;
+  if (stack_.empty()) top_level_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  pre_value();
+  out_ += "null";
+  if (stack_.empty()) top_level_done_ = true;
+  return *this;
+}
+
+bool JsonWriter::complete() const noexcept {
+  return top_level_done_ && stack_.empty();
+}
+
+}  // namespace bigmap::telemetry

@@ -1,0 +1,70 @@
+// Dependency-free JSON writer for machine-readable stats and bench reports.
+//
+// Deliberately tiny: a forward-only stream builder with automatic comma
+// placement and structural validation (mismatched begin/end or a value
+// without a pending key in an object abort in debug, produce well-formed
+// output otherwise). No DOM, no parsing — every consumer in this repo only
+// ever serializes. Output is deterministic for a given call sequence, which
+// the golden-file tests rely on.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/types.h"
+
+namespace bigmap::telemetry {
+
+// Escapes `s` for inclusion inside a JSON string literal (quotes not
+// included): ", \, control characters -> \uXXXX.
+std::string json_escape(std::string_view s);
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  // Key for the next value; only valid directly inside an object.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(u64 v);
+  JsonWriter& value(i64 v);
+  JsonWriter& value(u32 v) { return value(static_cast<u64>(v)); }
+  JsonWriter& value(int v) { return value(static_cast<i64>(v)); }
+  // Doubles use shortest-ish "%.12g"; NaN/Inf (invalid JSON) become null.
+  JsonWriter& value(double v);
+  JsonWriter& null();
+
+  // Convenience: key + value in one call.
+  template <class T>
+  JsonWriter& field(std::string_view k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+  // True once every container opened has been closed and a top-level value
+  // was written.
+  bool complete() const noexcept;
+
+  // The document so far. Call only when complete() for valid JSON.
+  const std::string& str() const noexcept { return out_; }
+
+ private:
+  enum class Frame : u8 { kObject, kArray };
+
+  void pre_value();  // comma / key bookkeeping before any value or open
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> has_elems_;
+  bool key_pending_ = false;
+  bool top_level_done_ = false;
+};
+
+}  // namespace bigmap::telemetry

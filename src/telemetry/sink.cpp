@@ -1,0 +1,145 @@
+#include "telemetry/sink.h"
+
+#include <algorithm>
+
+#include "util/timing.h"
+
+namespace bigmap::telemetry {
+
+TelemetrySink::TelemetrySink(u32 instance_id)
+    : instance_id_(instance_id), born_ns_(monotonic_ns()) {}
+
+u64 TelemetrySink::now_ms() const noexcept {
+  return (monotonic_ns() - born_ns_) / 1000000;
+}
+
+StatsSnapshot TelemetrySink::live_at(u64 relative_ms) const {
+  StatsSnapshot s;
+  s.instance_id = instance_id_;
+  s.relative_ms = relative_ms;
+
+  s.execs = execs.get();
+  s.interesting = interesting.get();
+  s.crashes = crashes.get();
+  s.hangs = hangs.get();
+  s.trim_execs = trim_execs.get();
+  s.sync_published = sync_published.get();
+  s.sync_imported = sync_imported.get();
+  s.faulted_execs = faulted_execs.get();
+  s.injected_hangs = injected_hangs.get();
+  s.restarts = restarts.get();
+
+  s.queue_depth = queue_depth.get();
+  s.covered_positions = covered_positions.get();
+  s.map_positions = map_positions.get();
+  s.used_key = used_key.get();
+  s.saturated_updates = saturated_updates.get();
+  s.map_resets = map_resets.get();
+  s.map_classifies = map_classifies.get();
+  s.map_compares = map_compares.get();
+  s.map_hashes = map_hashes.get();
+
+  if (relative_ms > 0) {
+    s.execs_per_sec =
+        static_cast<double>(s.execs) * 1000.0 / static_cast<double>(relative_ms);
+  }
+  s.execs_per_sec_now = s.execs_per_sec;
+  return s;
+}
+
+StatsSnapshot TelemetrySink::stamp_at(u64 relative_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!series_.empty()) {
+    relative_ms = std::max(relative_ms, series_.back().relative_ms);
+  }
+  StatsSnapshot s = live_at(relative_ms);
+  if (!series_.empty()) {
+    const StatsSnapshot& prev = series_.back();
+    const u64 dt_ms = s.relative_ms - prev.relative_ms;
+    // Counters are monotone, but don't trust it across observer reads under
+    // relaxed ordering: clamp the delta at 0.
+    const u64 de = s.execs > prev.execs ? s.execs - prev.execs : 0;
+    s.execs_per_sec_now =
+        dt_ms > 0 ? static_cast<double>(de) * 1000.0 /
+                        static_cast<double>(dt_ms)
+                  : s.execs_per_sec;
+  }
+  series_.push_back(s);
+  return s;
+}
+
+std::vector<StatsSnapshot> TelemetrySink::series() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_;
+}
+
+usize TelemetrySink::series_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_.size();
+}
+
+StatsSnapshot TelemetrySink::latest() const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!series_.empty()) return series_.back();
+  }
+  return live();
+}
+
+FleetTelemetry::FleetTelemetry(u32 num_instances)
+    : restarts_(registry_.counter("supervisor.restarts")),
+      stalls_(registry_.counter("supervisor.stalls")),
+      kills_(registry_.counter("supervisor.kills")),
+      alloc_failures_(registry_.counter("supervisor.alloc_failures")),
+      backoff_ms_total_(registry_.counter("supervisor.backoff_ms_total")) {
+  for (u32 id = 0; id < num_instances; ++id) sinks_.emplace_back(id);
+}
+
+StatsSnapshot FleetTelemetry::fleet_total() const {
+  StatsSnapshot total;
+  total.instance_id = 0xFFFFFFFFu;  // fleet marker
+  for (const TelemetrySink& sink : sinks_) {
+    const StatsSnapshot s = sink.latest();
+    total.relative_ms = std::max(total.relative_ms, s.relative_ms);
+    total.execs += s.execs;
+    total.interesting += s.interesting;
+    total.crashes += s.crashes;
+    total.hangs += s.hangs;
+    total.trim_execs += s.trim_execs;
+    total.sync_published += s.sync_published;
+    total.sync_imported += s.sync_imported;
+    total.faulted_execs += s.faulted_execs;
+    total.injected_hangs += s.injected_hangs;
+    total.queue_depth += s.queue_depth;
+    total.covered_positions += s.covered_positions;
+    total.map_positions += s.map_positions;
+    total.used_key += s.used_key;
+    total.saturated_updates += s.saturated_updates;
+    total.map_resets += s.map_resets;
+    total.map_classifies += s.map_classifies;
+    total.map_compares += s.map_compares;
+    total.map_hashes += s.map_hashes;
+    total.execs_per_sec += s.execs_per_sec;
+    total.execs_per_sec_now += s.execs_per_sec_now;
+  }
+  total.restarts = restarts_.get();
+  return total;
+}
+
+StatsSnapshot FleetTelemetry::stamp_fleet() {
+  StatsSnapshot s = fleet_total();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!fleet_series_.empty()) {
+    s.relative_ms =
+        std::max(s.relative_ms, fleet_series_.back().relative_ms);
+  }
+  fleet_series_.push_back(s);
+  return s;
+}
+
+std::vector<StatsSnapshot> FleetTelemetry::fleet_series() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fleet_series_;
+}
+
+}  // namespace bigmap::telemetry

@@ -1,0 +1,61 @@
+// StatsSnapshot: one periodic observation of a running campaign instance
+// (or of a whole fleet, when aggregated by FleetTelemetry).
+//
+// Everything is a plain value so snapshots can be stamped under a lock,
+// copied out, serialized (fuzzer_stats / plot_data / JSON), and compared in
+// golden-file tests without touching live atomics.
+#pragma once
+
+#include "util/types.h"
+
+namespace bigmap::telemetry {
+
+struct StatsSnapshot {
+  u32 instance_id = 0;
+  // Milliseconds since the owning sink was created. Monotone within a
+  // sink's series even across campaign restarts (the sink outlives the
+  // campaign attempts that publish into it).
+  u64 relative_ms = 0;
+
+  // Lifetime counters (cumulative across restarts of the instance).
+  u64 execs = 0;
+  u64 interesting = 0;
+  u64 crashes = 0;
+  u64 hangs = 0;
+  u64 trim_execs = 0;
+  u64 sync_published = 0;
+  u64 sync_imported = 0;
+
+  // Fault/supervision accounting.
+  u64 faulted_execs = 0;
+  u64 injected_hangs = 0;
+  u64 restarts = 0;
+
+  // Map-state gauges (sampled, not cumulative).
+  u64 queue_depth = 0;
+  u64 covered_positions = 0;  // covered virgin positions
+  u64 map_positions = 0;      // virgin positions tracked (density denominator)
+  u64 used_key = 0;           // two-level only; 0 for flat
+  u64 saturated_updates = 0;
+
+  // Whole-map operation counts from the coverage map (reset/classify/
+  // compare/hash scans — the Figure 3 cost centers; update() is deliberately
+  // not counted per-edge to keep the Listing 1/2 hot path untouched).
+  u64 map_resets = 0;
+  u64 map_classifies = 0;
+  u64 map_compares = 0;
+  u64 map_hashes = 0;
+
+  // Throughput: lifetime average and instantaneous (since the previous
+  // snapshot in the same series; equals the lifetime rate for the first).
+  double execs_per_sec = 0.0;
+  double execs_per_sec_now = 0.0;
+
+  double map_density() const noexcept {
+    return map_positions == 0 ? 0.0
+                              : static_cast<double>(covered_positions) /
+                                    static_cast<double>(map_positions);
+  }
+};
+
+}  // namespace bigmap::telemetry

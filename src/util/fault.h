@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "telemetry/registry.h"
 #include "util/types.h"
 
 namespace bigmap {
@@ -94,6 +95,16 @@ class FaultInjector {
   // Faults delivered to one instance, across all sites.
   u64 injected_for(u32 instance) const;
 
+  // Mirrors per-site occurrence counts into `reg` as
+  // "fault.<site>.checked" / "fault.<site>.injected" counters, so
+  // fault-injection runs are observable in the same scrape as the rest of
+  // the fleet telemetry (the supervisor wires this automatically when both
+  // a FaultInjector and a FleetTelemetry are configured). Counter handles
+  // are resolved once here; fire() then bumps them lock-free relative to
+  // the registry. Pass nullptr to detach. `reg` must outlive the injector
+  // or the next set_registry call.
+  void set_registry(telemetry::MetricRegistry* reg);
+
   // Binds this injector (and an instance id) to the current thread so that
   // paths without an explicit FaultInjector* — PageBuffer allocation — can
   // consult it. Restores the previous binding on destruction.
@@ -125,6 +136,9 @@ class FaultInjector {
   std::unordered_map<u64, u64> counters_;          // (instance,site) -> n
   std::unordered_map<u64, u64> injected_by_key_;   // (instance,site) -> hits
   FaultStats stats_;
+  // Telemetry mirrors (null when no registry attached); written under mu_.
+  std::array<telemetry::Counter*, kNumFaultSites> reg_checked_{};
+  std::array<telemetry::Counter*, kNumFaultSites> reg_injected_{};
 };
 
 }  // namespace bigmap

@@ -31,6 +31,12 @@ class TableWriter {
 
   usize num_rows() const noexcept { return rows_.size(); }
 
+  // Structured access for machine-readable reporting (telemetry/bench_report).
+  const std::vector<std::string>& header() const noexcept { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
+
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;

@@ -1,0 +1,136 @@
+// Golden-output tests for the dependency-free JSON writer: exact strings
+// for every value type, comma placement, nesting, and escaping.
+#include "telemetry/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace bigmap::telemetry {
+namespace {
+
+TEST(JsonEscapeTest, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("hello world_123"), "hello world_123");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesAndBackslash) {
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+}
+
+TEST(JsonEscapeTest, EscapesNamedControlCharacters) {
+  EXPECT_EQ(json_escape("\b\f\n\r\t"), "\\b\\f\\n\\r\\t");
+}
+
+TEST(JsonEscapeTest, EscapesOtherControlCharactersAsUnicode) {
+  EXPECT_EQ(json_escape(std::string("\x01\x1f", 2)), "\\u0001\\u001f");
+}
+
+TEST(JsonEscapeTest, LeavesUtf8BytesAlone) {
+  EXPECT_EQ(json_escape("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(JsonWriterTest, EmptyObject) {
+  JsonWriter w;
+  w.begin_object().end_object();
+  EXPECT_TRUE(w.complete());
+  EXPECT_EQ(w.str(), "{}");
+}
+
+TEST(JsonWriterTest, EmptyArray) {
+  JsonWriter w;
+  w.begin_array().end_array();
+  EXPECT_TRUE(w.complete());
+  EXPECT_EQ(w.str(), "[]");
+}
+
+TEST(JsonWriterTest, ObjectFieldsGetCommas) {
+  JsonWriter w;
+  w.begin_object()
+      .field("a", u64{1})
+      .field("b", "two")
+      .field("c", true)
+      .end_object();
+  EXPECT_EQ(w.str(), "{\"a\":1,\"b\":\"two\",\"c\":true}");
+}
+
+TEST(JsonWriterTest, ArrayElementsGetCommas) {
+  JsonWriter w;
+  w.begin_array().value(u64{1}).value(u64{2}).value(u64{3}).end_array();
+  EXPECT_EQ(w.str(), "[1,2,3]");
+}
+
+TEST(JsonWriterTest, NestedContainers) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("rows").begin_array();
+  w.begin_array().value("x").value("y").end_array();
+  w.begin_array().value("z").end_array();
+  w.end_array();
+  w.field("n", u64{2});
+  w.end_object();
+  EXPECT_TRUE(w.complete());
+  EXPECT_EQ(w.str(), "{\"rows\":[[\"x\",\"y\"],[\"z\"]],\"n\":2}");
+}
+
+TEST(JsonWriterTest, SignedAndUnsignedIntegers) {
+  JsonWriter w;
+  w.begin_array()
+      .value(i64{-42})
+      .value(u64{18446744073709551615ull})
+      .value(int{-1})
+      .value(u32{7})
+      .end_array();
+  EXPECT_EQ(w.str(), "[-42,18446744073709551615,-1,7]");
+}
+
+TEST(JsonWriterTest, Doubles) {
+  JsonWriter w;
+  w.begin_array().value(1.5).value(0.25).value(-3.0).end_array();
+  EXPECT_EQ(w.str(), "[1.5,0.25,-3]");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_array()
+      .value(std::numeric_limits<double>::quiet_NaN())
+      .value(std::numeric_limits<double>::infinity())
+      .end_array();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(JsonWriterTest, ExplicitNull) {
+  JsonWriter w;
+  w.begin_object().key("missing").null().end_object();
+  EXPECT_EQ(w.str(), "{\"missing\":null}");
+}
+
+TEST(JsonWriterTest, StringValuesAreEscaped) {
+  JsonWriter w;
+  w.begin_object().field("msg", "line1\nline2 \"quoted\"").end_object();
+  EXPECT_EQ(w.str(), "{\"msg\":\"line1\\nline2 \\\"quoted\\\"\"}");
+}
+
+TEST(JsonWriterTest, KeysAreEscaped) {
+  JsonWriter w;
+  w.begin_object().field("we\"ird", u64{1}).end_object();
+  EXPECT_EQ(w.str(), "{\"we\\\"ird\":1}");
+}
+
+TEST(JsonWriterTest, NotCompleteUntilClosed) {
+  JsonWriter w;
+  w.begin_object();
+  EXPECT_FALSE(w.complete());
+  w.end_object();
+  EXPECT_TRUE(w.complete());
+}
+
+TEST(JsonWriterTest, ScalarTopLevelIsComplete) {
+  JsonWriter w;
+  w.value(u64{5});
+  EXPECT_TRUE(w.complete());
+  EXPECT_EQ(w.str(), "5");
+}
+
+}  // namespace
+}  // namespace bigmap::telemetry

@@ -1,0 +1,167 @@
+// Metric registry semantics, including the concurrency contract the hot
+// path relies on: N threads hammering the same counter/histogram sum
+// exactly, with no lost updates (run under TSan in CI to also prove the
+// update path is race-free).
+#include "telemetry/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace bigmap::telemetry {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.get(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.get(), 42u);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge g;
+  g.set(10);
+  g.set(3);
+  EXPECT_EQ(g.get(), 3u);
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_of(1023), 10u);
+  EXPECT_EQ(Histogram::bucket_of(1024), 11u);
+  // Values at and above 2^63 clamp into the last bucket.
+  EXPECT_EQ(Histogram::bucket_of(u64{1} << 63), Histogram::kBuckets - 1);
+  EXPECT_EQ(Histogram::bucket_of(~u64{0}), Histogram::kBuckets - 1);
+}
+
+TEST(HistogramTest, BucketMinInvertsBucketOf) {
+  for (usize i = 0; i < Histogram::kBuckets; ++i) {
+    EXPECT_EQ(Histogram::bucket_of(Histogram::bucket_min(i)), i) << i;
+  }
+}
+
+TEST(HistogramTest, RecordsCountAndSum) {
+  Histogram h;
+  h.record(0);
+  h.record(5);
+  h.record(5);
+  h.record(1000);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 1010u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(Histogram::bucket_of(5)), 2u);
+  EXPECT_EQ(h.bucket(Histogram::bucket_of(1000)), 1u);
+}
+
+TEST(RegistryTest, GetOrCreateReturnsSameObject) {
+  MetricRegistry reg;
+  Counter& a = reg.counter("execs");
+  Counter& b = reg.counter("execs");
+  EXPECT_EQ(&a, &b);
+  a.add(7);
+  EXPECT_EQ(b.get(), 7u);
+}
+
+TEST(RegistryTest, DistinctNamesAreDistinctMetrics) {
+  MetricRegistry reg;
+  reg.counter("a").add(1);
+  reg.counter("b").add(2);
+  EXPECT_EQ(reg.counter("a").get(), 1u);
+  EXPECT_EQ(reg.counter("b").get(), 2u);
+}
+
+TEST(RegistryTest, SnapshotsAreNameSorted) {
+  MetricRegistry reg;
+  reg.counter("zebra").add(1);
+  reg.counter("alpha").add(2);
+  reg.gauge("mid").set(3);
+  auto counters = reg.counters();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].first, "alpha");
+  EXPECT_EQ(counters[1].first, "zebra");
+  auto gauges = reg.gauges();
+  ASSERT_EQ(gauges.size(), 1u);
+  EXPECT_EQ(gauges[0].second, 3u);
+}
+
+TEST(RegistryTest, HistogramViewAggregates) {
+  MetricRegistry reg;
+  Histogram& h = reg.histogram("lat");
+  h.record(1);
+  h.record(100);
+  auto views = reg.histograms();
+  ASSERT_EQ(views.size(), 1u);
+  EXPECT_EQ(views[0].name, "lat");
+  EXPECT_EQ(views[0].count, 2u);
+  EXPECT_EQ(views[0].sum, 101u);
+}
+
+// --- concurrency: updates from N threads must sum exactly -------------------
+
+TEST(RegistryConcurrencyTest, CounterAddsFromManyThreadsSumExactly) {
+  constexpr int kThreads = 8;
+  constexpr u64 kPerThread = 20000;
+  Counter c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (u64 i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.get(), kThreads * kPerThread);
+}
+
+TEST(RegistryConcurrencyTest, HistogramRecordsFromManyThreadsSumExactly) {
+  constexpr int kThreads = 8;
+  constexpr u64 kPerThread = 10000;
+  Histogram h;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (u64 i = 0; i < kPerThread; ++i) {
+        h.record(static_cast<u64>(t) * 17 + (i % 5));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  u64 expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    for (u64 i = 0; i < kPerThread; ++i) {
+      expected_sum += static_cast<u64>(t) * 17 + (i % 5);
+    }
+  }
+  EXPECT_EQ(h.sum(), expected_sum);
+}
+
+TEST(RegistryConcurrencyTest, ConcurrentGetOrCreateIsSafe) {
+  // Threads race registration of overlapping names while others update;
+  // every add must land on the one shared counter per name.
+  constexpr int kThreads = 8;
+  constexpr int kNames = 4;
+  constexpr u64 kPerThread = 5000;
+  MetricRegistry reg;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      const std::string name = "m" + std::to_string(t % kNames);
+      Counter& c = reg.counter(name);
+      for (u64 i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& th : threads) th.join();
+  u64 total = 0;
+  for (const auto& [name, v] : reg.counters()) total += v;
+  EXPECT_EQ(total, kThreads * kPerThread);
+  EXPECT_EQ(reg.counters().size(), kNames);
+}
+
+}  // namespace
+}  // namespace bigmap::telemetry

@@ -1,0 +1,191 @@
+// TelemetrySink / FleetTelemetry: snapshot assembly, series monotonicity,
+// rate computation, and the fleet-total invariant the fig9 bench checks
+// (sum of per-instance latest snapshots == fleet total). Concurrent
+// stamping while counters are hammered runs under TSan in CI.
+#include "telemetry/sink.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace bigmap::telemetry {
+namespace {
+
+TEST(SinkTest, LiveSnapshotReflectsCounters) {
+  TelemetrySink sink(3);
+  sink.execs.add(100);
+  sink.interesting.add(5);
+  sink.crashes.add(2);
+  sink.queue_depth.set(7);
+  sink.used_key.set(1234);
+
+  StatsSnapshot s = sink.live_at(2000);
+  EXPECT_EQ(s.instance_id, 3u);
+  EXPECT_EQ(s.relative_ms, 2000u);
+  EXPECT_EQ(s.execs, 100u);
+  EXPECT_EQ(s.interesting, 5u);
+  EXPECT_EQ(s.crashes, 2u);
+  EXPECT_EQ(s.queue_depth, 7u);
+  EXPECT_EQ(s.used_key, 1234u);
+  EXPECT_DOUBLE_EQ(s.execs_per_sec, 50.0);  // 100 execs / 2 s
+}
+
+TEST(SinkTest, LiveDoesNotAppendToSeries) {
+  TelemetrySink sink;
+  sink.live();
+  EXPECT_EQ(sink.series_size(), 0u);
+}
+
+TEST(SinkTest, StampAppendsToSeries) {
+  TelemetrySink sink;
+  sink.execs.add(10);
+  sink.stamp_at(100);
+  sink.execs.add(10);
+  sink.stamp_at(200);
+  auto series = sink.series();
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].execs, 10u);
+  EXPECT_EQ(series[1].execs, 20u);
+}
+
+TEST(SinkTest, SeriesTimestampsAreMonotone) {
+  TelemetrySink sink;
+  sink.stamp_at(500);
+  sink.stamp_at(100);  // clock skew / restart: clamped, never backwards
+  sink.stamp_at(700);
+  auto series = sink.series();
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_LE(series[0].relative_ms, series[1].relative_ms);
+  EXPECT_LE(series[1].relative_ms, series[2].relative_ms);
+}
+
+TEST(SinkTest, SeriesCountersAreMonotone) {
+  TelemetrySink sink;
+  for (int i = 0; i < 5; ++i) {
+    sink.execs.add(100);
+    sink.crashes.add(1);
+    sink.stamp_at(static_cast<u64>(i) * 50);
+  }
+  auto series = sink.series();
+  ASSERT_EQ(series.size(), 5u);
+  for (usize i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].execs, series[i - 1].execs);
+    EXPECT_GE(series[i].crashes, series[i - 1].crashes);
+  }
+}
+
+TEST(SinkTest, InstantaneousRateUsesPreviousSnapshot) {
+  TelemetrySink sink;
+  sink.execs.add(100);
+  sink.stamp_at(1000);  // lifetime: 100 execs in 1 s
+  sink.execs.add(300);
+  StatsSnapshot s = sink.stamp_at(2000);  // +300 execs in +1 s
+  EXPECT_DOUBLE_EQ(s.execs_per_sec, 200.0);
+  EXPECT_DOUBLE_EQ(s.execs_per_sec_now, 300.0);
+}
+
+TEST(SinkTest, FirstStampRateEqualsLifetimeRate) {
+  TelemetrySink sink;
+  sink.execs.add(50);
+  StatsSnapshot s = sink.stamp_at(500);
+  EXPECT_DOUBLE_EQ(s.execs_per_sec, s.execs_per_sec_now);
+}
+
+TEST(SinkTest, LatestFallsBackToLiveWhenUnstamped) {
+  TelemetrySink sink(9);
+  sink.execs.add(42);
+  StatsSnapshot s = sink.latest();
+  EXPECT_EQ(s.instance_id, 9u);
+  EXPECT_EQ(s.execs, 42u);
+}
+
+TEST(SinkTest, ConcurrentCountingAndStampingSumsExactly) {
+  constexpr int kThreads = 4;
+  constexpr u64 kPerThread = 10000;
+  TelemetrySink sink;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&sink] {
+      for (u64 i = 0; i < kPerThread; ++i) {
+        sink.execs.add();
+        sink.exec_ns.record(100);
+      }
+    });
+  }
+  std::thread stamper([&sink] {
+    for (int i = 0; i < 50; ++i) sink.stamp();
+  });
+  for (auto& w : workers) w.join();
+  stamper.join();
+  sink.stamp();
+  EXPECT_EQ(sink.latest().execs, kThreads * kPerThread);
+  EXPECT_EQ(sink.exec_ns.count(), kThreads * kPerThread);
+  // Stamped exec counts never decrease even under concurrent stamping.
+  auto series = sink.series();
+  for (usize i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].execs, series[i - 1].execs);
+  }
+}
+
+TEST(FleetTest, InstanceSinksCarryTheirIds) {
+  FleetTelemetry fleet(3);
+  EXPECT_EQ(fleet.num_instances(), 3u);
+  for (u32 i = 0; i < 3; ++i) {
+    EXPECT_EQ(fleet.instance(i).instance_id(), i);
+  }
+}
+
+TEST(FleetTest, FleetTotalSumsInstanceLatest) {
+  FleetTelemetry fleet(3);
+  for (u32 i = 0; i < 3; ++i) {
+    fleet.instance(i).execs.add((i + 1) * 100);
+    fleet.instance(i).crashes.add(i);
+    fleet.instance(i).queue_depth.set(10);
+    fleet.instance(i).stamp_at(100 * (i + 1));
+  }
+  StatsSnapshot total = fleet.fleet_total();
+  EXPECT_EQ(total.instance_id, 0xFFFFFFFFu);
+  EXPECT_EQ(total.execs, 600u);
+  EXPECT_EQ(total.crashes, 3u);
+  EXPECT_EQ(total.queue_depth, 30u);  // gauges sum across the fleet
+  EXPECT_EQ(total.relative_ms, 300u);
+}
+
+TEST(FleetTest, FleetTotalMatchesSumOfLatestSnapshots) {
+  // The fig9 acceptance invariant: summed per-instance plot_data execs
+  // (each instance's last stamped snapshot) equal the fleet total.
+  FleetTelemetry fleet(4);
+  for (u32 i = 0; i < 4; ++i) {
+    fleet.instance(i).execs.add(1000 + i * 37);
+    fleet.instance(i).stamp();
+  }
+  u64 plot_sum = 0;
+  for (u32 i = 0; i < 4; ++i) plot_sum += fleet.instance(i).latest().execs;
+  EXPECT_EQ(fleet.fleet_total().execs, plot_sum);
+}
+
+TEST(FleetTest, RestartCountersFlowIntoRegistryAndTotal) {
+  FleetTelemetry fleet(2);
+  fleet.restarts().add(3);
+  fleet.instance(0).restarts.add(2);
+  fleet.instance(1).restarts.add(1);
+  EXPECT_EQ(fleet.registry().counter("supervisor.restarts").get(), 3u);
+  EXPECT_EQ(fleet.fleet_total().restarts, 3u);
+}
+
+TEST(FleetTest, StampFleetBuildsSeries) {
+  FleetTelemetry fleet(2);
+  fleet.instance(0).execs.add(10);
+  fleet.stamp_fleet();
+  fleet.instance(1).execs.add(20);
+  fleet.stamp_fleet();
+  auto series = fleet.fleet_series();
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].execs, 10u);
+  EXPECT_EQ(series[1].execs, 30u);
+  EXPECT_GE(series[1].relative_ms, series[0].relative_ms);
+}
+
+}  // namespace
+}  // namespace bigmap::telemetry
