@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "core/kernels/kernels.h"
 #include "fuzzer/campaign.h"
 #include "target/suite.h"
 #include "telemetry/bench_report.h"
@@ -124,6 +125,10 @@ inline void init(int argc, char** argv, const char* bench_name) {
   }
   s.report =
       std::make_unique<telemetry::BenchReport>(s.bench_name, scale());
+  // Which whole-map kernel this process dispatches to (BIGMAP_KERNEL /
+  // best available) — recorded so BENCH_*.json perf trajectories are
+  // attributable to the kernel that produced them.
+  s.report->set_meta("kernel", std::string(kernels::active_kernel().name));
 }
 
 inline telemetry::BenchReport& report() {
@@ -132,6 +137,8 @@ inline telemetry::BenchReport& report() {
     // Bench forgot bench::init (or a test calls emit directly): still
     // record, with defaults.
     s.report = std::make_unique<telemetry::BenchReport>("unnamed", scale());
+    s.report->set_meta("kernel",
+                       std::string(kernels::active_kernel().name));
   }
   return *s.report;
 }

@@ -67,6 +67,13 @@ fig9 = load("BENCH_fig9.json", "fig9",
             ["normalized_throughput", "speedup_vs_afl",
              "real_thread_scaling", "telemetry_consistency"])
 
+# Every report must record which whole-map kernel produced it, so perf
+# trajectories in committed BENCH_*.json artifacts are attributable.
+for name, doc in (("BENCH_fig6.json", fig6), ("BENCH_fig9.json", fig9)):
+    kernel = doc.get("meta", {}).get("kernel")
+    check(kernel in ("scalar", "swar", "sse2", "avx2"),
+          f"{name}: meta.kernel is {kernel!r}, not a known kernel")
+
 # Every real-thread run must report plot_data/fleet/supervisor exec
 # agreement (the telemetry acceptance invariant).
 consistency = next(t for t in fig9["tables"]

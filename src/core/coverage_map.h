@@ -78,6 +78,10 @@ class CoverageMapVariant {
         [](const auto& m) -> MapOpCounts { return m.op_counts(); }, map_);
   }
 
+  const char* kernel_name() const noexcept {
+    return std::visit([](const auto& m) { return m.kernel_name(); }, map_);
+  }
+
   // Concrete access for scheme-specific introspection.
   FlatCoverageMap* as_flat() noexcept {
     return std::get_if<FlatCoverageMap>(&map_);

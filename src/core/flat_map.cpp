@@ -1,11 +1,9 @@
 #include "core/flat_map.h"
 
 #include <bit>
-#include <cstring>
 #include <stdexcept>
 
-#include "core/classify.h"
-#include "util/hash.h"
+#include "core/kernels/kernels.h"
 
 namespace bigmap {
 
@@ -18,10 +16,13 @@ void validate_map_options(const MapOptions& opt) {
     throw std::invalid_argument(
         "MapOptions::condensed_size must be a multiple of 8");
   }
+  // Fails loudly on an unknown/unsupported kernel name.
+  kernels::resolve_kernel(opt.kernel);
 }
 
 FlatCoverageMap::FlatCoverageMap(const MapOptions& opt)
     : trace_((validate_map_options(opt), opt.map_size), opt.backing()),
+      kernel_(&kernels::resolve_kernel(opt.kernel)),
       mask_(static_cast<u32>(opt.map_size - 1)),
       nontemporal_reset_(opt.nontemporal_reset),
       merged_classify_compare_(opt.merged_classify_compare) {}
@@ -31,27 +32,27 @@ void FlatCoverageMap::reset() noexcept {
   if (nontemporal_reset_) {
     memset_zero_nontemporal(trace_.data(), trace_.size());
   } else {
-    std::memset(trace_.data(), 0, trace_.size());
+    kernel_->reset(trace_.data(), trace_.size());
   }
 }
 
 void FlatCoverageMap::classify() noexcept {
   ++ops_.classifies;
-  classify_counts(trace_.data(), trace_.size());
+  kernel_->classify(trace_.data(), trace_.size());
 }
 
 NewBits FlatCoverageMap::compare_update(VirginMap& virgin) noexcept {
   ++ops_.compares;
-  return compare_and_update_virgin(trace_.data(), virgin.data(),
-                                   trace_.size());
+  return kernel_->compare_update(trace_.data(), virgin.data(),
+                                 trace_.size());
 }
 
 NewBits FlatCoverageMap::classify_and_compare(VirginMap& virgin) noexcept {
   if (merged_classify_compare_) {
     ++ops_.classifies;
     ++ops_.compares;
-    return classify_compare_update(trace_.data(), virgin.data(),
-                                   trace_.size());
+    return kernel_->classify_compare(trace_.data(), virgin.data(),
+                                     trace_.size());
   }
   classify();
   return compare_update(virgin);
@@ -59,15 +60,11 @@ NewBits FlatCoverageMap::classify_and_compare(VirginMap& virgin) noexcept {
 
 u32 FlatCoverageMap::hash() const noexcept {
   ++ops_.hashes;
-  return crc32(trace_.span());
+  return kernel_->hash(trace_.data(), trace_.size());
 }
 
 usize FlatCoverageMap::count_nonzero() const noexcept {
-  usize n = 0;
-  for (usize i = 0; i < trace_.size(); ++i) {
-    if (trace_[i] != 0) ++n;
-  }
-  return n;
+  return kernel_->count_ne(trace_.data(), trace_.size(), 0);
 }
 
 }  // namespace bigmap

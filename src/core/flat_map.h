@@ -13,6 +13,7 @@
 
 #include <span>
 
+#include "core/kernels/kernels.h"
 #include "core/map_options.h"
 #include "core/virgin.h"
 #include "util/alloc.h"
@@ -67,10 +68,14 @@ class FlatCoverageMap {
   // Lifetime whole-map scan counts (telemetry; see MapOpCounts).
   const MapOpCounts& op_counts() const noexcept { return ops_; }
 
+  // Name of the kernel this map's whole-map operations dispatch to.
+  const char* kernel_name() const noexcept { return kernel_->name; }
+
   PageBackingResult backing() const noexcept { return trace_.backing(); }
 
  private:
   PageBuffer trace_;
+  const kernels::KernelOps* kernel_;
   u32 mask_;
   bool nontemporal_reset_;
   bool merged_classify_compare_;

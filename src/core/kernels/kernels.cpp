@@ -1,0 +1,267 @@
+#include "core/kernels/kernels.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/classify.h"
+#include "core/kernels/kernel_internal.h"
+#include "util/hash.h"
+
+namespace bigmap::kernels {
+namespace detail {
+
+// --- shared bytewise tails (== the scalar reference, byte for byte) ------
+
+void tail_classify(u8* mem, usize len) noexcept {
+  const auto& lut = count_class_lookup8();
+  for (usize i = 0; i < len; ++i) mem[i] = lut[mem[i]];
+}
+
+void tail_compare(const u8* trace, u8* virgin, usize len,
+                  NewBits& result) noexcept {
+  for (usize i = 0; i < len; ++i) {
+    const u8 t = trace[i];
+    if (t != 0 && (t & virgin[i]) != 0) {
+      if (result != NewBits::kNewTuple) {
+        result = (virgin[i] == 0xFF) ? NewBits::kNewTuple
+                                     : std::max(result, NewBits::kNewCounts);
+      }
+      virgin[i] = static_cast<u8>(virgin[i] & ~t);
+    }
+  }
+}
+
+void tail_classify_compare(u8* trace, u8* virgin, usize len,
+                           NewBits& result) noexcept {
+  const auto& lut = count_class_lookup8();
+  for (usize i = 0; i < len; ++i) {
+    if (trace[i] == 0) continue;
+    trace[i] = lut[trace[i]];
+    const u8 t = trace[i];
+    if ((t & virgin[i]) != 0) {
+      if (result != NewBits::kNewTuple) {
+        result = (virgin[i] == 0xFF) ? NewBits::kNewTuple
+                                     : std::max(result, NewBits::kNewCounts);
+      }
+      virgin[i] = static_cast<u8>(virgin[i] & ~t);
+    }
+  }
+}
+
+}  // namespace detail
+
+namespace {
+
+// --- scalar kernel: the byte-at-a-time semantics oracle ------------------
+
+void sc_reset(u8* mem, usize len) noexcept {
+  for (usize i = 0; i < len; ++i) mem[i] = 0;
+}
+
+void sc_classify(u8* mem, usize len) noexcept {
+  detail::tail_classify(mem, len);
+}
+
+NewBits sc_compare(const u8* trace, u8* virgin, usize len) noexcept {
+  NewBits result = NewBits::kNone;
+  detail::tail_compare(trace, virgin, len, result);
+  return result;
+}
+
+NewBits sc_classify_compare(u8* trace, u8* virgin, usize len) noexcept {
+  NewBits result = NewBits::kNone;
+  detail::tail_classify_compare(trace, virgin, len, result);
+  return result;
+}
+
+// Bytewise CRC-32 via the incremental API: deliberately independent of the
+// slicing-by-8 fast path, so the differential suite cross-checks the fast
+// hashes against a genuinely different evaluation order.
+u32 sc_hash(const u8* mem, usize len) noexcept {
+  u32 state = kCrc32Init;
+  for (usize i = 0; i < len; ++i) {
+    state = crc32_update(state, {mem + i, 1});
+  }
+  return crc32_finalize(state);
+}
+
+usize sc_count_ne(const u8* mem, usize len, u8 value) noexcept {
+  usize n = 0;
+  for (usize i = 0; i < len; ++i) {
+    if (mem[i] != value) ++n;
+  }
+  return n;
+}
+
+usize sc_find_used_end(const u8* mem, usize len) noexcept {
+  usize end = len;
+  while (end > 0 && mem[end - 1] == 0) --end;
+  return end;
+}
+
+constexpr KernelOps kScalarKernel = {
+    "scalar",        sc_reset,    sc_classify,
+    sc_compare,      sc_classify_compare,
+    sc_hash,         sc_count_ne, sc_find_used_end,
+};
+
+// --- swar kernel: u64 word-at-a-time (AFL's LUT16 + zero-word skip) ------
+
+inline u64 load64(const u8* p) noexcept {
+  u64 v;
+  __builtin_memcpy(&v, p, 8);
+  return v;
+}
+
+inline void store64(u8* p, u64 v) noexcept { __builtin_memcpy(p, &v, 8); }
+
+void sw_reset(u8* mem, usize len) noexcept {
+  usize i = 0;
+  for (; i + 8 <= len; i += 8) store64(mem + i, 0);
+  for (; i < len; ++i) mem[i] = 0;
+}
+
+void sw_classify(u8* mem, usize len) noexcept {
+  const usize aligned = len & ~static_cast<usize>(7);
+  classify_counts(mem, aligned);
+  detail::tail_classify(mem + aligned, len - aligned);
+}
+
+NewBits sw_compare(const u8* trace, u8* virgin, usize len) noexcept {
+  return compare_and_update_virgin(trace, virgin, len);
+}
+
+NewBits sw_classify_compare(u8* trace, u8* virgin, usize len) noexcept {
+  return classify_compare_update(trace, virgin, len);
+}
+
+u32 sw_hash(const u8* mem, usize len) noexcept {
+  // crc32() is already slicing-by-8 — the SWAR formulation of CRC.
+  return crc32({mem, len});
+}
+
+// Exact SWAR zero-byte count (no carry-propagation false positives):
+// bit 7 of each byte of `y` ends up set iff that byte of `x` is zero.
+inline int zero_bytes64(u64 x) noexcept {
+  const u64 k7f = 0x7F7F7F7F7F7F7F7FULL;
+  const u64 y = ~((((x & k7f) + k7f) | x) | k7f);
+  return __builtin_popcountll(y);
+}
+
+usize sw_count_ne(const u8* mem, usize len, u8 value) noexcept {
+  const u64 splat = 0x0101010101010101ULL * value;
+  usize ne = 0;
+  usize i = 0;
+  for (; i + 8 <= len; i += 8) {
+    ne += 8 - static_cast<usize>(zero_bytes64(load64(mem + i) ^ splat));
+  }
+  for (; i < len; ++i) {
+    if (mem[i] != value) ++ne;
+  }
+  return ne;
+}
+
+usize sw_find_used_end(const u8* mem, usize len) noexcept {
+  usize end = len;
+  // Bytewise until the remaining prefix is word-aligned in length.
+  while (end > 0 && (end & 7) != 0) {
+    if (mem[end - 1] != 0) return end;
+    --end;
+  }
+  while (end >= 8) {
+    const u64 w = load64(mem + end - 8);
+    if (w != 0) {
+      // Highest non-zero byte of the little-endian word.
+      const int hi_bit = 63 - __builtin_clzll(w);
+      return end - 8 + static_cast<usize>(hi_bit / 8) + 1;
+    }
+    end -= 8;
+  }
+  return 0;
+}
+
+constexpr KernelOps kSwarKernel = {
+    "swar",     sw_reset,    sw_classify,
+    sw_compare, sw_classify_compare,
+    sw_hash,    sw_count_ne, sw_find_used_end,
+};
+
+// --- registry ------------------------------------------------------------
+
+std::vector<const KernelOps*> build_compiled() {
+  std::vector<const KernelOps*> v{&kScalarKernel, &kSwarKernel};
+  if (const KernelOps* k = sse2_kernel_ops()) v.push_back(k);
+  if (const KernelOps* k = avx2_kernel_ops()) v.push_back(k);
+  return v;
+}
+
+std::vector<const KernelOps*> build_runtime() {
+  std::vector<const KernelOps*> v;
+  for (const KernelOps* k : compiled_kernels()) {
+    if (cpu_supports(*k)) v.push_back(k);
+  }
+  return v;
+}
+
+}  // namespace
+
+bool cpu_supports(const KernelOps& k) noexcept {
+  // scalar/swar/sse2 kernels are only compiled when the baseline target
+  // already guarantees their ISA; AVX2 needs a runtime check because the
+  // TU is compiled with -mavx2 above the baseline.
+  if (k.name == std::string_view("avx2")) {
+#if defined(__x86_64__) || defined(__i386__)
+    return __builtin_cpu_supports("avx2") != 0;
+#else
+    return false;
+#endif
+  }
+  return true;
+}
+
+const KernelOps& scalar_kernel() noexcept { return kScalarKernel; }
+
+std::span<const KernelOps* const> compiled_kernels() noexcept {
+  static const std::vector<const KernelOps*> v = build_compiled();
+  return {v.data(), v.size()};
+}
+
+std::span<const KernelOps* const> runtime_kernels() noexcept {
+  static const std::vector<const KernelOps*> v = build_runtime();
+  return {v.data(), v.size()};
+}
+
+const KernelOps* find_kernel(std::string_view name) noexcept {
+  for (const KernelOps* k : runtime_kernels()) {
+    if (name == k->name) return k;
+  }
+  return nullptr;
+}
+
+const KernelOps& active_kernel() noexcept {
+  static const KernelOps* const selected = [] {
+    const char* env = std::getenv("BIGMAP_KERNEL");
+    if (env != nullptr && *env != '\0') {
+      if (const KernelOps* k = find_kernel(env)) return k;
+      std::fprintf(stderr,
+                   "bigmap: BIGMAP_KERNEL='%s' is unknown or unsupported on "
+                   "this CPU; falling back to best available\n",
+                   env);
+    }
+    return runtime_kernels().back();  // ordered worst-to-best
+  }();
+  return *selected;
+}
+
+const KernelOps& resolve_kernel(std::string_view name) {
+  if (name.empty()) return active_kernel();
+  if (const KernelOps* k = find_kernel(name)) return *k;
+  throw std::invalid_argument(
+      "unknown or unsupported map kernel: " + std::string(name) +
+      " (valid: scalar|swar|sse2|avx2, subject to CPU support)");
+}
+
+}  // namespace bigmap::kernels

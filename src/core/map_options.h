@@ -1,6 +1,8 @@
 // Construction options shared by both coverage-map schemes.
 #pragma once
 
+#include <string>
+
 #include "util/alloc.h"
 #include "util/types.h"
 
@@ -38,6 +40,13 @@ struct MapOptions {
   // Two-level scheme only: number of slots in the condensed coverage
   // bitmap. 0 means "same as map_size" (the paper's configuration).
   usize condensed_size = 0;
+
+  // Whole-map kernel variant ("scalar", "swar", "sse2", "avx2"). Empty
+  // selects the process default: the BIGMAP_KERNEL environment override
+  // when set and usable, else the best kernel this CPU supports. An
+  // unknown or unsupported name makes map construction throw (see
+  // core/kernels/kernels.h).
+  std::string kernel;
 
   PageBacking backing() const noexcept {
     return huge_pages ? PageBacking::kHugeIfAvailable : PageBacking::kNormal;

@@ -2,8 +2,7 @@
 
 #include <cstring>
 
-#include "core/classify.h"
-#include "util/hash.h"
+#include "core/kernels/kernels.h"
 
 namespace bigmap {
 
@@ -12,6 +11,7 @@ TwoLevelCoverageMap::TwoLevelCoverageMap(const MapOptions& opt)
              opt.backing()),
       coverage_(opt.condensed_size == 0 ? opt.map_size : opt.condensed_size,
                 opt.backing()),
+      kernel_(&kernels::resolve_kernel(opt.kernel)),
       index_data_(reinterpret_cast<u32*>(index_.data())),
       index_size_(opt.map_size),
       mask_(static_cast<u32>(opt.map_size - 1)),
@@ -41,30 +41,26 @@ u32 TwoLevelCoverageMap::allocate_slot(u32* slot) noexcept {
 
 void TwoLevelCoverageMap::reset() noexcept {
   ++ops_.resets;
-  std::memset(coverage_.data(), 0, used_key_);
+  kernel_->reset(coverage_.data(), used_key_);
 }
 
 void TwoLevelCoverageMap::classify() noexcept {
   ++ops_.classifies;
-  // Whole words first, bytewise tail: used_key is not always a multiple
-  // of 8.
-  const usize aligned = used_key_ & ~static_cast<usize>(7);
-  classify_counts(coverage_.data(), aligned);
-  classify_counts_bytewise(coverage_.data() + aligned, used_key_ - aligned);
+  kernel_->classify(coverage_.data(), used_key_);
 }
 
 NewBits TwoLevelCoverageMap::compare_update(VirginMap& virgin) noexcept {
   ++ops_.compares;
-  return compare_and_update_virgin(coverage_.data(), virgin.data(),
-                                   used_key_);
+  return kernel_->compare_update(coverage_.data(), virgin.data(),
+                                 used_key_);
 }
 
 NewBits TwoLevelCoverageMap::classify_and_compare(VirginMap& virgin) noexcept {
   if (merged_classify_compare_) {
     ++ops_.classifies;
     ++ops_.compares;
-    return classify_compare_update(coverage_.data(), virgin.data(),
-                                   used_key_);
+    return kernel_->classify_compare(coverage_.data(), virgin.data(),
+                                     used_key_);
   }
   classify();
   return compare_update(virgin);
@@ -74,17 +70,12 @@ u32 TwoLevelCoverageMap::hash() const noexcept {
   ++ops_.hashes;
   // §IV-D: hash up to the last non-zero byte so the hash of a path is
   // independent of used_key growth caused by other paths.
-  usize end = used_key_;
-  while (end > 0 && coverage_[end - 1] == 0) --end;
-  return crc32({coverage_.data(), end});
+  const usize end = kernel_->find_used_end(coverage_.data(), used_key_);
+  return kernel_->hash(coverage_.data(), end);
 }
 
 usize TwoLevelCoverageMap::count_nonzero() const noexcept {
-  usize n = 0;
-  for (usize i = 0; i < used_key_; ++i) {
-    if (coverage_[i] != 0) ++n;
-  }
-  return n;
+  return kernel_->count_ne(coverage_.data(), used_key_, 0);
 }
 
 }  // namespace bigmap

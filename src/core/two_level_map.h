@@ -24,6 +24,7 @@
 
 #include <span>
 
+#include "core/kernels/kernels.h"
 #include "core/map_options.h"
 #include "core/virgin.h"
 #include "util/alloc.h"
@@ -109,6 +110,9 @@ class TwoLevelCoverageMap {
   // Lifetime whole-map scan counts (telemetry; see MapOpCounts).
   const MapOpCounts& op_counts() const noexcept { return ops_; }
 
+  // Name of the kernel this map's whole-map operations dispatch to.
+  const char* kernel_name() const noexcept { return kernel_->name; }
+
   PageBackingResult coverage_backing() const noexcept {
     return coverage_.backing();
   }
@@ -122,6 +126,7 @@ class TwoLevelCoverageMap {
 
   PageBuffer index_;      // map_size u32 entries, init 0xFFFFFFFF
   PageBuffer coverage_;   // condensed hit counts
+  const kernels::KernelOps* kernel_;
   u32* index_data_;       // == reinterpret_cast<u32*>(index_.data())
   usize index_size_;      // entries in index_
   u32 mask_;

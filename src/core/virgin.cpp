@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "core/classify.h"
+#include "core/kernels/kernels.h"
 
 namespace bigmap {
 
@@ -15,11 +16,10 @@ void VirginMap::reset() noexcept {
 }
 
 usize VirginMap::count_covered() const noexcept {
-  usize covered = 0;
-  for (usize i = 0; i < buf_.size(); ++i) {
-    if (buf_[i] != 0xFF) ++covered;
-  }
-  return covered;
+  // Bytes that lost at least one bit since reset. Dispatched through the
+  // process-default kernel: the count is kernel-independent (pinned by the
+  // differential suite), so per-map kernel plumbing isn't warranted here.
+  return kernels::active_kernel().count_ne(buf_.data(), buf_.size(), 0xFF);
 }
 
 namespace {

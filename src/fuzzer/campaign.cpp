@@ -98,6 +98,7 @@ class Campaign {
   void stamp_telemetry() {
     telemetry::TelemetrySink& t = *cfg_.telemetry;
     ScopedOpTimer timer(res_.timing, MapOp::kOther);
+    t.set_kernel(ex_.map().kernel_name());
     t.queue_depth.set(queue_.size());
     t.covered_positions.set(ex_.virgin_queue().count_covered());
     t.map_positions.set(ex_.virgin_positions());

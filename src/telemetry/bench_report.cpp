@@ -13,6 +13,7 @@ void write_snapshot_json(JsonWriter& w, const StatsSnapshot& s) {
   } else {
     w.field("instance", s.instance_id);
   }
+  w.field("kernel", s.kernel);
   w.field("relative_ms", s.relative_ms);
   w.field("execs", s.execs);
   w.field("execs_per_sec", s.execs_per_sec);

@@ -34,6 +34,8 @@ std::string render_fuzzer_stats(const StatsSnapshot& s,
   kv(out, "instance_id",
      s.instance_id == 0xFFFFFFFFu ? std::string("fleet")
                                   : std::to_string(s.instance_id));
+  kv(out, "kernel",
+     std::string(s.kernel[0] != '\0' ? s.kernel : "unknown"));
   kv(out, "relative_ms", s.relative_ms);
   kv(out, "execs_done", s.execs);
   kv(out, "execs_per_sec", fixed2(s.execs_per_sec));

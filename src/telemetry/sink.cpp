@@ -16,6 +16,7 @@ u64 TelemetrySink::now_ms() const noexcept {
 StatsSnapshot TelemetrySink::live_at(u64 relative_ms) const {
   StatsSnapshot s;
   s.instance_id = instance_id_;
+  s.kernel = kernel_.load(std::memory_order_relaxed);
   s.relative_ms = relative_ms;
 
   s.execs = execs.get();
@@ -100,6 +101,11 @@ StatsSnapshot FleetTelemetry::fleet_total() const {
   total.instance_id = 0xFFFFFFFFu;  // fleet marker
   for (const TelemetrySink& sink : sinks_) {
     const StatsSnapshot s = sink.latest();
+    // The kernel is a process-wide selection; surface the first instance
+    // that reported one.
+    if (total.kernel[0] == '\0' && s.kernel[0] != '\0') {
+      total.kernel = s.kernel;
+    }
     total.relative_ms = std::max(total.relative_ms, s.relative_ms);
     total.execs += s.execs;
     total.interesting += s.interesting;

@@ -18,6 +18,7 @@
 // snapshot of each instance sum to the supervisor's fleet total.
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <mutex>
 #include <vector>
@@ -79,9 +80,20 @@ class TelemetrySink {
   // Milliseconds since this sink was constructed.
   u64 now_ms() const noexcept;
 
+  // Records which whole-map kernel the campaign's coverage map uses; must
+  // be a string with static storage duration (kernel names are). Stamped
+  // into every subsequent snapshot.
+  void set_kernel(const char* name) noexcept {
+    kernel_.store(name, std::memory_order_relaxed);
+  }
+  const char* kernel() const noexcept {
+    return kernel_.load(std::memory_order_relaxed);
+  }
+
  private:
   const u32 instance_id_;
   const u64 born_ns_;
+  std::atomic<const char*> kernel_{""};
 
   mutable std::mutex mu_;  // guards series_ only
   std::vector<StatsSnapshot> series_;

@@ -12,6 +12,11 @@ namespace bigmap::telemetry {
 
 struct StatsSnapshot {
   u32 instance_id = 0;
+  // Whole-map kernel the producing campaign's coverage map dispatches to
+  // ("scalar"/"swar"/"sse2"/"avx2"; empty when the producer never set it).
+  // Always a string literal with static storage duration, so plain copies
+  // of the snapshot stay valid.
+  const char* kernel = "";
   // Milliseconds since the owning sink was created. Monotone within a
   // sink's series even across campaign restarts (the sink outlives the
   // campaign attempts that publish into it).

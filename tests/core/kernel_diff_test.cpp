@@ -1,0 +1,483 @@
+// Differential kernel-equivalence suite.
+//
+// Every kernel variant (swar / sse2 / avx2 / whatever the registry exposes
+// on this CPU) must be provably byte-identical to the scalar reference on
+// every whole-map operation — that is the contract that makes kernel
+// selection a pure performance decision. The suite runs seeded random
+// traces through every runtime kernel and the scalar oracle side by side:
+//
+//   - trace patterns: dense, sparse, all-zero, all-0xFF, saturating
+//     (255-heavy plus every bucket boundary), bucket-boundary cycling;
+//   - lengths crossing every word/vector boundary (len % 8 != 0 and
+//     len % 32 != 0 tails included);
+//   - ops: reset, classify, compare_update, fused classify_compare, hash,
+//     count_ne, find_used_end — asserting byte-exact coverage/virgin
+//     buffers and identical NewBits verdicts;
+//   - cross-scheme property runs (FlatCoverageMap vs. TwoLevelCoverageMap
+//     under every kernel) and the §IV-D golden-hash stability rule.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/classify.h"
+#include "core/coverage_map.h"
+#include "core/kernels/kernels.h"
+#include "util/rng.h"
+
+namespace bigmap {
+namespace {
+
+using kernels::KernelOps;
+
+std::vector<const KernelOps*> vector_kernels() {
+  std::vector<const KernelOps*> v;
+  for (const KernelOps* k : kernels::runtime_kernels()) {
+    if (std::string_view(k->name) != "scalar") v.push_back(k);
+  }
+  return v;
+}
+
+// Lengths chosen to cross every u64 word and 16/32-byte vector boundary,
+// plus empty and sub-word sizes.
+const std::vector<usize> kLengths = {
+    0,  1,  2,   3,   5,   7,   8,   9,   13,  15,   16,   17,   24,
+    31, 32, 33,  40,  63,  64,  65,  100, 127, 128,  129,  255,  256,
+    257, 1000, 4096, 4099, 8192, 8201, 65536, 65543};
+
+enum class Pattern {
+  kAllZero,
+  kAllFF,
+  kDense,       // every byte a random raw count
+  kSparse,      // ~2% non-zero: the steady-state coverage shape
+  kSaturating,  // 255-heavy with every bucket boundary mixed in
+  kBoundaries,  // cycles through the documented bucket edges
+};
+
+const std::vector<Pattern> kPatterns = {
+    Pattern::kAllZero, Pattern::kAllFF,      Pattern::kDense,
+    Pattern::kSparse,  Pattern::kSaturating, Pattern::kBoundaries};
+
+const char* pattern_name(Pattern p) {
+  switch (p) {
+    case Pattern::kAllZero: return "all-zero";
+    case Pattern::kAllFF: return "all-ff";
+    case Pattern::kDense: return "dense";
+    case Pattern::kSparse: return "sparse";
+    case Pattern::kSaturating: return "saturating";
+    case Pattern::kBoundaries: return "boundaries";
+  }
+  return "?";
+}
+
+std::vector<u8> make_trace(Pattern p, usize len, u64 seed) {
+  Xoshiro256 rng(seed);
+  std::vector<u8> t(len, 0);
+  switch (p) {
+    case Pattern::kAllZero:
+      break;
+    case Pattern::kAllFF:
+      std::fill(t.begin(), t.end(), 0xFF);
+      break;
+    case Pattern::kDense:
+      for (auto& b : t) b = static_cast<u8>(rng.next());
+      break;
+    case Pattern::kSparse:
+      for (usize i = 0; i < len / 50 + 1 && len > 0; ++i) {
+        t[rng.below(static_cast<u32>(len))] =
+            static_cast<u8>(1 + (rng.next() % 255));
+      }
+      break;
+    case Pattern::kSaturating: {
+      static const u8 edges[] = {255, 255, 255, 128, 127, 32, 31, 16, 15,
+                                 8,   7,   4,   3,   2,   1,  0};
+      for (usize i = 0; i < len; ++i) {
+        t[i] = (rng.next() % 4 != 0)
+                   ? u8{255}
+                   : edges[rng.next() % (sizeof(edges))];
+      }
+      break;
+    }
+    case Pattern::kBoundaries: {
+      static const u8 edges[] = {0,  1,  2,  3,  4,   7,   8,   15, 16,
+                                 31, 32, 63, 64, 127, 128, 129, 254, 255};
+      for (usize i = 0; i < len; ++i) t[i] = edges[i % sizeof(edges)];
+      break;
+    }
+  }
+  return t;
+}
+
+// A partially-consumed virgin map: some bytes still 0xFF, some already
+// cleared by earlier (scalar-classified) traffic — the realistic shape.
+std::vector<u8> make_virgin(usize len, u64 seed) {
+  std::vector<u8> v(len, 0xFF);
+  std::vector<u8> prior = make_trace(Pattern::kSparse, len, seed ^ 0xABCD);
+  kernels::scalar_kernel().classify(prior.data(), len);
+  kernels::scalar_kernel().compare_update(prior.data(), v.data(), len);
+  return v;
+}
+
+// --- registry sanity ------------------------------------------------------
+
+TEST(KernelRegistryTest, ScalarAndSwarAlwaysPresent) {
+  auto compiled = kernels::compiled_kernels();
+  auto runtime = kernels::runtime_kernels();
+  ASSERT_GE(compiled.size(), 2u);
+  ASSERT_GE(runtime.size(), 2u);
+  EXPECT_STREQ(runtime.front()->name, "scalar");
+  EXPECT_NE(kernels::find_kernel("scalar"), nullptr);
+  EXPECT_NE(kernels::find_kernel("swar"), nullptr);
+  // Names are unique.
+  std::vector<std::string> names;
+  for (const KernelOps* k : runtime) names.emplace_back(k->name);
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+TEST(KernelRegistryTest, ActiveKernelIsRuntimeUsable) {
+  const KernelOps& active = kernels::active_kernel();
+  EXPECT_NE(kernels::find_kernel(active.name), nullptr);
+}
+
+TEST(KernelRegistryTest, ResolveEmptyGivesActive) {
+  EXPECT_EQ(&kernels::resolve_kernel(""), &kernels::active_kernel());
+  EXPECT_STREQ(kernels::resolve_kernel("scalar").name, "scalar");
+}
+
+TEST(KernelRegistryTest, ResolveUnknownThrows) {
+  EXPECT_THROW(kernels::resolve_kernel("avx512-nope"),
+               std::invalid_argument);
+  MapOptions o;
+  o.map_size = 1u << 10;
+  o.huge_pages = false;
+  o.kernel = "not-a-kernel";
+  EXPECT_THROW(FlatCoverageMap{o}, std::invalid_argument);
+  EXPECT_THROW(TwoLevelCoverageMap{o}, std::invalid_argument);
+}
+
+TEST(KernelRegistryTest, MapsReportTheirKernel) {
+  MapOptions o;
+  o.map_size = 1u << 10;
+  o.huge_pages = false;
+  o.kernel = "swar";
+  FlatCoverageMap flat(o);
+  TwoLevelCoverageMap two(o);
+  EXPECT_STREQ(flat.kernel_name(), "swar");
+  EXPECT_STREQ(two.kernel_name(), "swar");
+
+  CoverageMapVariant var(MapScheme::kTwoLevel, o);
+  EXPECT_STREQ(var.kernel_name(), "swar");
+
+  MapOptions def;
+  def.map_size = 1u << 10;
+  def.huge_pages = false;
+  FlatCoverageMap flat_def(def);
+  EXPECT_STREQ(flat_def.kernel_name(), kernels::active_kernel().name);
+}
+
+// --- per-op differential equivalence --------------------------------------
+
+TEST(KernelDiffTest, ClassifyMatchesScalar) {
+  for (const KernelOps* k : vector_kernels()) {
+    for (Pattern p : kPatterns) {
+      for (usize len : kLengths) {
+        std::vector<u8> expect = make_trace(p, len, 7 * len + 1);
+        std::vector<u8> got = expect;
+        kernels::scalar_kernel().classify(expect.data(), len);
+        k->classify(got.data(), len);
+        ASSERT_EQ(got, expect) << k->name << " classify, pattern "
+                               << pattern_name(p) << ", len " << len;
+      }
+    }
+  }
+}
+
+TEST(KernelDiffTest, ExhaustiveClassifyAllByteValues) {
+  // All 256 raw hit counts must land in the documented AFL bucket under
+  // every kernel, including in the (len % 8 != 0, len % 32 != 0) tail.
+  const usize kLen = 67;  // 2 full AVX2 vectors + 3-byte tail
+  for (const KernelOps* k : kernels::runtime_kernels()) {
+    for (u32 raw = 0; raw < 256; ++raw) {
+      std::vector<u8> buf(kLen, static_cast<u8>(raw));
+      k->classify(buf.data(), buf.size());
+      for (usize i = 0; i < buf.size(); ++i) {
+        ASSERT_EQ(buf[i], classify_count(static_cast<u8>(raw)))
+            << k->name << " raw=" << raw << " index=" << i;
+      }
+    }
+  }
+}
+
+TEST(KernelDiffTest, CompareUpdateMatchesScalar) {
+  for (const KernelOps* k : vector_kernels()) {
+    for (Pattern p : kPatterns) {
+      for (usize len : kLengths) {
+        std::vector<u8> trace = make_trace(p, len, 31 * len + 5);
+        kernels::scalar_kernel().classify(trace.data(), len);
+
+        std::vector<u8> virgin_ref = make_virgin(len, len);
+        std::vector<u8> virgin_got = virgin_ref;
+        const NewBits expect = kernels::scalar_kernel().compare_update(
+            trace.data(), virgin_ref.data(), len);
+        const NewBits got =
+            k->compare_update(trace.data(), virgin_got.data(), len);
+        ASSERT_EQ(got, expect) << k->name << " verdict, pattern "
+                               << pattern_name(p) << ", len " << len;
+        ASSERT_EQ(virgin_got, virgin_ref)
+            << k->name << " virgin bytes, pattern " << pattern_name(p)
+            << ", len " << len;
+      }
+    }
+  }
+}
+
+TEST(KernelDiffTest, FusedClassifyCompareMatchesScalar) {
+  for (const KernelOps* k : vector_kernels()) {
+    for (Pattern p : kPatterns) {
+      for (usize len : kLengths) {
+        std::vector<u8> trace_ref = make_trace(p, len, 13 * len + 3);
+        std::vector<u8> trace_got = trace_ref;
+        std::vector<u8> virgin_ref = make_virgin(len, len + 9);
+        std::vector<u8> virgin_got = virgin_ref;
+
+        const NewBits expect = kernels::scalar_kernel().classify_compare(
+            trace_ref.data(), virgin_ref.data(), len);
+        const NewBits got =
+            k->classify_compare(trace_got.data(), virgin_got.data(), len);
+        ASSERT_EQ(got, expect) << k->name << " verdict, pattern "
+                               << pattern_name(p) << ", len " << len;
+        ASSERT_EQ(trace_got, trace_ref)
+            << k->name << " classified trace, pattern " << pattern_name(p)
+            << ", len " << len;
+        ASSERT_EQ(virgin_got, virgin_ref)
+            << k->name << " virgin bytes, pattern " << pattern_name(p)
+            << ", len " << len;
+      }
+    }
+  }
+}
+
+TEST(KernelDiffTest, FusedEqualsSequentialWithinEachKernel) {
+  for (const KernelOps* k : kernels::runtime_kernels()) {
+    for (usize len : {usize{129}, usize{4099}}) {
+      std::vector<u8> trace_a = make_trace(Pattern::kDense, len, 99);
+      std::vector<u8> trace_b = trace_a;
+      std::vector<u8> virgin_a = make_virgin(len, 17);
+      std::vector<u8> virgin_b = virgin_a;
+
+      const NewBits fused =
+          k->classify_compare(trace_a.data(), virgin_a.data(), len);
+      k->classify(trace_b.data(), len);
+      const NewBits sequential =
+          k->compare_update(trace_b.data(), virgin_b.data(), len);
+
+      EXPECT_EQ(fused, sequential) << k->name << " len " << len;
+      EXPECT_EQ(trace_a, trace_b) << k->name << " len " << len;
+      EXPECT_EQ(virgin_a, virgin_b) << k->name << " len " << len;
+    }
+  }
+}
+
+TEST(KernelDiffTest, ResetHashCountUsedEndMatchScalar) {
+  for (const KernelOps* k : vector_kernels()) {
+    for (Pattern p : kPatterns) {
+      for (usize len : kLengths) {
+        std::vector<u8> buf = make_trace(p, len, 3 * len + 11);
+
+        ASSERT_EQ(k->hash(buf.data(), len),
+                  kernels::scalar_kernel().hash(buf.data(), len))
+            << k->name << " hash, " << pattern_name(p) << ", len " << len;
+        ASSERT_EQ(k->count_ne(buf.data(), len, 0),
+                  kernels::scalar_kernel().count_ne(buf.data(), len, 0))
+            << k->name << " count_ne(0), " << pattern_name(p) << ", len "
+            << len;
+        ASSERT_EQ(k->count_ne(buf.data(), len, 0xFF),
+                  kernels::scalar_kernel().count_ne(buf.data(), len, 0xFF))
+            << k->name << " count_ne(0xFF), " << pattern_name(p) << ", len "
+            << len;
+        ASSERT_EQ(k->find_used_end(buf.data(), len),
+                  kernels::scalar_kernel().find_used_end(buf.data(), len))
+            << k->name << " find_used_end, " << pattern_name(p) << ", len "
+            << len;
+
+        k->reset(buf.data(), len);
+        ASSERT_EQ(std::count(buf.begin(), buf.end(), 0),
+                  static_cast<long>(len))
+            << k->name << " reset, len " << len;
+      }
+    }
+  }
+}
+
+TEST(KernelDiffTest, UsedEndSingleByteSweep) {
+  // One non-zero byte at every position of a buffer crossing the widest
+  // vector boundary: the backward scan must find exactly that byte.
+  const usize kLen = 97;
+  for (const KernelOps* k : kernels::runtime_kernels()) {
+    for (usize pos = 0; pos < kLen; ++pos) {
+      std::vector<u8> buf(kLen, 0);
+      buf[pos] = 1;
+      ASSERT_EQ(k->find_used_end(buf.data(), kLen), pos + 1)
+          << k->name << " pos " << pos;
+    }
+    std::vector<u8> zeros(kLen, 0);
+    EXPECT_EQ(k->find_used_end(zeros.data(), kLen), 0u) << k->name;
+  }
+}
+
+// Multi-step evolution: each kernel maintains its own virgin map against
+// the same trace sequence; the NewBits verdict sequence must match the
+// scalar oracle step for step (this is what decides which inputs a fuzzer
+// keeps, so a single divergence would change campaign behaviour).
+TEST(KernelDiffTest, VerdictSequenceOverEvolvingVirgin) {
+  const usize kLen = 4099;
+  const u32 kSteps = 60;
+
+  for (const KernelOps* k : vector_kernels()) {
+    std::vector<u8> virgin_ref(kLen, 0xFF);
+    std::vector<u8> virgin_got(kLen, 0xFF);
+    Xoshiro256 rng(2024);
+    for (u32 step = 0; step < kSteps; ++step) {
+      const Pattern p = kPatterns[rng.next() % kPatterns.size()];
+      std::vector<u8> trace_ref = make_trace(p, kLen, rng.next());
+      std::vector<u8> trace_got = trace_ref;
+
+      const NewBits expect = kernels::scalar_kernel().classify_compare(
+          trace_ref.data(), virgin_ref.data(), kLen);
+      const NewBits got =
+          k->classify_compare(trace_got.data(), virgin_got.data(), kLen);
+      ASSERT_EQ(got, expect) << k->name << " step " << step;
+      ASSERT_EQ(virgin_got, virgin_ref) << k->name << " step " << step;
+    }
+  }
+}
+
+// --- cross-scheme property under every kernel ------------------------------
+
+// Identical key streams into FlatCoverageMap and TwoLevelCoverageMap must
+// yield identical virgin-map verdicts, new-edge counts, and crash-dedup
+// hashes regardless of the selected kernel. Hashes are also pinned across
+// kernels per scheme (kernel independence), though not across schemes (the
+// two schemes hash different byte layouts by design).
+TEST(KernelCrossSchemeTest, IdenticalVerdictsAndKernelIndependentHashes) {
+  const usize kMapSize = 1u << 12;
+  const u32 kExecs = 40;
+
+  // hash sequences per scheme, one entry per kernel — must all be equal.
+  std::vector<std::vector<u32>> flat_hashes, two_hashes;
+
+  for (const KernelOps* k : kernels::runtime_kernels()) {
+    MapOptions o;
+    o.map_size = kMapSize;
+    o.huge_pages = false;
+    o.kernel = k->name;
+
+    FlatCoverageMap flat(o);
+    TwoLevelCoverageMap two(o);
+    VirginMap virgin_flat(flat.map_size());
+    VirginMap virgin_two(two.condensed_size());
+
+    Xoshiro256 rng(555);
+    std::vector<u32> universe(300);
+    for (auto& key : universe) {
+      key = static_cast<u32>(rng.next()) & static_cast<u32>(kMapSize - 1);
+    }
+
+    std::vector<u32> fh, th;
+    for (u32 e = 0; e < kExecs; ++e) {
+      flat.reset();
+      two.reset();
+      const u32 events = 1 + rng.below(200);
+      for (u32 i = 0; i < events; ++i) {
+        const u32 key = universe[rng.below(
+            static_cast<u32>(universe.size()))];
+        flat.update(key);
+        two.update(key);
+      }
+      const NewBits nb_flat = flat.classify_and_compare(virgin_flat);
+      const NewBits nb_two = two.classify_and_compare(virgin_two);
+      ASSERT_EQ(nb_flat, nb_two) << k->name << " exec " << e;
+      ASSERT_EQ(flat.count_nonzero(), two.count_nonzero())
+          << k->name << " exec " << e;
+      fh.push_back(flat.hash());
+      th.push_back(two.hash());
+    }
+    EXPECT_EQ(virgin_flat.count_covered(), virgin_two.count_covered())
+        << k->name;
+    flat_hashes.push_back(std::move(fh));
+    two_hashes.push_back(std::move(th));
+  }
+
+  for (usize i = 1; i < flat_hashes.size(); ++i) {
+    EXPECT_EQ(flat_hashes[i], flat_hashes[0])
+        << "flat crash-dedup hashes diverge under kernel "
+        << kernels::runtime_kernels()[i]->name;
+    EXPECT_EQ(two_hashes[i], two_hashes[0])
+        << "two-level crash-dedup hashes diverge under kernel "
+        << kernels::runtime_kernels()[i]->name;
+  }
+}
+
+// --- §IV-D golden-hash stability -------------------------------------------
+
+// The "hash up to the last non-zero byte" rule: the hash of a path must
+// not change when unrelated paths grow used_key afterwards — under every
+// kernel, and to the same value across kernels.
+TEST(KernelGoldenHashTest, StableAcrossUsedKeyGrowth) {
+  const usize kMapSize = 1u << 12;
+  std::vector<u32> hashes_before, hashes_after;
+
+  for (const KernelOps* k : kernels::runtime_kernels()) {
+    MapOptions o;
+    o.map_size = kMapSize;
+    o.huge_pages = false;
+    o.kernel = k->name;
+    TwoLevelCoverageMap map(o);
+
+    Xoshiro256 rng(4242);
+    std::vector<u32> path_a(40), path_b(500);
+    for (auto& key : path_a) {
+      key = static_cast<u32>(rng.next()) & static_cast<u32>(kMapSize - 1);
+    }
+    for (auto& key : path_b) {
+      key = static_cast<u32>(rng.next()) & static_cast<u32>(kMapSize - 1);
+    }
+
+    // Execute path A, classify (the hash runs over classified traces in
+    // the executor), and hash.
+    map.reset();
+    for (u32 key : path_a) map.update(key);
+    map.classify();
+    const u32 before = map.hash();
+    const u32 used_before = map.used_key();
+
+    // Unrelated used_key growth: execute a much wider path B.
+    map.reset();
+    for (u32 key : path_b) map.update(key);
+    map.classify();
+    ASSERT_GT(map.used_key(), used_before) << k->name;
+
+    // Re-execute path A: same condensed slots, larger used_key.
+    map.reset();
+    for (u32 key : path_a) map.update(key);
+    map.classify();
+    const u32 after = map.hash();
+
+    EXPECT_EQ(before, after)
+        << "§IV-D hash changed after used_key growth under " << k->name;
+    hashes_before.push_back(before);
+    hashes_after.push_back(after);
+  }
+
+  // And the same hash value under every kernel.
+  for (usize i = 1; i < hashes_before.size(); ++i) {
+    EXPECT_EQ(hashes_before[i], hashes_before[0])
+        << "golden hash diverges under kernel "
+        << kernels::runtime_kernels()[i]->name;
+  }
+}
+
+}  // namespace
+}  // namespace bigmap

@@ -20,6 +20,7 @@ namespace {
 StatsSnapshot golden_snapshot() {
   StatsSnapshot s;
   s.instance_id = 2;
+  s.kernel = "swar";
   s.relative_ms = 1500;
   s.execs = 12345;
   s.interesting = 67;
@@ -49,6 +50,7 @@ TEST(FuzzerStatsGoldenTest, ExactFormat) {
   const std::string expected =
       "banner            : unit-test\n"
       "instance_id       : 2\n"
+      "kernel            : swar\n"
       "relative_ms       : 1500\n"
       "execs_done        : 12345\n"
       "execs_per_sec     : 8230.00\n"
@@ -136,6 +138,7 @@ TEST(BenchReportGoldenTest, SeriesSnapshotFields) {
   EXPECT_NE(json.find("\"execs\":12345"), std::string::npos);
   EXPECT_NE(json.find("\"relative_ms\":1500"), std::string::npos);
   EXPECT_NE(json.find("\"used_key\":2100"), std::string::npos);
+  EXPECT_NE(json.find("\"kernel\":\"swar\""), std::string::npos);
 }
 
 TEST(BenchReportTest, WriteFileRoundTrips) {
