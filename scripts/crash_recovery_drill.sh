@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Whole-process crash-recovery drill: SIGKILL a persisted fleet mid-run,
+# fsck what it left behind with statecheck, relaunch with --resume, and
+# assert the resumed run reproduces the uninterrupted baseline exactly —
+# same crash union, same total exec budget. CI runs this as the
+# crash-recovery job (ISSUE acceptance: whole-process resume).
+#
+# Usage: scripts/crash_recovery_drill.sh [work-dir]   (default: mktemp -d)
+# Requires the resume_drill and statecheck binaries (`cmake --build build
+# --target resume_drill statecheck`).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+DRILL="$BUILD_DIR/src/fuzzer/resume_drill"
+STATECHECK="$BUILD_DIR/src/persist/statecheck"
+
+WORK_DIR="${1:-$(mktemp -d)}"
+FLEET_DIR="$WORK_DIR/fleet"
+mkdir -p "$WORK_DIR"
+rm -rf "$FLEET_DIR"
+
+echo "== baseline (fault-free, no persistence) =="
+"$DRILL" baseline | tee "$WORK_DIR/baseline.txt"
+
+echo
+echo "== persisted run, SIGKILL mid-campaign =="
+"$DRILL" run "$FLEET_DIR" > "$WORK_DIR/run.txt" 2>&1 &
+RUN_PID=$!
+# Wait until checkpoints exist so the kill provably lands mid-run, after
+# state has been committed (the run mode is slowed to take ~minutes).
+for _ in $(seq 1 120); do
+  if compgen -G "$FLEET_DIR/instance-*/snap-*.bms" > /dev/null; then
+    break
+  fi
+  sleep 0.5
+done
+sleep 2
+if ! kill -0 "$RUN_PID" 2> /dev/null; then
+  echo "FAIL: fleet finished before the kill; drill proves nothing" >&2
+  cat "$WORK_DIR/run.txt"
+  exit 1
+fi
+kill -9 "$RUN_PID"
+set +e
+wait "$RUN_PID"
+STATUS=$?
+set -e
+echo "fleet killed (exit status $STATUS)"
+if [ "$STATUS" -ne 137 ]; then
+  echo "FAIL: expected SIGKILL exit status 137, got $STATUS" >&2
+  exit 1
+fi
+
+echo
+echo "== statecheck on what the dead process left behind =="
+"$STATECHECK" --fleet "$FLEET_DIR"
+
+echo
+echo "== resume =="
+"$DRILL" resume "$FLEET_DIR" | tee "$WORK_DIR/resume.txt"
+grep -q '^resumed: 1$' "$WORK_DIR/resume.txt" || {
+  echo "FAIL: resume run did not replay the fleet journal" >&2
+  exit 1
+}
+
+echo
+echo "== comparing resumed run against the baseline =="
+for key in bug_ids stack_hashes total_execs all_completed; do
+  base_line=$(grep "^$key:" "$WORK_DIR/baseline.txt")
+  res_line=$(grep "^$key:" "$WORK_DIR/resume.txt")
+  if [ "$base_line" != "$res_line" ]; then
+    echo "FAIL: $key diverged after crash recovery" >&2
+    echo "  baseline: $base_line" >&2
+    echo "  resumed : $res_line" >&2
+    exit 1
+  fi
+  echo "  $key ok ($base_line)"
+done
+
+echo
+echo "crash-recovery drill PASSED"

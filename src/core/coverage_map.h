@@ -82,6 +82,20 @@ class CoverageMapVariant {
     return std::visit([](const auto& m) { return m.kernel_name(); }, map_);
   }
 
+  // Persistence passthrough (see the concrete maps for semantics).
+  void export_state(std::vector<u32>* index, u32* used_key,
+                    u64* saturated) const {
+    std::visit(
+        [&](const auto& m) { m.export_state(index, used_key, saturated); },
+        map_);
+  }
+  bool import_state(std::span<const u32> index, u32 used_key,
+                    u64 saturated) {
+    return std::visit(
+        [&](auto& m) { return m.import_state(index, used_key, saturated); },
+        map_);
+  }
+
   // Concrete access for scheme-specific introspection.
   FlatCoverageMap* as_flat() noexcept {
     return std::get_if<FlatCoverageMap>(&map_);

@@ -78,4 +78,32 @@ usize TwoLevelCoverageMap::count_nonzero() const noexcept {
   return kernel_->count_ne(coverage_.data(), used_key_, 0);
 }
 
+void TwoLevelCoverageMap::export_state(std::vector<u32>* index, u32* used_key,
+                                       u64* saturated) const {
+  index->assign(index_data_, index_data_ + index_size_);
+  *used_key = used_key_;
+  *saturated = saturated_;
+}
+
+bool TwoLevelCoverageMap::import_state(std::span<const u32> index,
+                                       u32 used_key, u64 saturated) {
+  if (index.size() != index_size_ || used_key > coverage_.size()) {
+    return false;
+  }
+  // Every assigned entry must point below the allocator's high-water mark
+  // (or at the aliasing slot when the bitmap saturated). A snapshot that
+  // violates this would let update() write past used_key and corrupt the
+  // prefix invariant every whole-map operation depends on.
+  const u32 limit = saturated > 0 ? static_cast<u32>(coverage_.size())
+                                  : used_key;
+  for (u32 entry : index) {
+    if (entry != kUnassigned && entry >= limit) return false;
+  }
+  std::memcpy(index_data_, index.data(), index.size() * sizeof(u32));
+  used_key_ = used_key;
+  saturated_ = saturated;
+  kernel_->reset(coverage_.data(), used_key_);
+  return true;
+}
+
 }  // namespace bigmap

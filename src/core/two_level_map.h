@@ -23,6 +23,7 @@
 #pragma once
 
 #include <span>
+#include <vector>
 
 #include "core/kernels/kernels.h"
 #include "core/map_options.h"
@@ -119,6 +120,21 @@ class TwoLevelCoverageMap {
   PageBackingResult index_backing() const noexcept {
     return index_.backing();
   }
+
+  // --- persistence ------------------------------------------------------------
+
+  // Copies the campaign-lifetime map state (the stable index assignment and
+  // the bump allocator) into `index`/`used_key`/`saturated` for
+  // checkpointing. The coverage bitmap is per-exec scratch and is not part
+  // of the persistent state.
+  void export_state(std::vector<u32>* index, u32* used_key,
+                    u64* saturated) const;
+
+  // Restores state captured by export_state into a freshly constructed map
+  // of the same geometry. Returns false (leaving the map untouched) when
+  // the state is inconsistent: wrong index size, used_key beyond the
+  // condensed bitmap, or an index entry pointing at an unallocated slot.
+  bool import_state(std::span<const u32> index, u32 used_key, u64 saturated);
 
  private:
   // Cold path of update(): assigns the next condensed slot to *slot.

@@ -8,10 +8,13 @@
 #include <unordered_set>
 #include <utility>
 
+#include <cstring>
+
 #include "core/flat_map.h"
 #include "core/two_level_map.h"
 #include "fuzzer/executor.h"
 #include "fuzzer/mutator.h"
+#include "persist/checkpoint.h"
 #include "target/interpreter.h"
 #include "util/hash.h"
 #include "util/rng.h"
@@ -47,10 +50,15 @@ class Campaign {
     // unions those finds before restarting, so a dying instance never
     // loses them.
     try {
-      seed_queue();
-      res_.seed_execs = res_.execs;
-      res_.seed_seconds =
-          static_cast<double>(monotonic_ns() - start_ns_) * 1e-9;
+      if (!try_restore()) {
+        seed_queue();
+        res_.seed_execs = res_.execs;
+        res_.seed_seconds =
+            static_cast<double>(monotonic_ns() - start_ns_) * 1e-9;
+      }
+      if (cfg_.checkpoint != nullptr && cfg_.checkpoint_interval != 0) {
+        next_checkpoint_ = res_.execs + cfg_.checkpoint_interval;
+      }
       main_loop();
     } catch (const InjectedInstanceKill&) {
       res_.fault_aborted = true;
@@ -123,6 +131,200 @@ class Campaign {
     stamp_telemetry();
   }
 
+  // --- persistence ----------------------------------------------------------
+
+  // Serializes the full resumable state: identity, lifetime counters, RNG
+  // streams, seed queue + top_rated metadata, virgin maps, two-level index
+  // state, and crash-triage identities.
+  persist::CampaignSnapshot build_snapshot() const {
+    persist::CampaignSnapshot s;
+    s.scheme = static_cast<u32>(Map::kScheme);
+    s.metric = static_cast<u32>(cfg_.metric);
+    s.seed = cfg_.seed;
+    s.instance_id = cfg_.sync_id;
+    s.map_size = cfg_.map.map_size;
+    s.virgin_size = ex_.virgin_positions();
+
+    s.execs = res_.execs;
+    s.seed_execs = res_.seed_execs;
+    s.seed_seconds = res_.seed_seconds;
+    s.interesting = res_.interesting;
+    s.hangs = res_.hangs;
+    s.trim_execs = res_.trim_execs;
+    s.trimmed_bytes = res_.trimmed_bytes;
+    s.faulted_execs = res_.faulted_execs;
+    s.injected_hangs = res_.injected_hangs;
+    s.crashes_total = triage_.total();
+    s.crashes_afl_unique = triage_.afl_unique();
+
+    s.rng_state = rng_.state();
+    s.mutator_rng_state = mut_.rng().state();
+
+    const SeedQueue::ExportedState q = queue_.export_state();
+    s.entries.reserve(q.entries.size());
+    for (const QueueEntry* e : q.entries) {
+      s.entries.push_back({e->data, e->exec_ns, e->bitmap_hash, e->depth,
+                           e->favored, e->was_fuzzed, e->times_selected});
+    }
+    s.top_entry.assign(q.top_entry.begin(), q.top_entry.end());
+    s.top_factor.assign(q.top_factor.begin(), q.top_factor.end());
+    s.top_covered = q.top_covered;
+
+    const auto span_of = [](const VirginMap& v) {
+      return std::vector<u8>(v.data(), v.data() + v.size());
+    };
+    s.virgin_queue = span_of(ex_.virgin_queue());
+    s.virgin_crash = span_of(ex_.virgin_crash());
+    s.virgin_hang = span_of(ex_.virgin_hang());
+
+    s.has_two_level = Map::kScheme == MapScheme::kTwoLevel;
+    ex_.map().export_state(&s.index_bitmap, &s.used_key,
+                           &s.saturated_updates);
+
+    s.bug_ids.assign(triage_.bug_ids().begin(), triage_.bug_ids().end());
+    s.stack_hashes.assign(triage_.stack_hashes().begin(),
+                          triage_.stack_hashes().end());
+    return s;
+  }
+
+  void write_checkpoint() {
+    persist::CheckpointStore& store = *cfg_.checkpoint;
+    const persist::PersistStats before = store.stats();
+    std::string err;
+    if (store.save(build_snapshot(), cfg_.keep_checkpoints, &err)) {
+      ++res_.checkpoints_written;
+    } else {
+      ++res_.checkpoint_failures;
+    }
+    if (cfg_.telemetry != nullptr) {
+      const persist::PersistStats after = store.stats();
+      cfg_.telemetry->checkpoints_written.add(after.checkpoints_written -
+                                              before.checkpoints_written);
+      cfg_.telemetry->checkpoint_bytes.add(after.checkpoint_bytes -
+                                           before.checkpoint_bytes);
+    }
+    // A multi-megabyte save on a slow disk freezes the exec heartbeat; tick
+    // it so the watchdog doesn't mistake the pause for a stall.
+    if (cfg_.control != nullptr) {
+      cfg_.control->progress.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void maybe_checkpoint() {
+    if (cfg_.checkpoint == nullptr || cfg_.checkpoint_interval == 0 ||
+        res_.execs < next_checkpoint_) {
+      return;
+    }
+    next_checkpoint_ = res_.execs + cfg_.checkpoint_interval;
+    ScopedOpTimer t(res_.timing, MapOp::kOther);
+    write_checkpoint();
+  }
+
+  // Attempts to restore the latest good snapshot. Returns false — leaving
+  // the campaign in its cold-start state — when resume is not requested,
+  // no usable snapshot exists, or the snapshot belongs to a different
+  // configuration. On success every lifetime counter continues from the
+  // snapshot, so the max_execs budget spans the whole resumed lineage.
+  bool try_restore() {
+    if (cfg_.checkpoint == nullptr || !cfg_.resume_from_checkpoint) {
+      return false;
+    }
+    persist::CheckpointStore& store = *cfg_.checkpoint;
+    const persist::PersistStats before = store.stats();
+    persist::CheckpointStore::LoadOutcome loaded = store.load_latest();
+    if (cfg_.telemetry != nullptr) {
+      const persist::PersistStats after = store.stats();
+      cfg_.telemetry->recovery_torn_tail.add(after.recovered_torn_tail -
+                                             before.recovered_torn_tail);
+      cfg_.telemetry->recovery_bad_crc.add(after.recovered_bad_crc -
+                                           before.recovered_bad_crc);
+      cfg_.telemetry->recovery_version_mismatch.add(
+          after.recovered_version_mismatch -
+          before.recovered_version_mismatch);
+    }
+    if (!loaded.snapshot.has_value()) return false;
+    persist::CampaignSnapshot& s = *loaded.snapshot;
+
+    // Identity gate: a snapshot only restores into the exact configuration
+    // that wrote it.
+    if (s.scheme != static_cast<u32>(Map::kScheme) ||
+        s.metric != static_cast<u32>(cfg_.metric) || s.seed != cfg_.seed ||
+        s.map_size != cfg_.map.map_size ||
+        s.virgin_size != ex_.virgin_positions()) {
+      return false;
+    }
+
+    std::vector<QueueEntry> entries;
+    entries.reserve(s.entries.size());
+    for (persist::QueueEntrySnap& e : s.entries) {
+      QueueEntry q;
+      q.data = std::move(e.data);
+      q.exec_ns = e.exec_ns;
+      q.bitmap_hash = e.bitmap_hash;
+      q.depth = e.depth;
+      q.favored = e.favored;
+      q.was_fuzzed = e.was_fuzzed;
+      q.times_selected = e.times_selected;
+      entries.push_back(std::move(q));
+    }
+    if (!queue_.import_state(std::move(entries), s.top_entry, s.top_factor,
+                             s.top_covered)) {
+      return false;
+    }
+    if (!ex_.map().import_state(s.index_bitmap, s.used_key,
+                                s.saturated_updates)) {
+      // The queue was already replaced; rebuild it empty so the cold-start
+      // path seeds from scratch instead of fuzzing half-restored state.
+      queue_ = SeedQueue(ex_.virgin_positions());
+      return false;
+    }
+
+    std::memcpy(ex_.mutable_virgin_queue().data(), s.virgin_queue.data(),
+                s.virgin_queue.size());
+    std::memcpy(ex_.mutable_virgin_crash().data(), s.virgin_crash.data(),
+                s.virgin_crash.size());
+    std::memcpy(ex_.mutable_virgin_hang().data(), s.virgin_hang.data(),
+                s.virgin_hang.size());
+
+    triage_.restore(s.bug_ids, s.stack_hashes, s.crashes_total,
+                    s.crashes_afl_unique);
+    rng_.set_state(s.rng_state);
+    mut_.rng().set_state(s.mutator_rng_state);
+
+    res_.execs = s.execs;
+    res_.seed_execs = s.seed_execs;
+    res_.seed_seconds = s.seed_seconds;
+    res_.interesting = s.interesting;
+    res_.hangs = s.hangs;
+    res_.trim_execs = s.trim_execs;
+    res_.trimmed_bytes = s.trimmed_bytes;
+    res_.faulted_execs = s.faulted_execs;
+    res_.injected_hangs = s.injected_hangs;
+    res_.resumed = true;
+    res_.resumed_from_execs = s.execs;
+
+    if (cfg_.telemetry != nullptr) {
+      cfg_.telemetry->checkpoints_loaded.add();
+      if (cfg_.telemetry_restore) {
+        // Whole-process resume: the sink is fresh, so prime its lifetime
+        // counters with the restored totals to keep fleet sums cumulative.
+        cfg_.telemetry->execs.add(s.execs);
+        cfg_.telemetry->interesting.add(s.interesting);
+        cfg_.telemetry->crashes.add(s.crashes_total);
+        cfg_.telemetry->hangs.add(s.hangs);
+        cfg_.telemetry->trim_execs.add(s.trim_execs);
+        cfg_.telemetry->faulted_execs.add(s.faulted_execs);
+        cfg_.telemetry->injected_hangs.add(s.injected_hangs);
+      }
+    }
+    if (cfg_.control != nullptr) {
+      // Heartbeat continuity: the watchdog's stall detector keys off
+      // progress deltas, so jump-start it with the restored exec count.
+      cfg_.control->progress.fetch_add(s.execs, std::memory_order_relaxed);
+    }
+    return true;
+  }
+
   // Consults the fault injector before an execution. Returns false when
   // this execution is aborted (kExecAbort); throws InjectedInstanceKill for
   // kInstanceKill; serves kTransientHang in place, polling the stop flag so
@@ -162,6 +364,7 @@ class Campaign {
     note_exec();
     maybe_sample_series();
     maybe_stamp_telemetry();
+    maybe_checkpoint();
     if (cfg_.telemetry != nullptr) cfg_.telemetry->exec_ns.record(out.exec_ns);
 
     if (out.exec.crashed()) {
@@ -253,6 +456,7 @@ class Campaign {
         if (cfg_.telemetry != nullptr) cfg_.telemetry->trim_execs.add();
         maybe_sample_series();
         maybe_stamp_telemetry();
+        maybe_checkpoint();
 
         if (sr.exec.outcome == ExecResult::Outcome::kOk &&
             sr.hash == target_hash) {
@@ -370,6 +574,14 @@ class Campaign {
   }
 
   void finalize() {
+    // A clean exit commits one final checkpoint so a later whole-process
+    // resume sees the instance's complete final state. A fault-killed
+    // instance deliberately does NOT get one — a crashing process cannot
+    // write; its warm restart must recover from the last periodic
+    // checkpoint, which is exactly the path worth drilling.
+    if (cfg_.checkpoint != nullptr && !res_.fault_aborted) {
+      write_checkpoint();
+    }
     // Always leave a final snapshot so the last plot_data row reflects the
     // instance's lifetime totals (fleet sums rely on this).
     if (cfg_.telemetry != nullptr) stamp_telemetry();
@@ -413,6 +625,7 @@ class Campaign {
   u64 next_sync_ = 0;
   u64 next_sample_ = 0;
   u64 next_stamp_ = 0;
+  u64 next_checkpoint_ = 0;
 };
 
 template <class Metric>

@@ -25,6 +25,10 @@
 
 namespace bigmap {
 
+namespace persist {
+class CheckpointStore;
+}
+
 // Shared-memory control block between a running campaign and its
 // supervisor: the campaign publishes an execution heartbeat the watchdog
 // samples for stall detection, and honours a cooperative stop request at
@@ -98,6 +102,23 @@ struct CampaignConfig {
   CampaignControl* control = nullptr;
   FaultInjector* fault = nullptr;
 
+  // Persistence (optional). A non-null store makes the campaign commit a
+  // crash-consistent snapshot of its full resumable state every
+  // checkpoint_interval execs (0 = only at clean completion) and restore
+  // the latest good snapshot at startup when resume_from_checkpoint is
+  // set — continuing the lifetime exec budget rather than restarting it.
+  persist::CheckpointStore* checkpoint = nullptr;
+  u64 checkpoint_interval = 0;
+  u32 keep_checkpoints = 2;
+  bool resume_from_checkpoint = false;
+
+  // On whole-process resume the telemetry sink starts from zero; this makes
+  // a successful restore prime the sink's lifetime counters from the
+  // snapshot so fleet totals stay cumulative. In-process warm restarts
+  // reuse the surviving sink (which already holds the counts) and must
+  // leave this off.
+  bool telemetry_restore = false;
+
   // Telemetry (optional). When non-null, the campaign bumps the sink's
   // lock-free counters on the hot path and stamps a StatsSnapshot — map
   // gauges refreshed, rates computed — every telemetry_interval execs and
@@ -152,6 +173,17 @@ struct CampaignResult {
   bool fault_aborted = false;  // died to kInstanceKill; result is partial
   u64 faulted_execs = 0;       // executions lost to kExecAbort
   u64 injected_hangs = 0;      // kTransientHang stalls served
+
+  // Persistence accounting (all zero without a CheckpointStore). When
+  // `resumed` is set, every lifetime counter above (execs, interesting,
+  // hangs, crashes, trim, fault counters) continues from the restored
+  // snapshot rather than from zero — the supervisor accounts for this by
+  // treating resumed results as lifetime totals for the instance's current
+  // budget segment.
+  bool resumed = false;            // state restored from a checkpoint
+  u64 resumed_from_execs = 0;      // snapshot's exec counter at restore
+  u64 checkpoints_written = 0;
+  u64 checkpoint_failures = 0;     // saves lost to (injected) I/O faults
 
   u64 crashes_total = 0;
   u64 crashes_afl_unique = 0;        // AFL's map-biased dedup

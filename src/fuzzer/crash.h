@@ -13,6 +13,7 @@
 #pragma once
 
 #include <unordered_set>
+#include <vector>
 
 #include "target/interpreter.h"
 #include "util/hash.h"
@@ -40,6 +41,20 @@ class CrashTriage {
   const std::unordered_set<u32>& bug_ids() const noexcept { return bug_ids_; }
   const std::unordered_set<u64>& stack_hashes() const noexcept {
     return stack_hashes_;
+  }
+
+  // Checkpoint restore: replaces the triage state wholesale with the
+  // identity sets and counters a snapshot carried. The stack hashes are
+  // stored post-combination, so they round-trip verbatim.
+  void restore(const std::vector<u32>& bug_ids,
+               const std::vector<u64>& stack_hashes, u64 total,
+               u64 afl_unique) {
+    total_ = total;
+    afl_unique_ = afl_unique;
+    stack_hashes_.clear();
+    stack_hashes_.insert(stack_hashes.begin(), stack_hashes.end());
+    bug_ids_.clear();
+    bug_ids_.insert(bug_ids.begin(), bug_ids.end());
   }
 
  private:

@@ -177,6 +177,12 @@ class Executor {
   const VirginMap& virgin_crash() const noexcept { return virgin_crash_; }
   const VirginMap& virgin_hang() const noexcept { return virgin_hang_; }
 
+  // Mutable access for checkpoint restore: a snapshot overwrites the
+  // virgin bytes wholesale to resume accumulated global coverage.
+  VirginMap& mutable_virgin_queue() noexcept { return virgin_queue_; }
+  VirginMap& mutable_virgin_crash() noexcept { return virgin_crash_; }
+  VirginMap& mutable_virgin_hang() noexcept { return virgin_hang_; }
+
   Interpreter& interpreter() noexcept { return interp_; }
 
  private:

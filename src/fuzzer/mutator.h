@@ -85,6 +85,7 @@ class Mutator {
   usize det_dictionary(const Input& base, Sink&& sink);
 
   Xoshiro256& rng() noexcept { return rng_; }
+  const Xoshiro256& rng() const noexcept { return rng_; }
   const Options& options() const noexcept { return opts_; }
 
  private:

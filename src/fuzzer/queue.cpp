@@ -101,4 +101,45 @@ usize SeedQueue::favored_count() const noexcept {
   return n;
 }
 
+SeedQueue::ExportedState SeedQueue::export_state() const {
+  ExportedState out;
+  out.entries.reserve(entries_.size());
+  for (const auto& e : entries_) out.entries.push_back(e.get());
+  out.top_entry = top_entry_;
+  out.top_factor = top_factor_;
+  out.top_covered = top_covered_;
+  return out;
+}
+
+bool SeedQueue::import_state(std::vector<QueueEntry> entries,
+                             std::span<const u32> top_entry,
+                             std::span<const u64> top_factor,
+                             usize top_covered) {
+  if (top_entry.size() != top_entry_.size() ||
+      top_factor.size() != top_factor_.size() ||
+      top_covered > top_entry.size()) {
+    return false;
+  }
+  usize covered = 0;
+  for (u32 idx : top_entry) {
+    if (idx == kNoEntry) continue;
+    if (idx >= entries.size()) return false;
+    ++covered;
+  }
+  if (covered != top_covered) return false;
+
+  entries_.clear();
+  entries_.reserve(entries.size());
+  for (QueueEntry& e : entries) {
+    entries_.push_back(std::make_unique<QueueEntry>(std::move(e)));
+  }
+  std::copy(top_entry.begin(), top_entry.end(), top_entry_.begin());
+  std::copy(top_factor.begin(), top_factor.end(), top_factor_.begin());
+  top_covered_ = top_covered;
+  // Favored flags were persisted per entry, but recompute anyway so the
+  // favored set always agrees with the restored top_rated winners.
+  cull_pending_ = true;
+  return true;
+}
+
 }  // namespace bigmap

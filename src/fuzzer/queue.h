@@ -70,9 +70,30 @@ class SeedQueue {
   // Total queue positions covered by at least one top_rated entry.
   usize top_rated_positions() const noexcept { return top_covered_; }
 
- private:
+  // --- persistence ----------------------------------------------------------
+
+  // Snapshot of one entry plus the top_rated arrays, checkpoint-shaped.
+  struct ExportedState {
+    std::vector<const QueueEntry*> entries;  // borrowed, queue order
+    std::span<const u32> top_entry;
+    std::span<const u64> top_factor;
+    usize top_covered = 0;
+  };
+  ExportedState export_state() const;
+
+  // Rebuilds the queue from snapshot data. `entries` become the corpus in
+  // order; `top_entry`/`top_factor` must match this queue's position count
+  // and reference only valid entry indices (or kNoEntry). Returns false
+  // (leaving the queue empty) on any inconsistency. Marks culling pending
+  // so the favored set is recomputed before the next cycle.
+  bool import_state(std::vector<QueueEntry> entries,
+                    std::span<const u32> top_entry,
+                    std::span<const u64> top_factor, usize top_covered);
+
   // One slot per coverage position. kNoEntry when never covered.
   static constexpr u32 kNoEntry = 0xFFFFFFFFu;
+
+ private:
 
   std::vector<std::unique_ptr<QueueEntry>> entries_;
   std::vector<u32> top_entry_;   // per-position winning entry

@@ -1,0 +1,112 @@
+// resume_drill: driver for the whole-process crash-recovery drill
+// (scripts/crash_recovery_drill.sh). Three modes over one fixed fleet
+// configuration (4 instances, planted-bug target, deterministic timing):
+//
+//   resume_drill baseline            fault-free run, no persistence — the
+//                                    reference crash union and exec total
+//   resume_drill run <dir>           fresh persisted run, slowed down so an
+//                                    external SIGKILL lands mid-campaign
+//   resume_drill resume <dir>        relaunch after the kill; replays the
+//                                    fleet journal and finishes the budget
+//
+// Every mode prints the sorted found_bug_ids / found_stack_hashes and
+// total_execs in a diff-friendly format; the drill passes when the resume
+// output matches the baseline exactly (find-union semantics and the exec
+// budget both survive the kill).
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "fuzzer/supervisor.h"
+#include "target/generator.h"
+
+using namespace bigmap;
+
+namespace {
+
+GeneratedTarget make_target() {
+  GeneratorParams gp;
+  gp.seed = 33;
+  gp.live_blocks = 200;
+  gp.num_bugs = 3;
+  gp.bug_min_depth = 1;
+  gp.bug_max_depth = 1;
+  return generate_target(gp);
+}
+
+SupervisorConfig make_config() {
+  SupervisorConfig sc;
+  sc.num_instances = 4;
+  sc.base.scheme = MapScheme::kTwoLevel;
+  sc.base.map.map_size = 1u << 16;
+  sc.base.map.huge_pages = false;
+  sc.base.max_execs = 10000;
+  sc.base.seed = 501;
+  sc.base.sync_interval = 1024;
+  sc.base.deterministic_timing = true;
+  sc.poll_ms = 2;
+  sc.stall_deadline_ms = 2000;
+  sc.max_restarts_per_instance = 3;
+  sc.backoff_initial_ms = 5;
+  sc.backoff_cap_ms = 50;
+  sc.checkpoint_interval = 512;
+  return sc;
+}
+
+void print_result(const SupervisorResult& r) {
+  std::vector<u32> bugs = r.found_bug_ids;
+  std::sort(bugs.begin(), bugs.end());
+  std::vector<u64> hashes = r.found_stack_hashes;
+  std::sort(hashes.begin(), hashes.end());
+
+  std::printf("bug_ids:");
+  for (u32 b : bugs) std::printf(" %u", b);
+  std::printf("\nstack_hashes:");
+  for (u64 h : hashes) std::printf(" %llx", static_cast<unsigned long long>(h));
+  std::printf("\ntotal_execs: %llu\n",
+              static_cast<unsigned long long>(r.total_execs));
+  std::printf("all_completed: %d\n", r.all_completed() ? 1 : 0);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string mode = argc > 1 ? argv[1] : "";
+  const std::string dir = argc > 2 ? argv[2] : "";
+  if (mode == "baseline") {
+    // no persistence: pure reference run
+  } else if ((mode == "run" || mode == "resume") && !dir.empty()) {
+    // persisted modes need the fleet directory
+  } else {
+    std::fprintf(stderr,
+                 "usage: resume_drill baseline\n"
+                 "       resume_drill run <fleet-dir>\n"
+                 "       resume_drill resume <fleet-dir>\n");
+    return 2;
+  }
+
+  auto target = make_target();
+  auto seeds = make_seed_corpus(target, 4, 1);
+  SupervisorConfig sc = make_config();
+  if (mode != "baseline") sc.persist_dir = dir;
+  if (mode == "resume") sc.resume = true;
+  if (mode == "run") {
+    // Heavy per-block work stretches the run to many seconds so the drill
+    // script's SIGKILL reliably lands mid-campaign, with several
+    // checkpoints already committed. Exec counts are work-independent
+    // (deterministic timing), so the budget comparison still holds.
+    sc.base.work_per_block = 600;
+    std::printf("running: pid %d dir %s\n", static_cast<int>(getpid()),
+                dir.c_str());
+    std::fflush(stdout);
+  }
+
+  SupervisorResult r = run_supervised_campaign(target.program, seeds, sc);
+  std::printf("resumed: %d\n", r.resumed ? 1 : 0);
+  print_result(r);
+  return r.all_completed() ? 0 : 1;
+}

@@ -33,6 +33,7 @@
 
 #include "fuzzer/campaign.h"
 #include "fuzzer/sync.h"
+#include "persist/checkpoint.h"
 #include "target/program.h"
 #include "telemetry/sink.h"
 #include "util/fault.h"
@@ -68,6 +69,20 @@ struct SupervisorConfig {
   // (keyed by instance id) and to the hub's publish path.
   FaultInjector* fault = nullptr;
 
+  // Persistence (off when persist_dir is empty). With a directory set, the
+  // supervisor keeps a FleetStore there: every instance checkpoints its
+  // full state each checkpoint_interval execs, restarts become *warm* —
+  // the replacement attempt resumes from the last good snapshot instead of
+  // re-running from scratch — and instance lifecycle events are journaled
+  // so a SIGKILL'd process can be relaunched with resume = true and
+  // continue the run with find-union semantics identical to an
+  // uninterrupted one. resume against a directory written by a differently
+  // configured fleet throws.
+  std::string persist_dir;
+  u64 checkpoint_interval = 2048;
+  u32 keep_checkpoints = 2;
+  bool resume = false;
+
   // Optional fleet telemetry (must have >= num_instances sinks; validated).
   // The supervisor hands instance(i) to campaign i — the sink survives
   // restarts, so per-instance counters are lifetime totals — bumps the
@@ -102,6 +117,7 @@ struct InstanceHealth {
   u64 faulted_execs = 0;
   u64 injected_hangs = 0;
   u64 faults_injected = 0;  // all faults delivered to this instance
+  u32 warm_restarts = 0;    // restarts that resumed from a checkpoint
   std::string last_error;   // last exception message, if any
 };
 
@@ -126,6 +142,12 @@ struct SupervisorResult {
   u64 faults_survived = 0;
 
   SyncHubStats sync;
+
+  // Persistence accounting (all zero without persist_dir): checkpoints
+  // written/loaded, bytes committed, recoveries by cause, journal replay.
+  persist::PersistStats persist;
+  // True when this run resumed a previous process's fleet journal.
+  bool resumed = false;
 
   // Final fleet-level telemetry snapshot (zero-initialized when the run
   // had no FleetTelemetry attached). fleet_total.execs equals the summed

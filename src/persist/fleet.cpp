@@ -1,0 +1,218 @@
+#include "persist/fleet.h"
+
+#include <filesystem>
+
+#include "util/hash.h"
+
+namespace bigmap::persist {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// One record (header + payload + CRC) with no file header, for appending
+// to an already initialized journal.
+template <class Fill>
+std::vector<u8> encode_bare_record(RecordType type, Fill&& fill) {
+  std::vector<u8> buf;
+  PayloadWriter w(buf);
+  w.put_u32(static_cast<u32>(type));
+  w.put_u32(0);
+  const usize payload_start = buf.size();
+  fill(w);
+  const u32 len = static_cast<u32>(buf.size() - payload_start);
+  buf[4] = static_cast<u8>(len);
+  buf[5] = static_cast<u8>(len >> 8);
+  buf[6] = static_cast<u8>(len >> 16);
+  buf[7] = static_cast<u8>(len >> 24);
+  const u32 crc = crc32({buf.data(), buf.size()});
+  w.put_u32(crc);
+  return buf;
+}
+
+void put_fingerprint(PayloadWriter& w, const FleetFingerprint& fp) {
+  w.put_u32(fp.num_instances);
+  w.put_u64(fp.base_seed);
+  w.put_u64(fp.seed_stride);
+  w.put_u64(fp.max_execs);
+  w.put_u32(fp.scheme);
+  w.put_u32(fp.metric);
+  w.put_u64(fp.map_size);
+}
+
+bool get_fingerprint(PayloadReader& r, FleetFingerprint* fp) {
+  return r.get_u32(&fp->num_instances) && r.get_u64(&fp->base_seed) &&
+         r.get_u64(&fp->seed_stride) && r.get_u64(&fp->max_execs) &&
+         r.get_u32(&fp->scheme) && r.get_u32(&fp->metric) &&
+         r.get_u64(&fp->map_size);
+}
+
+void put_event(PayloadWriter& w, const InstanceEvent& ev) {
+  w.put_u32(ev.instance);
+  w.put_u32(ev.final_state);
+  w.put_u32(ev.attempts);
+  w.put_u32(ev.restarts);
+  w.put_u32(ev.stalls);
+  w.put_u32(ev.kills);
+  w.put_u32(ev.alloc_failures);
+  w.put_u32(ev.warm_restarts);
+  w.put_u64(ev.execs);
+  w.put_u64(ev.interesting);
+  w.put_u64(ev.crashes_total);
+  w.put_u64(ev.faulted_execs);
+  w.put_u64(ev.injected_hangs);
+  w.put_u64(ev.base_execs);
+  w.put_u64(ev.base_interesting);
+  w.put_u64(ev.base_crashes);
+  w.put_u64(ev.base_faulted_execs);
+  w.put_u64(ev.base_injected_hangs);
+  w.put_u64(ev.segment_max_execs);
+}
+
+bool get_event(PayloadReader& r, InstanceEvent* ev) {
+  return r.get_u32(&ev->instance) && r.get_u32(&ev->final_state) &&
+         r.get_u32(&ev->attempts) && r.get_u32(&ev->restarts) &&
+         r.get_u32(&ev->stalls) && r.get_u32(&ev->kills) &&
+         r.get_u32(&ev->alloc_failures) && r.get_u32(&ev->warm_restarts) &&
+         r.get_u64(&ev->execs) && r.get_u64(&ev->interesting) &&
+         r.get_u64(&ev->crashes_total) && r.get_u64(&ev->faulted_execs) &&
+         r.get_u64(&ev->injected_hangs) &&
+         r.get_u64(&ev->base_execs) && r.get_u64(&ev->base_interesting) &&
+         r.get_u64(&ev->base_crashes) &&
+         r.get_u64(&ev->base_faulted_execs) &&
+         r.get_u64(&ev->base_injected_hangs) &&
+         r.get_u64(&ev->segment_max_execs);
+}
+
+}  // namespace
+
+FleetStore::FleetStore(std::string dir, FleetFingerprint fp, FaultCtx fault,
+                       bool resume)
+    : dir_(std::move(dir)), fp_(fp), fault_(fault) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (resume) {
+    open_resume();
+  } else {
+    open_fresh();
+  }
+}
+
+void FleetStore::open_fresh() {
+  // Wipe everything a previous fleet left behind, then lay down the
+  // journal header + fingerprint as one atomic commit.
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    fs::remove_all(entry.path(), ec);
+  }
+  fresh_stores_ = true;
+
+  RecordWriter rw;
+  rw.append(RecordType::kFleetHeader,
+            [&](PayloadWriter& w) { put_fingerprint(w, fp_); });
+  std::string err;
+  if (!write_file_atomic(journal_path(), rw.finish(), fault_, &err)) {
+    error_ = "fleet journal init: " + err;
+  }
+}
+
+void FleetStore::open_resume() {
+  fresh_stores_ = false;
+  std::vector<u8> bytes;
+  std::string err;
+  if (!read_file(journal_path(), &bytes, fault_, &err)) {
+    // Nothing to resume from: degrade to a cold start with a fresh
+    // journal. The per-instance directories may still hold snapshots, but
+    // without budget accounting they cannot be trusted — wipe them too.
+    ++journal_cold_starts_;
+    open_fresh();
+    return;
+  }
+
+  ParsedFile parsed = parse_records(bytes);
+  if (parsed.status == LoadStatus::kBadMagic ||
+      parsed.status == LoadStatus::kBadVersion) {
+    error_ = std::string("fleet journal: ") +
+             load_status_name(parsed.status);
+    return;
+  }
+  if (parsed.status != LoadStatus::kOk) {
+    // Torn or corrupt tail: keep the valid prefix, drop the rest. Truncate
+    // the file so future appends continue from a clean boundary.
+    ++journal_tail_dropped_;
+    std::error_code ec;
+    fs::resize_file(journal_path(), parsed.valid_bytes, ec);
+  }
+
+  if (parsed.records.empty() ||
+      parsed.records.front().type != RecordType::kFleetHeader) {
+    ++journal_cold_starts_;
+    open_fresh();
+    return;
+  }
+
+  FleetFingerprint on_disk;
+  {
+    PayloadReader r(parsed.records.front().payload);
+    if (!get_fingerprint(r, &on_disk)) {
+      error_ = "fleet journal: bad fingerprint payload";
+      return;
+    }
+  }
+  if (!(on_disk == fp_)) {
+    error_ =
+        "fleet journal: configuration fingerprint mismatch (directory "
+        "belongs to a differently configured fleet)";
+    return;
+  }
+
+  for (usize i = 1; i < parsed.records.size(); ++i) {
+    if (parsed.records[i].type != RecordType::kFleetEvent) continue;
+    InstanceEvent ev;
+    PayloadReader r(parsed.records[i].payload);
+    if (!get_event(r, &ev)) continue;
+    last_events_[ev.instance] = ev;
+    ++journal_events_;
+  }
+  resumed_ = true;
+}
+
+std::optional<InstanceEvent> FleetStore::last_event(u32 instance) const {
+  const auto it = last_events_.find(instance);
+  if (it == last_events_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool FleetStore::append_event(const InstanceEvent& ev, std::string* err) {
+  const std::vector<u8> rec = encode_bare_record(
+      RecordType::kFleetEvent, [&](PayloadWriter& w) { put_event(w, ev); });
+  return append_file(journal_path(), rec, fault_, err);
+}
+
+CheckpointStore& FleetStore::instance_store(u32 instance) {
+  auto it = stores_.find(instance);
+  if (it == stores_.end()) {
+    FaultCtx bound = fault_;
+    bound.instance = instance;
+    it = stores_
+             .emplace(instance, std::make_unique<CheckpointStore>(
+                                    dir_ + "/instance-" +
+                                        std::to_string(instance),
+                                    bound, fresh_stores_))
+             .first;
+  }
+  return *it->second;
+}
+
+PersistStats FleetStore::stats() const {
+  PersistStats s;
+  s.journal_events = journal_events_;
+  s.journal_tail_dropped = journal_tail_dropped_;
+  s.cold_starts = journal_cold_starts_;
+  for (const auto& [id, store] : stores_) {
+    s.add(store->stats());
+  }
+  return s;
+}
+
+}  // namespace bigmap::persist

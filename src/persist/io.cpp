@@ -1,0 +1,115 @@
+#include "persist/io.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace bigmap::persist {
+namespace {
+
+bool write_span(std::ofstream& f, std::span<const u8> bytes) {
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(f);
+}
+
+}  // namespace
+
+bool write_file_atomic(const std::string& path, std::span<const u8> bytes,
+                       const FaultCtx& fault, std::string* err) {
+  if (fault.fire(FaultSite::kNoSpace)) {
+    if (err != nullptr) *err = "write " + path + ": no space (injected)";
+    return false;
+  }
+
+  const std::string tmp = path + ".tmp";
+  const bool short_write = fault.fire(FaultSite::kShortWrite);
+  const std::span<const u8> to_write =
+      short_write ? bytes.first(bytes.size() / 2) : bytes;
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f || !write_span(f, to_write)) {
+      if (err != nullptr) *err = "write " + path + ".tmp failed";
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return false;
+    }
+  }
+
+  if (short_write) {
+    // Model a crash after the torn temp file was already renamed into
+    // place (journal-style tear): promote it so load paths must recover
+    // from a truncated tail, then report the commit as failed.
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (err != nullptr) *err = "write " + path + ": short write (injected)";
+    return false;
+  }
+
+  if (fault.fire(FaultSite::kRenameFail)) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    if (err != nullptr) {
+      *err = "rename " + tmp + " -> " + path + " failed (injected)";
+    }
+    return false;
+  }
+
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    if (err != nullptr) {
+      *err = "rename " + tmp + " -> " + path + ": " + ec.message();
+    }
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+bool append_file(const std::string& path, std::span<const u8> bytes,
+                 const FaultCtx& fault, std::string* err) {
+  if (fault.fire(FaultSite::kNoSpace)) {
+    if (err != nullptr) *err = "append " + path + ": no space (injected)";
+    return false;
+  }
+  const bool short_write = fault.fire(FaultSite::kShortWrite);
+  const std::span<const u8> to_write =
+      short_write ? bytes.first(bytes.size() / 2) : bytes;
+
+  std::ofstream f(path, std::ios::binary | std::ios::app);
+  if (!f || !write_span(f, to_write)) {
+    if (err != nullptr) *err = "append " + path + " failed";
+    return false;
+  }
+  if (short_write) {
+    if (err != nullptr) *err = "append " + path + ": short write (injected)";
+    return false;
+  }
+  return true;
+}
+
+bool read_file(const std::string& path, std::vector<u8>* out,
+               const FaultCtx& fault, std::string* err) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f) {
+    if (err != nullptr) *err = "read " + path + ": cannot open";
+    return false;
+  }
+  const std::streamsize size = f.tellg();
+  f.seekg(0);
+  out->resize(static_cast<usize>(size));
+  if (size > 0 &&
+      !f.read(reinterpret_cast<char*>(out->data()), size)) {
+    if (err != nullptr) *err = "read " + path + " failed";
+    return false;
+  }
+  if (!out->empty() && fault.fire(FaultSite::kCorruptRead)) {
+    // Deterministic single-byte flip in the middle of the file: past the
+    // header, inside some record's payload or checksum.
+    (*out)[out->size() / 2] ^= 0xA5;
+  }
+  return true;
+}
+
+}  // namespace bigmap::persist

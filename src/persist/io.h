@@ -1,0 +1,58 @@
+// Fault-injectable file I/O for the persistence layer.
+//
+// Every byte the checkpoint/journal code moves to or from disk goes through
+// these helpers, which consult a FaultInjector at four sites modelling the
+// ways real filesystems betray a fuzzing service:
+//
+//   kNoSpace      write fails before any byte lands (ENOSPC)
+//   kShortWrite   only a prefix reaches disk, then "the process dies" —
+//                 the torn file stays on disk and the call reports failure
+//   kRenameFail   the temp file is fully written but the atomic
+//                 temp -> final rename is lost (commit never happens)
+//   kCorruptRead  a read succeeds but returns bit-flipped data
+//
+// The commit protocol for whole files is write-temp + rename: the final
+// path either holds the complete previous version or the complete new one,
+// never a mix. Journals append in place instead — a torn append is exactly
+// the truncated tail parse_records() recovers from.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/fault.h"
+#include "util/types.h"
+
+namespace bigmap::persist {
+
+// Injector + instance id, threaded through every I/O call. A null injector
+// means "real I/O only".
+struct FaultCtx {
+  FaultInjector* injector = nullptr;
+  u32 instance = 0;
+
+  bool fire(FaultSite site) const {
+    return injector != nullptr && injector->fire(site, instance);
+  }
+};
+
+// Writes `bytes` to `path` via a sibling temp file and an atomic rename.
+// On failure (real or injected) returns false and sets *err; the final
+// path is never left torn (an injected short write tears the *temp* file
+// and, to model a crash immediately after a rename of partially-flushed
+// data, promotes it — callers recover via per-record CRCs).
+bool write_file_atomic(const std::string& path, std::span<const u8> bytes,
+                       const FaultCtx& fault, std::string* err);
+
+// Appends `bytes` to `path`, creating it if absent. An injected short
+// write appends only a prefix and reports failure.
+bool append_file(const std::string& path, std::span<const u8> bytes,
+                 const FaultCtx& fault, std::string* err);
+
+// Reads the whole file. Returns false if the file is missing/unreadable.
+// An injected corrupt read flips one deterministic byte of the content.
+bool read_file(const std::string& path, std::vector<u8>* out,
+               const FaultCtx& fault, std::string* err);
+
+}  // namespace bigmap::persist

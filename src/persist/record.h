@@ -1,0 +1,160 @@
+// Crash-consistent on-disk record format for campaign persistence.
+//
+// Every persisted file — per-instance checkpoint snapshots and the fleet
+// journal — is a sequence of self-checking records behind a fixed file
+// header, in the style of CalicoDB/RocksDB WALs:
+//
+//   file   := [u32 magic "BMSP"][u32 format_version] record*
+//   record := [u32 type][u32 payload_len][payload][u32 crc]
+//
+// All integers are little-endian. The CRC-32 (IEEE, the same crc32() the
+// coverage maps use) covers type, payload_len, and the payload, so a torn
+// or bit-flipped record can never be mistaken for a valid one. Readers
+// stop at the first incomplete or corrupt record and report how far the
+// valid prefix reached — the "truncated tail" recovery rule: everything
+// before the damage is usable, everything after is discarded.
+//
+// Snapshot files additionally end with a kCommit record; a snapshot whose
+// valid prefix lacks the commit marker was torn mid-write and is rejected
+// as a whole (checkpoint.h then falls back to the previous snapshot).
+// Journals have no commit marker: each record is an independent event and
+// a torn tail simply drops the last partial event.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace bigmap::persist {
+
+inline constexpr u32 kMagic = 0x50534D42u;  // "BMSP" little-endian
+inline constexpr u32 kFormatVersion = 1;
+inline constexpr usize kFileHeaderSize = 8;
+inline constexpr usize kRecordHeaderSize = 8;  // type + payload_len
+inline constexpr usize kRecordTrailerSize = 4;  // crc
+
+// Record types (v1). Values are part of the on-disk format — append only.
+enum class RecordType : u32 {
+  kCampaignHeader = 1,  // scheme/metric/seed/map geometry/sequence number
+  kCounters = 2,        // resumable CampaignResult counters
+  kRngState = 3,        // campaign + mutator xoshiro256 streams
+  kQueueMeta = 4,       // entry count, top_rated geometry
+  kQueueEntry = 5,      // one SeedQueue entry (repeated)
+  kTopRated = 6,        // per-position top_entry/top_factor arrays
+  kVirginMap = 7,       // one virgin map (queue/crash/hang; repeated)
+  kMapState = 8,        // two-level index bitmap + used_key/saturated
+  kTriage = 9,          // found bug ids + crashwalk stack hashes
+  kCommit = 10,         // snapshot completeness marker (always last)
+  kFleetHeader = 11,    // fleet journal: config fingerprint
+  kFleetEvent = 12,     // fleet journal: one instance lifecycle event
+};
+
+const char* record_type_name(RecordType t) noexcept;
+
+// Why a load (of a whole file or of one snapshot) did not produce a clean
+// result. Ordered so "worse" causes don't shadow "clean" ones in tests.
+enum class LoadStatus : u8 {
+  kOk = 0,
+  kMissing,          // file does not exist / cannot be read
+  kBadMagic,         // not a BMSP file
+  kBadVersion,       // format_version from a different (future) layout
+  kTruncatedTail,    // valid prefix, then an incomplete record
+  kBadCrc,           // valid prefix, then a checksum mismatch
+  kNoCommit,         // snapshot parsed but the commit marker is absent
+  kBadPayload,       // a record's payload failed structural decoding
+  kMismatch,         // decoded fine but belongs to a different campaign
+};
+
+const char* load_status_name(LoadStatus s) noexcept;
+
+// --- encoding ---------------------------------------------------------------
+
+// Append-only little-endian payload builder.
+class PayloadWriter {
+ public:
+  explicit PayloadWriter(std::vector<u8>& out) : out_(out) {}
+
+  void put_u8(u8 v) { out_.push_back(v); }
+  void put_u32(u32 v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<u8>(v >> (8 * i)));
+  }
+  void put_u64(u64 v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<u8>(v >> (8 * i)));
+  }
+  void put_f64(double v);
+  void put_bytes(std::span<const u8> b) {
+    out_.insert(out_.end(), b.begin(), b.end());
+  }
+
+ private:
+  std::vector<u8>& out_;
+};
+
+// Bounds-checked little-endian payload reader. Every getter returns false
+// (and leaves the output untouched) past the end — decoding never reads out
+// of bounds, whatever the payload contains.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::span<const u8> data) : data_(data) {}
+
+  bool get_u8(u8* v);
+  bool get_u32(u32* v);
+  bool get_u64(u64* v);
+  bool get_f64(double* v);
+  bool get_bytes(usize n, std::span<const u8>* out);
+  bool done() const noexcept { return pos_ == data_.size(); }
+  usize remaining() const noexcept { return data_.size() - pos_; }
+
+ private:
+  std::span<const u8> data_;
+  usize pos_ = 0;
+};
+
+// Serializes records into one contiguous buffer, starting with the file
+// header. finish() returns the buffer; the writer is then exhausted.
+class RecordWriter {
+ public:
+  RecordWriter();
+
+  // Appends one record; `fill` receives a PayloadWriter positioned at the
+  // record's payload.
+  template <class Fill>
+  void append(RecordType type, Fill&& fill) {
+    begin_record(type);
+    PayloadWriter w(buf_);
+    fill(w);
+    end_record();
+  }
+
+  std::vector<u8> finish() { return std::move(buf_); }
+
+ private:
+  void begin_record(RecordType type);
+  void end_record();
+
+  std::vector<u8> buf_;
+  usize payload_start_ = 0;  // offset of current record's payload
+  usize header_start_ = 0;   // offset of current record's type field
+};
+
+struct RecordView {
+  RecordType type{};
+  std::span<const u8> payload;
+};
+
+// Parses the valid prefix of a record file. `records` holds every record
+// up to the first damage; `status` explains why parsing stopped (kOk when
+// the whole buffer was consumed cleanly). `valid_bytes` is the offset the
+// valid prefix reaches — a journal can be safely truncated to it.
+struct ParsedFile {
+  LoadStatus status = LoadStatus::kOk;
+  std::vector<RecordView> records;
+  usize valid_bytes = 0;
+};
+
+ParsedFile parse_records(std::span<const u8> file);
+
+}  // namespace bigmap::persist

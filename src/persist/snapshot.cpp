@@ -1,0 +1,287 @@
+#include "persist/snapshot.h"
+
+#include <cstring>
+
+namespace bigmap::persist {
+namespace {
+
+// Virgin-map subtype tags inside kVirginMap records.
+enum class VirginKind : u8 { kQueue = 0, kCrash = 1, kHang = 2 };
+
+void put_u32_vec(PayloadWriter& w, const std::vector<u32>& v) {
+  w.put_u64(v.size());
+  for (u32 x : v) w.put_u32(x);
+}
+
+void put_u64_vec(PayloadWriter& w, const std::vector<u64>& v) {
+  w.put_u64(v.size());
+  for (u64 x : v) w.put_u64(x);
+}
+
+bool get_u32_vec(PayloadReader& r, std::vector<u32>* out) {
+  u64 n;
+  if (!r.get_u64(&n) || n * 4 > r.remaining()) return false;
+  out->resize(static_cast<usize>(n));
+  for (u32& x : *out) {
+    if (!r.get_u32(&x)) return false;
+  }
+  return true;
+}
+
+bool get_u64_vec(PayloadReader& r, std::vector<u64>* out) {
+  u64 n;
+  if (!r.get_u64(&n) || n * 8 > r.remaining()) return false;
+  out->resize(static_cast<usize>(n));
+  for (u64& x : *out) {
+    if (!r.get_u64(&x)) return false;
+  }
+  return true;
+}
+
+bool get_byte_vec(PayloadReader& r, std::vector<u8>* out) {
+  u64 n;
+  if (!r.get_u64(&n) || n > r.remaining()) return false;
+  std::span<const u8> bytes;
+  if (!r.get_bytes(static_cast<usize>(n), &bytes)) return false;
+  out->assign(bytes.begin(), bytes.end());
+  return true;
+}
+
+}  // namespace
+
+std::vector<u8> encode_snapshot(const CampaignSnapshot& s) {
+  RecordWriter rw;
+
+  rw.append(RecordType::kCampaignHeader, [&](PayloadWriter& w) {
+    w.put_u32(s.scheme);
+    w.put_u32(s.metric);
+    w.put_u64(s.seed);
+    w.put_u32(s.instance_id);
+    w.put_u64(s.map_size);
+    w.put_u64(s.virgin_size);
+    w.put_u64(s.checkpoint_seq);
+  });
+
+  rw.append(RecordType::kCounters, [&](PayloadWriter& w) {
+    w.put_u64(s.execs);
+    w.put_u64(s.seed_execs);
+    w.put_f64(s.seed_seconds);
+    w.put_u64(s.interesting);
+    w.put_u64(s.hangs);
+    w.put_u64(s.trim_execs);
+    w.put_u64(s.trimmed_bytes);
+    w.put_u64(s.faulted_execs);
+    w.put_u64(s.injected_hangs);
+    w.put_u64(s.crashes_total);
+    w.put_u64(s.crashes_afl_unique);
+  });
+
+  rw.append(RecordType::kRngState, [&](PayloadWriter& w) {
+    for (u64 v : s.rng_state) w.put_u64(v);
+    for (u64 v : s.mutator_rng_state) w.put_u64(v);
+  });
+
+  rw.append(RecordType::kQueueMeta, [&](PayloadWriter& w) {
+    w.put_u64(s.entries.size());
+    w.put_u64(s.top_entry.size());
+    w.put_u64(s.top_covered);
+  });
+
+  for (const QueueEntrySnap& e : s.entries) {
+    rw.append(RecordType::kQueueEntry, [&](PayloadWriter& w) {
+      w.put_u64(e.data.size());
+      w.put_bytes(e.data);
+      w.put_u64(e.exec_ns);
+      w.put_u32(e.bitmap_hash);
+      w.put_u32(e.depth);
+      w.put_u8(e.favored ? 1 : 0);
+      w.put_u8(e.was_fuzzed ? 1 : 0);
+      w.put_u64(e.times_selected);
+    });
+  }
+
+  rw.append(RecordType::kTopRated, [&](PayloadWriter& w) {
+    put_u32_vec(w, s.top_entry);
+    put_u64_vec(w, s.top_factor);
+  });
+
+  const std::vector<u8>* virgins[3] = {&s.virgin_queue, &s.virgin_crash,
+                                       &s.virgin_hang};
+  for (u8 kind = 0; kind < 3; ++kind) {
+    rw.append(RecordType::kVirginMap, [&](PayloadWriter& w) {
+      w.put_u8(kind);
+      w.put_u64(virgins[kind]->size());
+      w.put_bytes(*virgins[kind]);
+    });
+  }
+
+  rw.append(RecordType::kMapState, [&](PayloadWriter& w) {
+    w.put_u8(s.has_two_level ? 1 : 0);
+    if (s.has_two_level) {
+      w.put_u32(s.used_key);
+      w.put_u64(s.saturated_updates);
+      put_u32_vec(w, s.index_bitmap);
+    }
+  });
+
+  rw.append(RecordType::kTriage, [&](PayloadWriter& w) {
+    put_u32_vec(w, s.bug_ids);
+    put_u64_vec(w, s.stack_hashes);
+  });
+
+  rw.append(RecordType::kCommit, [&](PayloadWriter& w) {
+    w.put_u64(s.checkpoint_seq);
+  });
+
+  return rw.finish();
+}
+
+DecodeResult decode_snapshot(std::span<const u8> file) {
+  DecodeResult out;
+  ParsedFile parsed = parse_records(file);
+  if (parsed.status != LoadStatus::kOk) {
+    out.status = parsed.status;
+    return out;
+  }
+  if (parsed.records.empty() ||
+      parsed.records.back().type != RecordType::kCommit) {
+    out.status = LoadStatus::kNoCommit;
+    return out;
+  }
+
+  CampaignSnapshot s;
+  bool saw_header = false;
+  u64 declared_entries = 0;
+  auto fail = [&] {
+    out.status = LoadStatus::kBadPayload;
+    return out;
+  };
+
+  for (const RecordView& rec : parsed.records) {
+    PayloadReader r(rec.payload);
+    switch (rec.type) {
+      case RecordType::kCampaignHeader: {
+        if (!r.get_u32(&s.scheme) || !r.get_u32(&s.metric) ||
+            !r.get_u64(&s.seed) || !r.get_u32(&s.instance_id) ||
+            !r.get_u64(&s.map_size) || !r.get_u64(&s.virgin_size) ||
+            !r.get_u64(&s.checkpoint_seq)) {
+          return fail();
+        }
+        saw_header = true;
+        break;
+      }
+      case RecordType::kCounters: {
+        if (!r.get_u64(&s.execs) || !r.get_u64(&s.seed_execs) ||
+            !r.get_f64(&s.seed_seconds) || !r.get_u64(&s.interesting) ||
+            !r.get_u64(&s.hangs) || !r.get_u64(&s.trim_execs) ||
+            !r.get_u64(&s.trimmed_bytes) || !r.get_u64(&s.faulted_execs) ||
+            !r.get_u64(&s.injected_hangs) || !r.get_u64(&s.crashes_total) ||
+            !r.get_u64(&s.crashes_afl_unique)) {
+          return fail();
+        }
+        break;
+      }
+      case RecordType::kRngState: {
+        for (u64& v : s.rng_state) {
+          if (!r.get_u64(&v)) return fail();
+        }
+        for (u64& v : s.mutator_rng_state) {
+          if (!r.get_u64(&v)) return fail();
+        }
+        break;
+      }
+      case RecordType::kQueueMeta: {
+        u64 positions;
+        if (!r.get_u64(&declared_entries) || !r.get_u64(&positions) ||
+            !r.get_u64(&s.top_covered)) {
+          return fail();
+        }
+        s.entries.reserve(static_cast<usize>(declared_entries));
+        break;
+      }
+      case RecordType::kQueueEntry: {
+        QueueEntrySnap e;
+        u64 len;
+        if (!r.get_u64(&len) || len > r.remaining()) return fail();
+        std::span<const u8> bytes;
+        if (!r.get_bytes(static_cast<usize>(len), &bytes)) return fail();
+        e.data.assign(bytes.begin(), bytes.end());
+        u8 fav, fuzzed;
+        if (!r.get_u64(&e.exec_ns) || !r.get_u32(&e.bitmap_hash) ||
+            !r.get_u32(&e.depth) || !r.get_u8(&fav) || !r.get_u8(&fuzzed) ||
+            !r.get_u64(&e.times_selected)) {
+          return fail();
+        }
+        e.favored = fav != 0;
+        e.was_fuzzed = fuzzed != 0;
+        s.entries.push_back(std::move(e));
+        break;
+      }
+      case RecordType::kTopRated: {
+        if (!get_u32_vec(r, &s.top_entry) ||
+            !get_u64_vec(r, &s.top_factor)) {
+          return fail();
+        }
+        break;
+      }
+      case RecordType::kVirginMap: {
+        u8 kind;
+        if (!r.get_u8(&kind) || kind > 2) return fail();
+        std::vector<u8>* dst = kind == 0   ? &s.virgin_queue
+                               : kind == 1 ? &s.virgin_crash
+                                           : &s.virgin_hang;
+        if (!get_byte_vec(r, dst)) return fail();
+        break;
+      }
+      case RecordType::kMapState: {
+        u8 two;
+        if (!r.get_u8(&two)) return fail();
+        s.has_two_level = two != 0;
+        if (s.has_two_level) {
+          if (!r.get_u32(&s.used_key) || !r.get_u64(&s.saturated_updates) ||
+              !get_u32_vec(r, &s.index_bitmap)) {
+            return fail();
+          }
+        }
+        break;
+      }
+      case RecordType::kTriage: {
+        if (!get_u32_vec(r, &s.bug_ids) ||
+            !get_u64_vec(r, &s.stack_hashes)) {
+          return fail();
+        }
+        break;
+      }
+      case RecordType::kCommit: {
+        u64 seq;
+        if (!r.get_u64(&seq) || (saw_header && seq != s.checkpoint_seq)) {
+          return fail();
+        }
+        break;
+      }
+      case RecordType::kFleetHeader:
+      case RecordType::kFleetEvent:
+        // Fleet journal records inside a snapshot file: wrong file kind.
+        return fail();
+    }
+  }
+
+  // Structural cross-checks: the snapshot must be internally consistent
+  // before any of it is copied into live campaign state.
+  if (!saw_header || s.entries.size() != declared_entries ||
+      s.top_entry.size() != s.top_factor.size() ||
+      s.virgin_queue.size() != s.virgin_size ||
+      s.virgin_crash.size() != s.virgin_size ||
+      s.virgin_hang.size() != s.virgin_size ||
+      s.top_covered > s.top_entry.size() ||
+      (s.has_two_level && (s.index_bitmap.size() != s.map_size ||
+                           s.used_key > s.virgin_size))) {
+    out.status = LoadStatus::kBadPayload;
+    return out;
+  }
+
+  out.snapshot = std::move(s);
+  return out;
+}
+
+}  // namespace bigmap::persist

@@ -1,0 +1,94 @@
+// CampaignSnapshot: the full resumable state of one campaign instance,
+// plus its versioned record encoding.
+//
+// A snapshot captures everything a warm restart needs to continue a
+// campaign exactly where it stopped instead of re-running from scratch:
+// the seed queue with its top_rated/favored scheduling metadata, all three
+// virgin maps, the BigMap index bitmap + used_key bump allocator, both RNG
+// stream positions, the crash-triage identity sets, and the lifetime
+// result counters the exec budget is charged against. The struct is plain
+// data so tests can build arbitrary states and round-trip them.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "persist/record.h"
+#include "util/types.h"
+
+namespace bigmap::persist {
+
+struct QueueEntrySnap {
+  std::vector<u8> data;
+  u64 exec_ns = 0;
+  u32 bitmap_hash = 0;
+  u32 depth = 0;
+  bool favored = false;
+  bool was_fuzzed = false;
+  u64 times_selected = 0;
+};
+
+struct CampaignSnapshot {
+  // --- identity: a snapshot only restores into the same configuration ----
+  u32 scheme = 0;  // MapScheme as u32
+  u32 metric = 0;  // MetricKind as u32
+  u64 seed = 0;
+  u32 instance_id = 0;
+  u64 map_size = 0;
+  u64 virgin_size = 0;  // condensed size for BigMap, map_size for flat
+  u64 checkpoint_seq = 0;
+
+  // --- resumable result counters -----------------------------------------
+  u64 execs = 0;
+  u64 seed_execs = 0;
+  double seed_seconds = 0.0;
+  u64 interesting = 0;
+  u64 hangs = 0;
+  u64 trim_execs = 0;
+  u64 trimmed_bytes = 0;
+  u64 faulted_execs = 0;
+  u64 injected_hangs = 0;
+  u64 crashes_total = 0;
+  u64 crashes_afl_unique = 0;
+
+  // --- RNG stream positions ----------------------------------------------
+  std::array<u64, 4> rng_state{};
+  std::array<u64, 4> mutator_rng_state{};
+
+  // --- seed queue ----------------------------------------------------------
+  std::vector<QueueEntrySnap> entries;
+  std::vector<u32> top_entry;   // per-position winner (kNoEntry when none)
+  std::vector<u64> top_factor;  // per-position winning fav factor
+  u64 top_covered = 0;
+
+  // --- coverage state ------------------------------------------------------
+  std::vector<u8> virgin_queue;
+  std::vector<u8> virgin_crash;
+  std::vector<u8> virgin_hang;
+  bool has_two_level = false;
+  std::vector<u32> index_bitmap;
+  u32 used_key = 0;
+  u64 saturated_updates = 0;
+
+  // --- crash triage identities --------------------------------------------
+  std::vector<u32> bug_ids;
+  std::vector<u64> stack_hashes;
+};
+
+// Serializes the snapshot into the v1 record format (file header, records,
+// trailing commit marker).
+std::vector<u8> encode_snapshot(const CampaignSnapshot& s);
+
+// Decodes a snapshot file. Any damage — bad magic/version, torn tail, CRC
+// mismatch, structurally invalid payload, missing commit — yields a status
+// other than kOk and no snapshot. Never reads out of bounds.
+struct DecodeResult {
+  LoadStatus status = LoadStatus::kOk;
+  std::optional<CampaignSnapshot> snapshot;
+};
+
+DecodeResult decode_snapshot(std::span<const u8> file);
+
+}  // namespace bigmap::persist

@@ -1,0 +1,156 @@
+// statecheck: fsck-style validator/dumper for BigMap persistence files.
+//
+//   statecheck [--dump] <snapshot.bms>...   validate snapshot files
+//   statecheck [--dump] --fleet <dir>       validate a fleet directory
+//                                           (journal + every instance
+//                                           snapshot)
+//
+// Exit status 0 when everything checked is valid, 1 otherwise. --dump
+// additionally lists every record and the decoded campaign identity, which
+// is how a human inspects what a crashed fleet left behind.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "persist/fleet.h"
+#include "persist/io.h"
+#include "persist/record.h"
+#include "persist/snapshot.h"
+
+namespace fs = std::filesystem;
+using namespace bigmap;
+using namespace bigmap::persist;
+
+namespace {
+
+void dump_records(const ParsedFile& parsed) {
+  for (const RecordView& rec : parsed.records) {
+    std::printf("  record %-16s %zu bytes\n", record_type_name(rec.type),
+                rec.payload.size());
+  }
+}
+
+void dump_snapshot(const CampaignSnapshot& s) {
+  std::printf(
+      "  scheme=%u metric=%u seed=%llu instance=%u map_size=%llu "
+      "virgin_size=%llu seq=%llu\n",
+      s.scheme, s.metric, static_cast<unsigned long long>(s.seed),
+      s.instance_id, static_cast<unsigned long long>(s.map_size),
+      static_cast<unsigned long long>(s.virgin_size),
+      static_cast<unsigned long long>(s.checkpoint_seq));
+  std::printf(
+      "  execs=%llu interesting=%llu crashes=%llu queue_entries=%zu "
+      "bug_ids=%zu stack_hashes=%zu used_key=%u\n",
+      static_cast<unsigned long long>(s.execs),
+      static_cast<unsigned long long>(s.interesting),
+      static_cast<unsigned long long>(s.crashes_total), s.entries.size(),
+      s.bug_ids.size(), s.stack_hashes.size(), s.used_key);
+}
+
+// Returns true when the snapshot file is fully valid.
+bool check_snapshot_file(const std::string& path, bool dump) {
+  std::vector<u8> bytes;
+  std::string err;
+  if (!read_file(path, &bytes, FaultCtx{}, &err)) {
+    std::printf("%s: MISSING (%s)\n", path.c_str(), err.c_str());
+    return false;
+  }
+  DecodeResult dec = decode_snapshot(bytes);
+  if (dec.status != LoadStatus::kOk) {
+    std::printf("%s: INVALID (%s)\n", path.c_str(),
+                load_status_name(dec.status));
+    if (dump) {
+      ParsedFile parsed = parse_records(bytes);
+      std::printf("  valid prefix: %zu of %zu bytes, %zu record(s)\n",
+                  parsed.valid_bytes, bytes.size(), parsed.records.size());
+      dump_records(parsed);
+    }
+    return false;
+  }
+  std::printf("%s: ok (%zu bytes)\n", path.c_str(), bytes.size());
+  if (dump) {
+    dump_records(parse_records(bytes));
+    dump_snapshot(*dec.snapshot);
+  }
+  return true;
+}
+
+bool check_journal(const std::string& path, bool dump) {
+  std::vector<u8> bytes;
+  std::string err;
+  if (!read_file(path, &bytes, FaultCtx{}, &err)) {
+    std::printf("%s: MISSING (%s)\n", path.c_str(), err.c_str());
+    return false;
+  }
+  ParsedFile parsed = parse_records(bytes);
+  if (parsed.records.empty() ||
+      parsed.records.front().type != RecordType::kFleetHeader) {
+    std::printf("%s: INVALID (no fleet header)\n", path.c_str());
+    return false;
+  }
+  if (parsed.status != LoadStatus::kOk) {
+    // A torn journal tail is recoverable by design, so report it as a
+    // warning, not a failure.
+    std::printf("%s: ok with torn tail (%s; valid prefix %zu of %zu "
+                "bytes, %zu record(s))\n",
+                path.c_str(), load_status_name(parsed.status),
+                parsed.valid_bytes, bytes.size(), parsed.records.size());
+  } else {
+    std::printf("%s: ok (%zu record(s))\n", path.c_str(),
+                parsed.records.size());
+  }
+  if (dump) dump_records(parsed);
+  return true;
+}
+
+bool check_fleet_dir(const std::string& dir, bool dump) {
+  bool ok = check_journal(dir + "/fleet.journal", dump);
+  std::error_code ec;
+  std::vector<std::string> snaps;
+  for (const auto& inst : fs::directory_iterator(dir, ec)) {
+    if (!inst.is_directory(ec)) continue;
+    for (const auto& f : fs::directory_iterator(inst.path(), ec)) {
+      if (f.path().extension() == ".bms") {
+        snaps.push_back(f.path().string());
+      }
+    }
+  }
+  std::sort(snaps.begin(), snaps.end());
+  for (const std::string& path : snaps) {
+    ok = check_snapshot_file(path, dump) && ok;
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool dump = false;
+  std::string fleet_dir;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dump") == 0) {
+      dump = true;
+    } else if (std::strcmp(argv[i], "--fleet") == 0 && i + 1 < argc) {
+      fleet_dir = argv[++i];
+    } else {
+      files.emplace_back(argv[i]);
+    }
+  }
+  if (fleet_dir.empty() && files.empty()) {
+    std::fprintf(stderr,
+                 "usage: statecheck [--dump] <snapshot.bms>...\n"
+                 "       statecheck [--dump] --fleet <dir>\n");
+    return 2;
+  }
+
+  bool ok = true;
+  if (!fleet_dir.empty()) ok = check_fleet_dir(fleet_dir, dump) && ok;
+  for (const std::string& path : files) {
+    ok = check_snapshot_file(path, dump) && ok;
+  }
+  return ok ? 0 : 1;
+}

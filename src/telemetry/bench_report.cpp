@@ -33,6 +33,12 @@ void write_snapshot_json(JsonWriter& w, const StatsSnapshot& s) {
   w.field("faulted_execs", s.faulted_execs);
   w.field("injected_hangs", s.injected_hangs);
   w.field("restarts", s.restarts);
+  w.field("checkpoints_written", s.checkpoints_written);
+  w.field("checkpoints_loaded", s.checkpoints_loaded);
+  w.field("checkpoint_bytes", s.checkpoint_bytes);
+  w.field("recovery_torn_tail", s.recovery_torn_tail);
+  w.field("recovery_bad_crc", s.recovery_bad_crc);
+  w.field("recovery_version_mismatch", s.recovery_version_mismatch);
   w.field("map_resets", s.map_resets);
   w.field("map_classifies", s.map_classifies);
   w.field("map_compares", s.map_compares);

@@ -55,6 +55,12 @@ std::string render_fuzzer_stats(const StatsSnapshot& s,
   kv(out, "faulted_execs", s.faulted_execs);
   kv(out, "injected_hangs", s.injected_hangs);
   kv(out, "restarts", s.restarts);
+  kv(out, "checkpoints_written", s.checkpoints_written);
+  kv(out, "checkpoints_loaded", s.checkpoints_loaded);
+  kv(out, "checkpoint_bytes", s.checkpoint_bytes);
+  kv(out, "recovery_torn_tail", s.recovery_torn_tail);
+  kv(out, "recovery_bad_crc", s.recovery_bad_crc);
+  kv(out, "recovery_version_mismatch", s.recovery_version_mismatch);
   kv(out, "map_resets", s.map_resets);
   kv(out, "map_classifies", s.map_classifies);
   kv(out, "map_compares", s.map_compares);

@@ -30,6 +30,13 @@ StatsSnapshot TelemetrySink::live_at(u64 relative_ms) const {
   s.injected_hangs = injected_hangs.get();
   s.restarts = restarts.get();
 
+  s.checkpoints_written = checkpoints_written.get();
+  s.checkpoints_loaded = checkpoints_loaded.get();
+  s.checkpoint_bytes = checkpoint_bytes.get();
+  s.recovery_torn_tail = recovery_torn_tail.get();
+  s.recovery_bad_crc = recovery_bad_crc.get();
+  s.recovery_version_mismatch = recovery_version_mismatch.get();
+
   s.queue_depth = queue_depth.get();
   s.covered_positions = covered_positions.get();
   s.map_positions = map_positions.get();
@@ -116,6 +123,12 @@ StatsSnapshot FleetTelemetry::fleet_total() const {
     total.sync_imported += s.sync_imported;
     total.faulted_execs += s.faulted_execs;
     total.injected_hangs += s.injected_hangs;
+    total.checkpoints_written += s.checkpoints_written;
+    total.checkpoints_loaded += s.checkpoints_loaded;
+    total.checkpoint_bytes += s.checkpoint_bytes;
+    total.recovery_torn_tail += s.recovery_torn_tail;
+    total.recovery_bad_crc += s.recovery_bad_crc;
+    total.recovery_version_mismatch += s.recovery_version_mismatch;
     total.queue_depth += s.queue_depth;
     total.covered_positions += s.covered_positions;
     total.map_positions += s.map_positions;

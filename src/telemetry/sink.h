@@ -46,6 +46,15 @@ class TelemetrySink {
   Counter injected_hangs;
   Counter restarts;  // bumped by the supervisor, not the campaign
 
+  // Persistence counters (bumped by the campaign's checkpoint path; see
+  // persist/checkpoint.h for the recovery-cause taxonomy).
+  Counter checkpoints_written;
+  Counter checkpoints_loaded;
+  Counter checkpoint_bytes;
+  Counter recovery_torn_tail;
+  Counter recovery_bad_crc;
+  Counter recovery_version_mismatch;
+
   // Per-execution wall time, log-2 ns buckets.
   Histogram exec_ns;
 

@@ -36,6 +36,16 @@ struct StatsSnapshot {
   u64 injected_hangs = 0;
   u64 restarts = 0;
 
+  // Persistence accounting (checkpoint/journal layer). Recovery counters
+  // split by cause: a torn snapshot tail, a CRC mismatch, a stale or
+  // foreign format version.
+  u64 checkpoints_written = 0;
+  u64 checkpoints_loaded = 0;
+  u64 checkpoint_bytes = 0;
+  u64 recovery_torn_tail = 0;
+  u64 recovery_bad_crc = 0;
+  u64 recovery_version_mismatch = 0;
+
   // Map-state gauges (sampled, not cumulative).
   u64 queue_depth = 0;
   u64 covered_positions = 0;  // covered virgin positions

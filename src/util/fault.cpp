@@ -19,6 +19,10 @@ const char* fault_site_name(FaultSite site) noexcept {
     case FaultSite::kTransientHang: return "transient-hang";
     case FaultSite::kAllocFail: return "alloc-fail";
     case FaultSite::kInstanceKill: return "instance-kill";
+    case FaultSite::kShortWrite: return "short-write";
+    case FaultSite::kCorruptRead: return "corrupt-read";
+    case FaultSite::kRenameFail: return "rename-fail";
+    case FaultSite::kNoSpace: return "no-space";
   }
   return "unknown";
 }

@@ -37,8 +37,14 @@ enum class FaultSite : u8 {
   kTransientHang,   // the instance makes no progress for hang_ms
   kAllocFail,       // a PageBuffer allocation throws std::bad_alloc
   kInstanceKill,    // the campaign dies mid-run (partial result preserved)
+  // Persistence I/O sites (consulted by persist/io): each models one way a
+  // checkpoint or journal write/read goes wrong on a real filesystem.
+  kShortWrite,      // only a prefix of the bytes reaches disk (torn tail)
+  kCorruptRead,     // a read returns bit-flipped data (media corruption)
+  kRenameFail,      // the atomic temp->final rename fails (commit lost)
+  kNoSpace,         // the write fails up front with ENOSPC
 };
-inline constexpr usize kNumFaultSites = 5;
+inline constexpr usize kNumFaultSites = 9;
 
 const char* fault_site_name(FaultSite site) noexcept;
 

@@ -87,6 +87,12 @@ class Xoshiro256 {
     return static_cast<double>(next() >> 11) * 0x1.0p-53;
   }
 
+  // Full 256-bit stream position, for checkpoint/restore: a generator
+  // restored with set_state() continues the exact sequence the snapshot
+  // interrupted instead of replaying or skipping draws.
+  std::array<u64, 4> state() const noexcept { return state_; }
+  void set_state(const std::array<u64, 4>& s) noexcept { state_ = s; }
+
  private:
   static constexpr u64 rotl(u64 x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

@@ -10,6 +10,10 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <filesystem>
+
 #include "target/generator.h"
 
 namespace bigmap {
@@ -97,15 +101,153 @@ TEST(SupervisorTest, KilledAndStalledInstancesRecoverWithoutLosingFinds) {
   EXPECT_GE(r.instances[2].stalls, 1u);
   EXPECT_GE(r.instances[2].restarts, 1u);
   EXPECT_GE(r.total_restarts, 2u);
-  // Restarted instances re-ran with a fresh budget, so the faulted run
-  // executed strictly more than the fault-free one.
-  EXPECT_GT(r.total_execs, baseline.total_execs);
+  // A cold restart opens a new budget segment charged with everything the
+  // dead attempt consumed, so a flapping instance cannot exceed the
+  // fleet's configured total: the faulted run's exec count is exactly the
+  // fault-free one's.
+  EXPECT_EQ(r.total_execs, baseline.total_execs);
 
   EXPECT_EQ(r.found_bug_ids, baseline.found_bug_ids);
   EXPECT_EQ(r.found_stack_hashes, baseline.found_stack_hashes);
 
   EXPECT_GE(r.faults_injected, 2u);
   EXPECT_EQ(r.faults_survived, r.faults_injected);
+}
+
+// RAII temp directory for persistence tests.
+struct TempDir {
+  explicit TempDir(const char* tag) {
+    path = (std::filesystem::temp_directory_path() /
+            (std::string("bigmap_sup_") + tag + "_" +
+             std::to_string(static_cast<unsigned>(::getpid()))))
+               .string();
+    std::filesystem::remove_all(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+  std::string path;
+};
+
+// Satellite: warm restarts. Same kill/stall schedule as above, but with a
+// persist directory the replacement attempts resume from checkpoints. The
+// find union and the exec total must still match the fault-free run.
+TEST(SupervisorTest, WarmRestartsRecoverFindsAtEqualBudget) {
+  auto target = make_target();
+  auto seeds = make_seed_corpus(target, 4, 1);
+
+  SupervisorConfig baseline_cfg = make_config();
+  auto baseline = run_supervised_campaign(target.program, seeds,
+                                          baseline_cfg);
+  ASSERT_TRUE(baseline.all_completed());
+  ASSERT_EQ(baseline.found_bug_ids.size(), 3u);
+
+  FaultPlan plan;
+  plan.triggers.push_back({FaultSite::kInstanceKill, 1, 2000});
+  plan.triggers.push_back({FaultSite::kTransientHang, 2, 2500});
+  plan.hang_ms = 5000;
+  FaultInjector inj(77, plan);
+
+  TempDir dir("warm");
+  SupervisorConfig sc = make_config();
+  // Long enough that sanitizer-slowed execs and checkpoint writes don't
+  // read as stalls, short enough to catch the injected 5 s hang quickly.
+  sc.stall_deadline_ms = 1000;
+  sc.fault = &inj;
+  sc.persist_dir = dir.path;
+  sc.checkpoint_interval = 512;  // checkpoints exist before the faults fire
+  auto r = run_supervised_campaign(target.program, seeds, sc);
+
+  EXPECT_TRUE(r.all_completed());
+  EXPECT_FALSE(r.resumed);
+  EXPECT_GE(r.total_restarts, 2u);
+  u32 warm = 0;
+  for (const InstanceHealth& h : r.instances) warm += h.warm_restarts;
+  EXPECT_GE(warm, 2u);
+  // Warm restarts keep the segment budget, so totals stay exact.
+  EXPECT_EQ(r.total_execs, baseline.total_execs);
+  // Warm finds must cover the cold run's finds at equal budget.
+  EXPECT_EQ(r.found_bug_ids, baseline.found_bug_ids);
+  EXPECT_EQ(r.found_stack_hashes, baseline.found_stack_hashes);
+
+  EXPECT_GT(r.persist.checkpoints_written, 0u);
+  EXPECT_GE(r.persist.checkpoints_loaded, 1u);
+  EXPECT_GT(r.persist.checkpoint_bytes, 0u);
+}
+
+// ISSUE acceptance: whole-process resume. A first supervised run loses two
+// instances mid-campaign with no retries left (stand-in for a SIGKILL'd
+// process: the journal holds their partial accounting, the stores their
+// checkpoints). A second run over the same directory with resume = true
+// must finish only the interrupted instances and end with the same find
+// union and exec total as an uninterrupted run.
+TEST(SupervisorTest, WholeProcessResumeMatchesUninterruptedRun) {
+  auto target = make_target();
+  auto seeds = make_seed_corpus(target, 4, 1);
+
+  SupervisorConfig baseline_cfg = make_config();
+  auto baseline = run_supervised_campaign(target.program, seeds,
+                                          baseline_cfg);
+  ASSERT_TRUE(baseline.all_completed());
+  ASSERT_EQ(baseline.found_bug_ids.size(), 3u);
+
+  FaultPlan plan;
+  plan.triggers.push_back({FaultSite::kInstanceKill, 1, 2000});
+  plan.triggers.push_back({FaultSite::kInstanceKill, 2, 2500});
+  FaultInjector inj(77, plan);
+
+  TempDir dir("resume");
+  SupervisorConfig sc = make_config();
+  sc.fault = &inj;
+  sc.max_restarts_per_instance = 0;  // die in place, like a dead process
+  // With no retries a spurious stall is fatal, so keep the watchdog
+  // deadline above sanitizer-slowed exec + checkpoint-write pauses.
+  sc.stall_deadline_ms = 2000;
+  sc.persist_dir = dir.path;
+  sc.checkpoint_interval = 512;
+  auto interrupted = run_supervised_campaign(target.program, seeds, sc);
+  EXPECT_FALSE(interrupted.all_completed());
+  EXPECT_EQ(interrupted.instances[1].state, InstanceState::kFailed);
+  EXPECT_EQ(interrupted.instances[2].state, InstanceState::kFailed);
+
+  SupervisorConfig rc = make_config();
+  rc.stall_deadline_ms = 2000;
+  rc.persist_dir = dir.path;
+  rc.resume = true;
+  auto resumed = run_supervised_campaign(target.program, seeds, rc);
+
+  EXPECT_TRUE(resumed.resumed);
+  EXPECT_TRUE(resumed.all_completed());
+  // Only the interrupted instances ran again; completed ones were replayed
+  // from the journal without a new attempt.
+  EXPECT_EQ(resumed.instances[0].attempts, 1u);
+  EXPECT_EQ(resumed.instances[3].attempts, 1u);
+  EXPECT_GE(resumed.instances[1].attempts, 2u);
+  EXPECT_GE(resumed.instances[2].attempts, 2u);
+  // Find-union semantics identical to an uninterrupted run, at the same
+  // total budget.
+  EXPECT_EQ(resumed.total_execs, baseline.total_execs);
+  EXPECT_EQ(resumed.found_bug_ids, baseline.found_bug_ids);
+  EXPECT_EQ(resumed.found_stack_hashes, baseline.found_stack_hashes);
+  EXPECT_GE(resumed.persist.checkpoints_loaded, 1u);
+  EXPECT_GE(resumed.persist.journal_events, 1u);
+}
+
+// Resuming against a directory written by a differently configured fleet
+// must be refused, not silently merged.
+TEST(SupervisorTest, ResumeWithMismatchedFingerprintThrows) {
+  auto target = make_target();
+  auto seeds = make_seed_corpus(target, 4, 1);
+
+  TempDir dir("fingerprint");
+  SupervisorConfig sc = make_config();
+  sc.persist_dir = dir.path;
+  (void)run_supervised_campaign(target.program, seeds, sc);
+
+  SupervisorConfig other = make_config();
+  other.persist_dir = dir.path;
+  other.resume = true;
+  other.base.seed = sc.base.seed + 1;  // different fleet identity
+  EXPECT_THROW(run_supervised_campaign(target.program, seeds, other),
+               std::runtime_error);
 }
 
 TEST(SupervisorTest, AllocationFailureIsRetried) {

@@ -1,0 +1,164 @@
+// Tests for the versioned, CRC-checked record format: framing round trips,
+// the truncated-tail recovery rule, and bounds-checked payload decoding.
+#include "persist/record.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bigmap::persist {
+namespace {
+
+std::vector<u8> three_record_file() {
+  RecordWriter w;
+  w.append(RecordType::kCampaignHeader, [](PayloadWriter& p) {
+    p.put_u32(7);
+    p.put_u64(42);
+  });
+  w.append(RecordType::kCounters,
+           [](PayloadWriter& p) { p.put_u64(123456789); });
+  w.append(RecordType::kCommit, [](PayloadWriter& p) { p.put_u64(1); });
+  return w.finish();
+}
+
+TEST(RecordFormatTest, WriterParserRoundTrip) {
+  const std::vector<u8> file = three_record_file();
+  ParsedFile parsed = parse_records(file);
+  EXPECT_EQ(parsed.status, LoadStatus::kOk);
+  EXPECT_EQ(parsed.valid_bytes, file.size());
+  ASSERT_EQ(parsed.records.size(), 3u);
+  EXPECT_EQ(parsed.records[0].type, RecordType::kCampaignHeader);
+  EXPECT_EQ(parsed.records[1].type, RecordType::kCounters);
+  EXPECT_EQ(parsed.records[2].type, RecordType::kCommit);
+
+  PayloadReader r(parsed.records[0].payload);
+  u32 a = 0;
+  u64 b = 0;
+  EXPECT_TRUE(r.get_u32(&a));
+  EXPECT_TRUE(r.get_u64(&b));
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(a, 7u);
+  EXPECT_EQ(b, 42u);
+}
+
+TEST(RecordFormatTest, FileHeaderIsMagicThenVersion) {
+  const std::vector<u8> file = three_record_file();
+  ASSERT_GE(file.size(), kFileHeaderSize);
+  // "BMSP" in byte order, then version 1 little-endian.
+  EXPECT_EQ(file[0], 'B');
+  EXPECT_EQ(file[1], 'M');
+  EXPECT_EQ(file[2], 'S');
+  EXPECT_EQ(file[3], 'P');
+  EXPECT_EQ(file[4], 1);
+  EXPECT_EQ(file[5], 0);
+  EXPECT_EQ(file[6], 0);
+  EXPECT_EQ(file[7], 0);
+}
+
+TEST(RecordFormatTest, ShortOrForeignFilesAreBadMagic) {
+  EXPECT_EQ(parse_records({}).status, LoadStatus::kBadMagic);
+  const std::vector<u8> tiny{1, 2, 3};
+  EXPECT_EQ(parse_records(tiny).status, LoadStatus::kBadMagic);
+  std::vector<u8> foreign = three_record_file();
+  foreign[0] ^= 0xFF;
+  EXPECT_EQ(parse_records(foreign).status, LoadStatus::kBadMagic);
+}
+
+TEST(RecordFormatTest, FutureVersionIsRejected) {
+  std::vector<u8> file = three_record_file();
+  file[4] = 2;  // format_version 2
+  ParsedFile parsed = parse_records(file);
+  EXPECT_EQ(parsed.status, LoadStatus::kBadVersion);
+  EXPECT_TRUE(parsed.records.empty());
+}
+
+TEST(RecordFormatTest, TruncatedTailKeepsValidPrefix) {
+  const std::vector<u8> file = three_record_file();
+  // Cut into the last record: every cut point between "end of record 2"
+  // and "end of record 3" must yield exactly two records.
+  ParsedFile whole = parse_records(file);
+  ASSERT_EQ(whole.records.size(), 3u);
+  const usize second_end =
+      static_cast<usize>(whole.records[2].payload.data() - file.data()) -
+      kRecordHeaderSize;
+  for (usize cut = second_end; cut < file.size(); ++cut) {
+    ParsedFile parsed = parse_records({file.data(), cut});
+    // At the exact boundary the file is merely shorter (still valid);
+    // any byte into the third record is a torn tail. Either way the
+    // two complete records survive and valid_bytes marks the boundary.
+    EXPECT_EQ(parsed.status,
+              cut == second_end ? LoadStatus::kOk
+                                : LoadStatus::kTruncatedTail)
+        << cut;
+    EXPECT_EQ(parsed.records.size(), 2u) << cut;
+    EXPECT_EQ(parsed.valid_bytes, second_end) << cut;
+  }
+}
+
+TEST(RecordFormatTest, BitFlipInRecordIsBadCrc) {
+  const std::vector<u8> base = three_record_file();
+  // Flip one byte inside the second record's payload.
+  ParsedFile whole = parse_records(base);
+  const usize off =
+      static_cast<usize>(whole.records[1].payload.data() - base.data());
+  std::vector<u8> file = base;
+  file[off] ^= 0x01;
+  ParsedFile parsed = parse_records(file);
+  EXPECT_EQ(parsed.status, LoadStatus::kBadCrc);
+  EXPECT_EQ(parsed.records.size(), 1u);  // first record still usable
+}
+
+TEST(RecordFormatTest, OversizedLengthFieldIsTruncatedTail) {
+  std::vector<u8> file = three_record_file();
+  // Blow up the first record's payload_len so it runs past the buffer.
+  file[kFileHeaderSize + 4] = 0xFF;
+  file[kFileHeaderSize + 5] = 0xFF;
+  file[kFileHeaderSize + 6] = 0xFF;
+  file[kFileHeaderSize + 7] = 0x7F;
+  ParsedFile parsed = parse_records(file);
+  EXPECT_EQ(parsed.status, LoadStatus::kTruncatedTail);
+  EXPECT_TRUE(parsed.records.empty());
+}
+
+TEST(PayloadReaderTest, GettersStopAtTheEnd) {
+  const std::vector<u8> four{1, 2, 3, 4};
+  PayloadReader r(four);
+  u64 v64 = 99;
+  EXPECT_FALSE(r.get_u64(&v64));
+  EXPECT_EQ(v64, 99u);  // output untouched on failure
+  u32 v32 = 0;
+  EXPECT_TRUE(r.get_u32(&v32));
+  EXPECT_EQ(v32, 0x04030201u);
+  u8 v8 = 0;
+  EXPECT_FALSE(r.get_u8(&v8));
+  EXPECT_TRUE(r.done());
+}
+
+TEST(PayloadReaderTest, GetBytesRejectsOverflowingLengths) {
+  const std::vector<u8> buf(16, 0xAB);
+  PayloadReader r(buf);
+  std::span<const u8> out;
+  EXPECT_FALSE(r.get_bytes(17, &out));
+  EXPECT_TRUE(r.get_bytes(16, &out));
+  EXPECT_EQ(out.size(), 16u);
+  // A length crafted to wrap pos + n around must not pass the check.
+  PayloadReader r2(buf);
+  EXPECT_FALSE(r2.get_bytes(static_cast<usize>(-1), &out));
+}
+
+TEST(PayloadReaderTest, F64RoundTripsThroughBits) {
+  std::vector<u8> buf;
+  PayloadWriter w(buf);
+  w.put_f64(3.25);
+  w.put_f64(-0.0);
+  PayloadReader r(buf);
+  double a = 0, b = 1;
+  EXPECT_TRUE(r.get_f64(&a));
+  EXPECT_TRUE(r.get_f64(&b));
+  EXPECT_EQ(a, 3.25);
+  EXPECT_EQ(b, 0.0);
+  EXPECT_TRUE(std::signbit(b));
+}
+
+}  // namespace
+}  // namespace bigmap::persist

@@ -1,0 +1,213 @@
+// Campaign-level checkpoint/resume tests: a campaign that checkpoints and
+// is later relaunched with resume_from_checkpoint continues its lifetime
+// exec budget and keeps every find, while identity mismatches and empty
+// stores degrade to clean cold starts.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+
+#include "fuzzer/campaign.h"
+#include "persist/checkpoint.h"
+#include "target/generator.h"
+#include "telemetry/sink.h"
+
+namespace bigmap {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  explicit TempDir(const char* tag) {
+    path = (fs::temp_directory_path() /
+            (std::string("bigmap_resume_") + tag + "_" +
+             std::to_string(static_cast<unsigned>(::getpid()))))
+               .string();
+    fs::remove_all(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  std::string path;
+};
+
+GeneratedTarget make_target() {
+  GeneratorParams gp;
+  gp.seed = 33;
+  gp.live_blocks = 200;
+  gp.num_bugs = 3;
+  gp.bug_min_depth = 1;
+  gp.bug_max_depth = 1;
+  return generate_target(gp);
+}
+
+CampaignConfig make_config() {
+  CampaignConfig c;
+  c.scheme = MapScheme::kTwoLevel;
+  c.map.map_size = 1u << 16;
+  c.map.huge_pages = false;
+  c.seed = 501;
+  c.max_execs = 4000;
+  c.deterministic_timing = true;
+  return c;
+}
+
+bool is_subset(std::vector<u32> small, std::vector<u32> big) {
+  std::sort(small.begin(), small.end());
+  std::sort(big.begin(), big.end());
+  return std::includes(big.begin(), big.end(), small.begin(), small.end());
+}
+
+TEST(CampaignResumeTest, ResumeContinuesLifetimeBudgetAndKeepsFinds) {
+  auto target = make_target();
+  auto seeds = make_seed_corpus(target, 4, 1);
+  TempDir dir("budget");
+
+  persist::CheckpointStore store1(dir.path, persist::FaultCtx{},
+                                  /*fresh=*/true);
+  CampaignConfig c1 = make_config();
+  c1.checkpoint = &store1;
+  c1.checkpoint_interval = 1024;
+  auto r1 = run_campaign(target.program, seeds, c1);
+  EXPECT_FALSE(r1.resumed);
+  EXPECT_EQ(r1.execs, 4000u);
+  // Periodic checkpoints plus the final one at clean completion.
+  EXPECT_GE(r1.checkpoints_written, 4u);
+  EXPECT_EQ(r1.checkpoint_failures, 0u);
+
+  persist::CheckpointStore store2(dir.path, persist::FaultCtx{},
+                                  /*fresh=*/false);
+  CampaignConfig c2 = make_config();
+  c2.checkpoint = &store2;
+  c2.checkpoint_interval = 1024;
+  c2.resume_from_checkpoint = true;
+  c2.max_execs = 8000;
+  auto r2 = run_campaign(target.program, seeds, c2);
+  EXPECT_TRUE(r2.resumed);
+  EXPECT_EQ(r2.resumed_from_execs, 4000u);
+  // The budget is a lifetime bound: the resumed segment runs 4000 more
+  // execs, not 8000.
+  EXPECT_EQ(r2.execs, 8000u);
+
+  // Every identity found before the checkpoint survives the resume.
+  EXPECT_TRUE(is_subset(r1.found_bug_ids, r2.found_bug_ids));
+  EXPECT_GE(r2.found_stack_hashes.size(), r1.found_stack_hashes.size());
+  EXPECT_GE(r2.covered_positions, r1.covered_positions);
+}
+
+TEST(CampaignResumeTest, ResumeAtExhaustedBudgetFinalizesImmediately) {
+  auto target = make_target();
+  auto seeds = make_seed_corpus(target, 4, 1);
+  TempDir dir("spent");
+
+  persist::CheckpointStore store1(dir.path, persist::FaultCtx{}, true);
+  CampaignConfig c1 = make_config();
+  c1.checkpoint = &store1;
+  auto r1 = run_campaign(target.program, seeds, c1);
+  ASSERT_EQ(r1.execs, 4000u);
+
+  // Same budget on resume: the snapshot already satisfies it.
+  persist::CheckpointStore store2(dir.path, persist::FaultCtx{}, false);
+  CampaignConfig c2 = make_config();
+  c2.checkpoint = &store2;
+  c2.resume_from_checkpoint = true;
+  auto r2 = run_campaign(target.program, seeds, c2);
+  EXPECT_TRUE(r2.resumed);
+  EXPECT_EQ(r2.execs, 4000u);
+  auto sorted = [](auto v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(sorted(r2.found_bug_ids), sorted(r1.found_bug_ids));
+  EXPECT_EQ(sorted(r2.found_stack_hashes), sorted(r1.found_stack_hashes));
+}
+
+TEST(CampaignResumeTest, EmptyStoreFallsBackToColdStart) {
+  auto target = make_target();
+  auto seeds = make_seed_corpus(target, 4, 1);
+  TempDir dir("empty");
+
+  persist::CheckpointStore store(dir.path, persist::FaultCtx{}, false);
+  CampaignConfig c = make_config();
+  c.checkpoint = &store;
+  c.resume_from_checkpoint = true;
+  auto r = run_campaign(target.program, seeds, c);
+  EXPECT_FALSE(r.resumed);
+  EXPECT_EQ(r.execs, 4000u);
+  EXPECT_EQ(store.stats().cold_starts, 1u);
+}
+
+TEST(CampaignResumeTest, IdentityMismatchFallsBackToColdStart) {
+  auto target = make_target();
+  auto seeds = make_seed_corpus(target, 4, 1);
+  TempDir dir("identity");
+
+  persist::CheckpointStore store1(dir.path, persist::FaultCtx{}, true);
+  CampaignConfig c1 = make_config();
+  c1.checkpoint = &store1;
+  auto r1 = run_campaign(target.program, seeds, c1);
+  ASSERT_GE(r1.checkpoints_written, 1u);
+
+  // A different RNG seed is a different campaign: the snapshot must not
+  // restore into it.
+  persist::CheckpointStore store2(dir.path, persist::FaultCtx{}, false);
+  CampaignConfig c2 = make_config();
+  c2.checkpoint = &store2;
+  c2.resume_from_checkpoint = true;
+  c2.seed = 777;
+  auto r2 = run_campaign(target.program, seeds, c2);
+  EXPECT_FALSE(r2.resumed);
+  EXPECT_EQ(r2.execs, 4000u);
+}
+
+TEST(CampaignResumeTest, CheckpointCadenceFollowsInterval) {
+  auto target = make_target();
+  auto seeds = make_seed_corpus(target, 4, 1);
+  TempDir dir("cadence");
+
+  persist::CheckpointStore store(dir.path, persist::FaultCtx{}, true);
+  CampaignConfig c = make_config();
+  c.checkpoint = &store;
+  c.checkpoint_interval = 500;
+  c.max_execs = 2600;
+  auto r = run_campaign(target.program, seeds, c);
+  // ~5 periodic checkpoints plus the final commit; rotation keeps the
+  // directory bounded regardless.
+  EXPECT_GE(r.checkpoints_written, 5u);
+  EXPECT_EQ(store.stats().save_failures, 0u);
+  usize snaps = 0;
+  for (const auto& e : fs::directory_iterator(dir.path)) {
+    if (e.path().extension() == ".bms") ++snaps;
+  }
+  EXPECT_LE(snaps, c.keep_checkpoints);
+}
+
+TEST(CampaignResumeTest, TelemetryRestorePrimesLifetimeCounters) {
+  auto target = make_target();
+  auto seeds = make_seed_corpus(target, 4, 1);
+  TempDir dir("telemetry");
+
+  persist::CheckpointStore store1(dir.path, persist::FaultCtx{}, true);
+  CampaignConfig c1 = make_config();
+  c1.checkpoint = &store1;
+  auto r1 = run_campaign(target.program, seeds, c1);
+  ASSERT_EQ(r1.execs, 4000u);
+
+  telemetry::TelemetrySink sink;
+  persist::CheckpointStore store2(dir.path, persist::FaultCtx{}, false);
+  CampaignConfig c2 = make_config();
+  c2.checkpoint = &store2;
+  c2.resume_from_checkpoint = true;
+  c2.telemetry_restore = true;
+  c2.telemetry = &sink;
+  c2.max_execs = 6000;
+  auto r2 = run_campaign(target.program, seeds, c2);
+  ASSERT_TRUE(r2.resumed);
+  // The fresh sink was primed with the snapshot's lifetime totals, so its
+  // exec counter matches the lifetime result, not just this segment.
+  EXPECT_EQ(sink.execs.get(), r2.execs);
+  EXPECT_EQ(sink.checkpoints_loaded.get(), 1u);
+}
+
+}  // namespace
+}  // namespace bigmap

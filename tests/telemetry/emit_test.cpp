@@ -32,6 +32,12 @@ StatsSnapshot golden_snapshot() {
   s.faulted_execs = 5;
   s.injected_hangs = 2;
   s.restarts = 1;
+  s.checkpoints_written = 7;
+  s.checkpoints_loaded = 1;
+  s.checkpoint_bytes = 4096;
+  s.recovery_torn_tail = 1;
+  s.recovery_bad_crc = 0;
+  s.recovery_version_mismatch = 0;
   s.queue_depth = 70;
   s.covered_positions = 2111;
   s.map_positions = 65536;
@@ -70,6 +76,12 @@ TEST(FuzzerStatsGoldenTest, ExactFormat) {
       "faulted_execs     : 5\n"
       "injected_hangs    : 2\n"
       "restarts          : 1\n"
+      "checkpoints_written: 7\n"
+      "checkpoints_loaded: 1\n"
+      "checkpoint_bytes  : 4096\n"
+      "recovery_torn_tail: 1\n"
+      "recovery_bad_crc  : 0\n"
+      "recovery_version_mismatch: 0\n"
       "map_resets        : 12345\n"
       "map_classifies    : 12345\n"
       "map_compares      : 12000\n"
@@ -139,6 +151,8 @@ TEST(BenchReportGoldenTest, SeriesSnapshotFields) {
   EXPECT_NE(json.find("\"relative_ms\":1500"), std::string::npos);
   EXPECT_NE(json.find("\"used_key\":2100"), std::string::npos);
   EXPECT_NE(json.find("\"kernel\":\"swar\""), std::string::npos);
+  EXPECT_NE(json.find("\"checkpoints_written\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"recovery_torn_tail\":1"), std::string::npos);
 }
 
 TEST(BenchReportTest, WriteFileRoundTrips) {
