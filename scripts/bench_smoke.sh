@@ -21,8 +21,9 @@ echo "== bench_fig6_throughput (scale $BIGMAP_BENCH_SCALE) =="
 "$BUILD_DIR/bench/bench_fig6_throughput" --json "$OUT_DIR/BENCH_fig6.json"
 
 echo
-echo "== bench_fig9_parallel_scaling (scale $BIGMAP_BENCH_SCALE, real threads) =="
-BIGMAP_REAL_THREADS=1 "$BUILD_DIR/bench/bench_fig9_parallel_scaling" \
+echo "== bench_fig9_parallel_scaling (scale $BIGMAP_BENCH_SCALE, real threads + procs) =="
+BIGMAP_REAL_THREADS=1 BIGMAP_REAL_PROCS=1 \
+  "$BUILD_DIR/bench/bench_fig9_parallel_scaling" \
   --json "$OUT_DIR/BENCH_fig9.json" \
   --telemetry-dir "$OUT_DIR/telemetry_fig9"
 
@@ -65,7 +66,8 @@ def load(name, expect_bench, expect_tables):
 fig6 = load("BENCH_fig6.json", "fig6", ["throughput", "averages"])
 fig9 = load("BENCH_fig9.json", "fig9",
             ["normalized_throughput", "speedup_vs_afl",
-             "real_thread_scaling", "telemetry_consistency"])
+             "real_thread_scaling", "telemetry_consistency",
+             "real_process_degradation"])
 
 # Every report must record which whole-map kernel produced it, so perf
 # trajectories in committed BENCH_*.json artifacts are attributable.
@@ -82,6 +84,25 @@ check(len(consistency["rows"]) > 0, "fig9: empty telemetry_consistency")
 for row in consistency["rows"]:
     check(row[-1] == "yes",
           f"fig9: telemetry mismatch in row {row}")
+
+# Process-fleet degradation (forked workers): budgets are deterministic —
+# every fleet delivers exactly N x per-worker execs, and the chaos run
+# parks exactly one worker. The throughput ratio is measured on a shared
+# runner, so the smoke pass only rejects collapse (< 0.8x of the (N-1)
+# baseline); the full 10% acceptance bar is asserted at normal scale.
+procs = next(t for t in fig9["tables"]
+             if t["name"] == "real_process_degradation")
+cols = procs["columns"]
+check(len(procs["rows"]) == 3, "fig9: expected 3 real-process fleet rows")
+for row in procs["rows"]:
+    check(row[cols.index("budget exact")] == "yes",
+          f"fig9: inexact fleet exec budget in row {row}")
+degraded = procs["rows"][-1]
+check(degraded[cols.index("quarantined")] == "1",
+      f"fig9: degraded fleet did not park exactly one worker: {degraded}")
+ratio = float(degraded[cols.index("vs (N-1)")].rstrip("x"))
+check(ratio >= 0.8,
+      f"fig9: degraded fleet throughput collapsed ({ratio}x of baseline)")
 
 # Fleet series snapshots must be present and monotone in execs.
 check(len(fig9.get("series", [])) >= 2, "fig9: missing fleet series")

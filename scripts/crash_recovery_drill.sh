@@ -20,6 +20,14 @@ FLEET_DIR="$WORK_DIR/fleet"
 mkdir -p "$WORK_DIR"
 rm -rf "$FLEET_DIR"
 
+RUN_PID=""
+cleanup() {
+  if [ -n "$RUN_PID" ] && kill -0 "$RUN_PID" 2> /dev/null; then
+    kill -9 "$RUN_PID" 2> /dev/null || true
+  fi
+}
+trap cleanup EXIT
+
 echo "== baseline (fault-free, no persistence) =="
 "$DRILL" baseline | tee "$WORK_DIR/baseline.txt"
 
@@ -28,13 +36,26 @@ echo "== persisted run, SIGKILL mid-campaign =="
 "$DRILL" run "$FLEET_DIR" > "$WORK_DIR/run.txt" 2>&1 &
 RUN_PID=$!
 # Wait until checkpoints exist so the kill provably lands mid-run, after
-# state has been committed (the run mode is slowed to take ~minutes).
+# state has been committed (the run mode is slowed to take ~minutes). If
+# no checkpoint ever appears, the comparison below would be vacuous, so
+# that is a hard failure — never a silent skip.
+SAW_SNAPS=0
 for _ in $(seq 1 120); do
   if compgen -G "$FLEET_DIR/instance-*/snap-*.bms" > /dev/null; then
+    SAW_SNAPS=1
+    break
+  fi
+  if ! kill -0 "$RUN_PID" 2> /dev/null; then
     break
   fi
   sleep 0.5
 done
+if [ "$SAW_SNAPS" -ne 1 ]; then
+  echo "FAIL: no checkpoints appeared within the bounded wait; the kill" >&2
+  echo "      cannot land mid-run and the drill would prove nothing" >&2
+  cat "$WORK_DIR/run.txt" >&2 || true
+  exit 1
+fi
 sleep 2
 if ! kill -0 "$RUN_PID" 2> /dev/null; then
   echo "FAIL: fleet finished before the kill; drill proves nothing" >&2
@@ -46,6 +67,7 @@ set +e
 wait "$RUN_PID"
 STATUS=$?
 set -e
+RUN_PID=""
 echo "fleet killed (exit status $STATUS)"
 if [ "$STATUS" -ne 137 ]; then
   echo "FAIL: expected SIGKILL exit status 137, got $STATUS" >&2

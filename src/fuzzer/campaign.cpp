@@ -50,6 +50,13 @@ class Campaign {
     // unions those finds before restarting, so a dying instance never
     // loses them.
     try {
+      // Arm the checkpoint cadence before the first execution: with the
+      // default (0) a seed exec would checkpoint immediately — *before*
+      // that seed reaches the queue — leaving an empty-queue snapshot
+      // that restores into a campaign with nothing to fuzz.
+      if (cfg_.checkpoint != nullptr && cfg_.checkpoint_interval != 0) {
+        next_checkpoint_ = cfg_.checkpoint_interval;
+      }
       if (!try_restore()) {
         seed_queue();
         res_.seed_execs = res_.execs;
@@ -73,7 +80,13 @@ class Campaign {
         cfg_.control->stop.load(std::memory_order_relaxed)) {
       return true;
     }
-    if (cfg_.max_execs != 0 && res_.execs >= cfg_.max_execs) return true;
+    u64 budget = cfg_.max_execs;
+    if (cfg_.control != nullptr) {
+      const u64 grown =
+          cfg_.control->budget_override.load(std::memory_order_relaxed);
+      if (grown != 0) budget = grown;
+    }
+    if (budget != 0 && res_.execs >= budget) return true;
     if (cfg_.max_seconds > 0.0) {
       const double elapsed =
           static_cast<double>(monotonic_ns() - start_ns_) * 1e-9;
@@ -90,12 +103,15 @@ class Campaign {
                                       ex_.virgin_queue().count_covered());
   }
 
-  void note_exec() noexcept {
+  void note_exec() {
     if (cfg_.control != nullptr) {
       cfg_.control->progress.fetch_add(1, std::memory_order_relaxed);
     }
     if (cfg_.telemetry != nullptr) {
       cfg_.telemetry->execs.add();
+    }
+    if (cfg_.exec_hook != nullptr) {
+      cfg_.exec_hook->on_exec(res_.execs);
     }
   }
 
@@ -253,6 +269,10 @@ class Campaign {
         s.virgin_size != ex_.virgin_positions()) {
       return false;
     }
+    // A snapshot with no queue entries cannot make progress after restore
+    // (the main loop needs something to fuzz); treat it as unusable and
+    // cold-start instead.
+    if (s.entries.empty()) return false;
 
     std::vector<QueueEntry> entries;
     entries.reserve(s.entries.size());

@@ -36,6 +36,21 @@ class CheckpointStore;
 struct CampaignControl {
   std::atomic<u64> progress{0};  // executions performed (heartbeat)
   std::atomic<bool> stop{false};  // request cooperative early exit
+  // When nonzero, replaces CampaignConfig::max_execs at the next execution
+  // boundary. A supervisor uses this to GROW a running campaign's budget in
+  // place (quarantine redistribution) instead of waiting for the worker to
+  // finish its stale budget and relaunching it through a checkpoint
+  // restore. Only ever raised by the writer.
+  std::atomic<u64> budget_override{0};
+};
+
+// Optional per-execution callback, invoked at the same boundary as the
+// heartbeat update. Procfleet workers install their chaos pump here (the
+// seeded SIGKILL/SIGSTOP/exit-mid-publish sites must be able to fire at any
+// execution boundary, not just at sync points). Zero overhead when null.
+struct ExecHook {
+  virtual ~ExecHook() = default;
+  virtual void on_exec(u64 execs) = 0;
 };
 
 struct CampaignConfig {
@@ -91,16 +106,20 @@ struct CampaignConfig {
 
   // Parallel fuzzing: non-null hub makes this instance publish interesting
   // inputs and import other instances' finds every sync_interval execs.
-  SyncHub* sync = nullptr;
+  // Either the in-process SyncHub (thread fleets) or the shared-memory
+  // ShmHub (process fleets) — the campaign is agnostic.
+  SyncEndpoint* sync = nullptr;
   u32 sync_id = 0;
   u32 sync_interval = 4096;
   bool is_master = false;
 
-  // Supervision hooks (both optional; zero overhead when null). `control`
+  // Supervision hooks (all optional; zero overhead when null). `control`
   // carries the heartbeat/stop channel; `fault` injects deterministic
-  // faults into the exec / sync / allocation paths, keyed by sync_id.
+  // faults into the exec / sync / allocation paths, keyed by sync_id;
+  // `exec_hook` fires after every execution (procfleet chaos pump).
   CampaignControl* control = nullptr;
   FaultInjector* fault = nullptr;
+  ExecHook* exec_hook = nullptr;
 
   // Persistence (optional). A non-null store makes the campaign commit a
   // crash-consistent snapshot of its full resumable state every

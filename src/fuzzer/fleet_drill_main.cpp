@@ -1,0 +1,145 @@
+// fleet_drill: driver for the multi-process chaos drill
+// (scripts/fleet_chaos_drill.sh). Modes over one fixed fleet configuration
+// (4 worker processes, planted-bug target, deterministic timing):
+//
+//   fleet_drill baseline <dir>    chaos-free process fleet — the reference
+//                                 crash union and exec total
+//   fleet_drill storm <dir>       seeded kill/stall storm: SIGKILL-self,
+//                                 SIGSTOP-stall (hang-killed), exit mid
+//                                 publish, mmap-fail attach, in-campaign
+//                                 instance kill — the fleet must converge
+//                                 to exactly the baseline output
+//   fleet_drill storm-run <dir>   the storm, slowed down so an external
+//                                 SIGKILL of the *coordinator* lands
+//                                 mid-campaign (prints its pid)
+//   fleet_drill resume <dir>      relaunch after the coordinator kill;
+//                                 replays the fleet journal and finishes
+//
+// Every mode prints sorted found_bug_ids / found_stack_hashes and
+// total_execs in a diff-friendly format; the drill passes when storm and
+// resume outputs match the baseline exactly (find-union semantics and the
+// exec budget survive any combination of worker and coordinator deaths).
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "fuzzer/procfleet/coordinator.h"
+#include "target/generator.h"
+
+using namespace bigmap;
+using namespace bigmap::procfleet;
+
+namespace {
+
+GeneratedTarget make_target() {
+  GeneratorParams gp;
+  gp.seed = 33;
+  gp.live_blocks = 200;
+  gp.num_bugs = 3;
+  gp.bug_min_depth = 1;
+  gp.bug_max_depth = 1;
+  return generate_target(gp);
+}
+
+ProcFleetConfig make_config(const std::string& dir) {
+  ProcFleetConfig fc;
+  fc.num_workers = 4;
+  fc.base.scheme = MapScheme::kTwoLevel;
+  fc.base.map.map_size = 1u << 16;
+  fc.base.map.huge_pages = false;
+  fc.base.max_execs = 10000;
+  fc.base.seed = 501;
+  fc.base.sync_interval = 1024;
+  fc.base.deterministic_timing = true;
+  fc.poll_ms = 2;
+  fc.stall_deadline_ms = 600;
+  fc.max_restarts_per_worker = 10;
+  fc.backoff_initial_ms = 5;
+  fc.backoff_cap_ms = 50;
+  fc.checkpoint_interval = 512;
+  fc.persist_dir = dir;
+  // Quarantine stays off in the equality drill: parking a worker loses its
+  // post-checkpoint finds by design (degraded mode), which would break the
+  // exact find-union comparison the drill asserts.
+  fc.quarantine_deaths = 0;
+  return fc;
+}
+
+// The storm: every process-level chaos site fires at least once, plus an
+// in-campaign instance kill, spread across different workers. All
+// deterministic triggers, so the drill replays identically from the seed.
+FaultPlan make_storm_plan() {
+  FaultPlan plan;
+  plan.triggers.push_back({FaultSite::kInstanceKill, 0, 800});
+  plan.triggers.push_back({FaultSite::kProcKill, 1, 2});
+  plan.triggers.push_back({FaultSite::kProcStall, 2, 5});
+  plan.triggers.push_back({FaultSite::kProcExitMidPublish, 3, 3});
+  // Worker 3's *second* attach (its restart after the mid-publish death)
+  // is refused, exercising the shm-failure triage path too.
+  plan.triggers.push_back({FaultSite::kMmapFail, 3, 1});
+  plan.hang_ms = 20;
+  return plan;
+}
+
+void print_result(const ProcFleetResult& r) {
+  std::vector<u32> bugs = r.found_bug_ids;
+  std::sort(bugs.begin(), bugs.end());
+  std::vector<u64> hashes = r.found_stack_hashes;
+  std::sort(hashes.begin(), hashes.end());
+
+  std::printf("bug_ids:");
+  for (u32 b : bugs) std::printf(" %u", b);
+  std::printf("\nstack_hashes:");
+  for (u64 h : hashes) std::printf(" %llx", static_cast<unsigned long long>(h));
+  std::printf("\ntotal_execs: %llu\n",
+              static_cast<unsigned long long>(r.total_execs));
+  std::printf("all_completed: %d\n", r.all_completed() ? 1 : 0);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string mode = argc > 1 ? argv[1] : "";
+  const std::string dir = argc > 2 ? argv[2] : "";
+  const bool known = mode == "baseline" || mode == "storm" ||
+                     mode == "storm-run" || mode == "resume";
+  if (!known || dir.empty()) {
+    std::fprintf(stderr,
+                 "usage: fleet_drill baseline <fleet-dir>\n"
+                 "       fleet_drill storm <fleet-dir>\n"
+                 "       fleet_drill storm-run <fleet-dir>\n"
+                 "       fleet_drill resume <fleet-dir>\n");
+    return 2;
+  }
+
+  auto target = make_target();
+  auto seeds = make_seed_corpus(target, 4, 1);
+  ProcFleetConfig fc = make_config(dir);
+  if (mode != "baseline") {
+    fc.fault_enabled = true;
+    fc.fault_seed = 77;
+    fc.fault_plan = make_storm_plan();
+    fc.chaos_check_interval = 64;
+  }
+  if (mode == "resume") fc.resume = true;
+  if (mode == "storm-run") {
+    // Heavy per-block work stretches the run to many seconds so the drill
+    // script's coordinator SIGKILL reliably lands mid-campaign, with
+    // several checkpoints and journal events already committed. Exec
+    // counts are work-independent (deterministic timing), so the budget
+    // comparison still holds.
+    fc.base.work_per_block = 2500;
+    std::printf("running: pid %d dir %s\n", static_cast<int>(getpid()),
+                dir.c_str());
+    std::fflush(stdout);
+  }
+
+  ProcFleetResult r = run_process_fleet(target.program, seeds, fc);
+  std::printf("resumed: %d\n", r.resumed ? 1 : 0);
+  print_result(r);
+  return r.all_completed() ? 0 : 1;
+}

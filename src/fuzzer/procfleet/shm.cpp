@@ -1,0 +1,141 @@
+#include "fuzzer/procfleet/shm.h"
+
+#include <sys/mman.h>
+
+#include <cstring>
+#include <new>
+#include <stdexcept>
+
+#include "fuzzer/procfleet/shm_hub.h"
+#include "util/hash.h"
+
+namespace bigmap::procfleet {
+
+namespace {
+
+// The whole point of the segment is address-free lock-free atomics: a
+// process can die at any instruction without leaving another process
+// blocked on state it cannot repair.
+static_assert(std::atomic<u64>::is_always_lock_free);
+static_assert(std::atomic<u32>::is_always_lock_free);
+static_assert(std::atomic<bool>::is_always_lock_free);
+
+usize round_up(usize n, usize align) {
+  return (n + align - 1) / align * align;
+}
+
+}  // namespace
+
+ShmSegment::ShmSegment(const ShmGeometry& g) {
+  if (g.num_workers == 0 || g.max_records == 0 || g.max_input_size == 0) {
+    throw std::invalid_argument("ShmSegment: zero geometry");
+  }
+  const usize slot_stride =
+      round_up(sizeof(ShmSlotHeader) + g.max_input_size, 64);
+  const usize worker_blocks_offset = round_up(sizeof(ShmHeader), 64);
+  const usize slots_offset = round_up(
+      worker_blocks_offset + sizeof(ShmWorkerBlock) * g.num_workers, 64);
+  const usize total =
+      round_up(slots_offset + slot_stride * g.max_records, 4096);
+
+  void* mem = ::mmap(nullptr, total, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) {
+    throw std::runtime_error("ShmSegment: mmap of " + std::to_string(total) +
+                             " bytes failed");
+  }
+  total_bytes_ = total;
+
+  header_ = new (mem) ShmHeader();
+  header_->magic = kShmMagic;
+  header_->version = kShmVersion;
+  header_->total_bytes = total;
+  header_->num_workers = g.num_workers;
+  header_->max_records = g.max_records;
+  header_->max_input_size = g.max_input_size;
+  header_->slot_stride = static_cast<u32>(slot_stride);
+  header_->worker_blocks_offset = worker_blocks_offset;
+  header_->slots_offset = slots_offset;
+  header_->layout_fingerprint = compute_fingerprint(*header_);
+
+  u8* base = static_cast<u8*>(mem);
+  for (u32 i = 0; i < g.num_workers; ++i) {
+    new (base + worker_blocks_offset + sizeof(ShmWorkerBlock) * i)
+        ShmWorkerBlock();
+  }
+  for (u32 i = 0; i < g.max_records; ++i) {
+    new (base + slots_offset + slot_stride * i) ShmSlotHeader();
+  }
+}
+
+ShmSegment::~ShmSegment() {
+  if (header_ != nullptr) {
+    ::munmap(header_, total_bytes_);
+  }
+}
+
+ShmWorkerBlock* ShmSegment::worker(u32 id) {
+  if (id >= header_->num_workers) {
+    throw std::out_of_range("ShmSegment: worker id " + std::to_string(id) +
+                            " out of range (" +
+                            std::to_string(header_->num_workers) +
+                            " workers)");
+  }
+  return reinterpret_cast<ShmWorkerBlock*>(
+      reinterpret_cast<u8*>(header_) + header_->worker_blocks_offset +
+      sizeof(ShmWorkerBlock) * id);
+}
+
+const ShmWorkerBlock* ShmSegment::worker(u32 id) const {
+  return const_cast<ShmSegment*>(this)->worker(id);
+}
+
+u8* ShmSegment::slot_base() noexcept {
+  return reinterpret_cast<u8*>(header_) + header_->slots_offset;
+}
+
+u64 ShmSegment::compute_fingerprint(const ShmHeader& h) noexcept {
+  u64 fp = mix64(0xB16A1FEE7ULL ^ h.version);
+  fp = mix64(fp ^ h.num_workers);
+  fp = mix64(fp ^ h.max_records);
+  fp = mix64(fp ^ h.max_input_size);
+  fp = mix64(fp ^ h.slot_stride);
+  fp = mix64(fp ^ h.worker_blocks_offset);
+  fp = mix64(fp ^ h.slots_offset);
+  fp = mix64(fp ^ h.total_bytes);
+  return fp;
+}
+
+bool ShmSegment::validate(u32 expect_workers, FaultInjector* fault,
+                          u32 instance, std::string* err) const {
+  if (fault != nullptr && fault->fire(FaultSite::kMmapFail, instance)) {
+    if (err != nullptr) *err = "injected mmap failure";
+    return false;
+  }
+  if (header_ == nullptr || header_->magic != kShmMagic) {
+    if (err != nullptr) *err = "bad shm magic";
+    return false;
+  }
+  if (header_->version != kShmVersion) {
+    if (err != nullptr) {
+      *err = "shm version mismatch: segment v" +
+             std::to_string(header_->version) + ", runtime v" +
+             std::to_string(kShmVersion);
+    }
+    return false;
+  }
+  if (compute_fingerprint(*header_) != header_->layout_fingerprint) {
+    if (err != nullptr) *err = "shm layout fingerprint mismatch";
+    return false;
+  }
+  if (expect_workers != 0 && header_->num_workers != expect_workers) {
+    if (err != nullptr) {
+      *err = "shm sized for " + std::to_string(header_->num_workers) +
+             " workers, fleet expects " + std::to_string(expect_workers);
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace bigmap::procfleet

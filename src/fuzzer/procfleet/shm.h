@@ -1,0 +1,149 @@
+// Shared-memory segment backing a multi-process fleet.
+//
+// The coordinator mmaps one MAP_SHARED | MAP_ANONYMOUS segment before
+// forking any worker; every worker inherits the mapping at the same
+// address, so the segment is plain shared state with no name, no file, and
+// no cleanup beyond munmap. Layout:
+//
+//   [ShmHeader]            magic/version/geometry + layout fingerprint,
+//                          hub ring head and hub-wide stats atomics
+//   [ShmWorkerBlock x N]   per-worker control: the heartbeat word the
+//                          coordinator's deadline monitor samples, the
+//                          cooperative stop flag, the sync cursor, the
+//                          chaos-site occurrence mirror that keeps seeded
+//                          fault schedules cumulative across process
+//                          restarts, and end-of-attempt result counters
+//   [ShmSlot x R]          the publish ring (see shm_hub.h)
+//
+// Validation extends the in-process hub's id/size checks to a
+// *cross-process layout fingerprint*: the header carries a hash of the
+// format version, every geometry parameter, and every computed offset. A
+// worker validates the fingerprint before touching anything else, so a
+// worker forked by a differently configured (or differently compiled)
+// coordinator refuses the segment instead of scribbling over foreign
+// offsets.
+//
+// Crash safety: everything in the segment is a lock-free std::atomic —
+// there is no lock a dying process can leave held. The publish ring uses
+// per-slot seqlocks (shm_hub.h) so a worker killed mid-publish leaves a
+// record readers detect and skip, never a wedge.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "fuzzer/campaign.h"
+#include "util/fault.h"
+#include "util/types.h"
+
+namespace bigmap::procfleet {
+
+inline constexpr u32 kShmMagic = 0x48534D42u;  // "BMSH" little-endian
+inline constexpr u32 kShmVersion = 1;
+
+// Worker lifecycle states published through ShmWorkerBlock::state.
+inline constexpr u32 kWorkerIdle = 0;       // block not (re)claimed yet
+inline constexpr u32 kWorkerStarting = 1;   // forked, before campaign runs
+inline constexpr u32 kWorkerRunning = 2;    // campaign in progress
+inline constexpr u32 kWorkerDone = 3;       // result counters are final
+
+// Geometry the segment is created with; also the attach-side expectation.
+struct ShmGeometry {
+  u32 num_workers = 0;
+  u32 max_records = 1u << 10;     // publish ring slots
+  u32 max_input_size = 1u << 12;  // payload capacity per slot
+};
+
+struct ShmHeader {
+  u32 magic = 0;
+  u32 version = 0;
+  u64 total_bytes = 0;
+  // Hash over version + geometry + computed offsets; see
+  // ShmSegment::compute_fingerprint().
+  u64 layout_fingerprint = 0;
+  u32 num_workers = 0;
+  u32 max_records = 0;
+  u32 max_input_size = 0;
+  u32 slot_stride = 0;
+  u64 worker_blocks_offset = 0;
+  u64 slots_offset = 0;
+
+  // --- hub ring state (see shm_hub.h for the protocol) -------------------
+  std::atomic<u64> head{0};  // next absolute sequence number to reserve
+
+  // --- hub-wide stats, SyncHubStats shape --------------------------------
+  std::atomic<u64> total_published{0};
+  std::atomic<u64> rejected_oversize{0};
+  std::atomic<u64> dropped_faults{0};
+  std::atomic<u64> fetched{0};
+  std::atomic<u64> reader_timeouts{0};
+};
+
+// Per-worker shared state, padded to its own cache lines so heartbeat
+// stores never false-share with a neighbour's.
+struct alignas(64) ShmWorkerBlock {
+  // Heartbeat/stop channel, sampled by the coordinator's deadline monitor
+  // and fed directly to the campaign as its CampaignControl. progress is
+  // the per-worker shared-memory heartbeat word.
+  CampaignControl control;
+
+  std::atomic<u32> state{kWorkerIdle};
+  std::atomic<u32> exit_detail{0};  // worker-reported detail (unused sites)
+
+  // Absolute hub cursor. Lives here (not in worker memory) so a restarted
+  // worker continues — or deliberately rewinds — its predecessor's import
+  // position.
+  std::atomic<u64> sync_cursor{0};
+  std::atomic<u64> sync_missed{0};
+
+  // Occurrence counts of every fault site as observed by this worker's
+  // injector, published after each campaign-side check. A replacement
+  // process advances its fresh injector to these values, making "the nth
+  // occurrence faults" cumulative across process restarts.
+  std::atomic<u64> site_occurrences[kNumFaultSites];
+
+  // End-of-attempt result counters (valid once state == kWorkerDone).
+  // Lifetime totals for the worker's budget segment: a warm-resumed
+  // attempt continues its predecessor's counters.
+  std::atomic<u64> result_execs{0};
+  std::atomic<u64> result_interesting{0};
+  std::atomic<u64> result_crashes{0};
+  std::atomic<u64> result_fault_aborted{0};
+};
+
+// Owns the mapping (coordinator side); workers access it through the
+// inherited pointer. Not copyable; unmaps on destruction.
+class ShmSegment {
+ public:
+  // Maps and initializes a fresh segment. Throws std::runtime_error when
+  // the mmap fails.
+  explicit ShmSegment(const ShmGeometry& geometry);
+  ~ShmSegment();
+  ShmSegment(const ShmSegment&) = delete;
+  ShmSegment& operator=(const ShmSegment&) = delete;
+
+  ShmHeader* header() noexcept { return header_; }
+  const ShmHeader* header() const noexcept { return header_; }
+
+  ShmWorkerBlock* worker(u32 id);
+  const ShmWorkerBlock* worker(u32 id) const;
+
+  u8* slot_base() noexcept;
+  usize total_bytes() const noexcept { return total_bytes_; }
+
+  // Re-derives the layout fingerprint from the header's geometry and
+  // compares it (plus magic/version) against what the header claims.
+  // Returns false — with a reason in *err — on any mismatch. Workers call
+  // this before touching the segment; `fault` lets the kMmapFail chaos
+  // site fail the attach deterministically.
+  bool validate(u32 expect_workers, FaultInjector* fault, u32 instance,
+                std::string* err) const;
+
+  static u64 compute_fingerprint(const ShmHeader& h) noexcept;
+
+ private:
+  ShmHeader* header_ = nullptr;
+  usize total_bytes_ = 0;
+};
+
+}  // namespace bigmap::procfleet

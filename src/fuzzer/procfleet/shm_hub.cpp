@@ -1,0 +1,186 @@
+#include "fuzzer/procfleet/shm_hub.h"
+
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "util/timing.h"
+
+namespace bigmap::procfleet {
+
+namespace {
+
+inline u64 writing_state(u64 seq) noexcept { return (seq + 1) * 2; }
+inline u64 committed_state(u64 seq) noexcept { return (seq + 1) * 2 + 1; }
+
+}  // namespace
+
+ShmHub::ShmHub(ShmSegment* segment, ShmHubOptions options,
+               FaultInjector* fault)
+    : seg_(segment), hdr_(segment->header()), opts_(options), fault_(fault) {}
+
+u32 ShmHub::num_instances() const noexcept { return hdr_->num_workers; }
+
+void ShmHub::check_instance(u32 instance) const {
+  if (instance >= hdr_->num_workers) {
+    throw std::out_of_range("ShmHub: instance id " +
+                            std::to_string(instance) + " out of range (" +
+                            std::to_string(hdr_->num_workers) +
+                            " instances)");
+  }
+}
+
+ShmSlotHeader* ShmHub::slot_at(u64 seq) const {
+  const u64 idx = seq % hdr_->max_records;
+  return reinterpret_cast<ShmSlotHeader*>(seg_->slot_base() +
+                                          idx * hdr_->slot_stride);
+}
+
+u8* ShmHub::payload_at(ShmSlotHeader* slot) const {
+  return reinterpret_cast<u8*>(slot) + sizeof(ShmSlotHeader);
+}
+
+u64 ShmHub::oldest(u64 head) const noexcept {
+  return head > hdr_->max_records ? head - hdr_->max_records : 0;
+}
+
+bool ShmHub::publish(u32 instance, Input input) {
+  check_instance(instance);
+  if (fault_ != nullptr && fault_->fire(FaultSite::kPublishDrop, instance)) {
+    hdr_->dropped_faults.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (input.size() > hdr_->max_input_size) {
+    hdr_->rejected_oversize.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  const u64 seq = hdr_->head.fetch_add(1, std::memory_order_relaxed);
+  ShmSlotHeader* slot = slot_at(seq);
+  // Seqlock write: mark in-flight, fence, copy, commit with release. A
+  // reader that overlaps the copy sees state != committed(seq) on its
+  // post-copy validation and discards what it read.
+  slot->state.store(writing_state(seq), std::memory_order_release);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  slot->publisher = instance;
+  slot->size = static_cast<u32>(input.size());
+  if (!input.empty()) {
+    std::memcpy(payload_at(slot), input.data(), input.size());
+  }
+  slot->state.store(committed_state(seq), std::memory_order_release);
+  hdr_->total_published.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ShmHub::publish_partial(u32 instance, const Input& input) {
+  check_instance(instance);
+  const u64 seq = hdr_->head.fetch_add(1, std::memory_order_relaxed);
+  ShmSlotHeader* slot = slot_at(seq);
+  slot->state.store(writing_state(seq), std::memory_order_release);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  slot->publisher = instance;
+  const usize n =
+      std::min<usize>(input.size() / 2, hdr_->max_input_size);
+  slot->size = static_cast<u32>(n);
+  if (n != 0) std::memcpy(payload_at(slot), input.data(), n);
+  // No commit: the record stays in the "writing" state forever, exactly
+  // what a publisher SIGKILLed mid-copy leaves behind.
+}
+
+ShmHub::ReadSlot ShmHub::read_slot(u64 seq, u32 reader, Input* out) const {
+  ShmSlotHeader* slot = slot_at(seq);
+  const u64 deadline_ns =
+      monotonic_ns() + static_cast<u64>(opts_.read_timeout_us) * 1000;
+  for (;;) {
+    const u64 st = slot->state.load(std::memory_order_acquire);
+    if (st > committed_state(seq)) return ReadSlot::kEvicted;
+    if (st == committed_state(seq)) {
+      const u32 publisher = slot->publisher;
+      const u32 size = slot->size;
+      if (size > hdr_->max_input_size) return ReadSlot::kEvicted;
+      Input data(payload_at(slot), payload_at(slot) + size);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot->state.load(std::memory_order_relaxed) !=
+          committed_state(seq)) {
+        // Overwritten mid-copy: the record is gone.
+        return ReadSlot::kEvicted;
+      }
+      if (publisher == reader) return ReadSlot::kOwn;
+      *out = std::move(data);
+      return ReadSlot::kOk;
+    }
+    // st <= writing_state(seq): reserved but not committed (the publisher
+    // is mid-copy — or died there), or reserved and not even marked yet.
+    // Bounded wait, then skip: a dead publisher must never wedge us.
+    if (monotonic_ns() >= deadline_ns) return ReadSlot::kTimedOut;
+    if (opts_.read_poll_us != 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(opts_.read_poll_us));
+    }
+  }
+}
+
+std::vector<Input> ShmHub::fetch_new(u32 instance) {
+  check_instance(instance);
+  ShmWorkerBlock* blk = seg_->worker(instance);
+  u64 cursor = blk->sync_cursor.load(std::memory_order_relaxed);
+  const u64 head = hdr_->head.load(std::memory_order_acquire);
+  const u64 old = oldest(head);
+  if (cursor < old) {
+    blk->sync_missed.fetch_add(old - cursor, std::memory_order_relaxed);
+    cursor = old;
+  }
+
+  std::vector<Input> out;
+  for (; cursor < head; ++cursor) {
+    Input data;
+    switch (read_slot(cursor, instance, &data)) {
+      case ReadSlot::kOk:
+        out.push_back(std::move(data));
+        hdr_->fetched.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ReadSlot::kOwn:
+        break;
+      case ReadSlot::kEvicted:
+        blk->sync_missed.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ReadSlot::kTimedOut:
+        hdr_->reader_timeouts.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+  }
+  blk->sync_cursor.store(cursor, std::memory_order_relaxed);
+  return out;
+}
+
+void ShmHub::reset_cursor(u32 instance) {
+  check_instance(instance);
+  const u64 head = hdr_->head.load(std::memory_order_acquire);
+  seg_->worker(instance)->sync_cursor.store(oldest(head),
+                                            std::memory_order_relaxed);
+}
+
+u64 ShmHub::total_published() const {
+  return hdr_->total_published.load(std::memory_order_relaxed);
+}
+
+SyncHubStats ShmHub::stats() const {
+  SyncHubStats s;
+  const u64 head = hdr_->head.load(std::memory_order_acquire);
+  s.total_published = hdr_->total_published.load(std::memory_order_relaxed);
+  s.evicted = oldest(head);
+  s.live_records = static_cast<usize>(head - oldest(head));
+  s.rejected_oversize =
+      hdr_->rejected_oversize.load(std::memory_order_relaxed);
+  s.dropped_faults = hdr_->dropped_faults.load(std::memory_order_relaxed);
+  s.fetched = hdr_->fetched.load(std::memory_order_relaxed);
+  s.reader_timeouts = hdr_->reader_timeouts.load(std::memory_order_relaxed);
+  s.missed.resize(hdr_->num_workers);
+  for (u32 i = 0; i < hdr_->num_workers; ++i) {
+    s.missed[i] = seg_->worker(i)->sync_missed.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+}  // namespace bigmap::procfleet

@@ -1,0 +1,95 @@
+// ShmHub: the cross-process SyncEndpoint over a ShmSegment publish ring.
+//
+// The in-process SyncHub serializes publishers and readers behind one
+// mutex; that is exactly what a *process* fleet cannot afford, because a
+// worker SIGKILLed while holding a shared mutex would wedge every other
+// worker forever. The shm ring is therefore lock-free and crash-safe:
+//
+//  - publish reserves an absolute sequence number with one fetch_add on the
+//    shared head, marks the slot "writing", copies the payload, and commits
+//    with a release store of the slot's sequence state (a per-slot
+//    seqlock). A publisher that dies at ANY instruction leaves either a
+//    slot nobody sees (not yet marked), a permanently "writing" slot
+//    readers skip after a bounded wait, or a committed record — never a
+//    held lock;
+//  - readers keep an absolute cursor (in their ShmWorkerBlock, so restarts
+//    inherit it), validate each slot's sequence state before AND after
+//    copying the payload, and treat a mid-copy overwrite as an eviction;
+//  - a reserved-but-uncommitted slot — the dead-publisher window — is
+//    waited on for read_timeout_us, then skipped and counted in
+//    SyncHubStats::reader_timeouts. A dead publisher can therefore never
+//    wedge a reader: the wait is bounded by construction;
+//  - the ring wraps: records older than max_records are overwritten
+//    (eviction); cursors are absolute so a laggard counts the gap as
+//    missed backpressure, exactly like the in-process hub.
+//
+// One ShmHub object is constructed per process over the same inherited
+// segment; all cross-process state lives in the segment, the object itself
+// holds only pointers and per-process configuration.
+#pragma once
+
+#include <atomic>
+
+#include "fuzzer/procfleet/shm.h"
+#include "fuzzer/sync.h"
+
+namespace bigmap::procfleet {
+
+// Per-slot seqlock header, followed by `max_input_size` payload bytes at a
+// 64-byte stride. state encodes both the generation and the write phase of
+// the record occupying the slot: for the record with absolute sequence s,
+// state == (s+1)*2 while the publisher is copying ("writing") and
+// (s+1)*2 + 1 once committed; 0 is a never-used slot. Monotone per slot, so
+// a reader can always classify what it observes: its record, a newer
+// generation (evicted), or an in-flight write.
+struct ShmSlotHeader {
+  std::atomic<u64> state{0};
+  u32 publisher = 0;
+  u32 size = 0;
+};
+
+struct ShmHubOptions {
+  // Bounded wait for a reserved-but-uncommitted slot before skipping it.
+  u32 read_timeout_us = 2000;
+  // Sleep step while waiting (0 = busy spin).
+  u32 read_poll_us = 50;
+};
+
+class ShmHub final : public SyncEndpoint {
+ public:
+  // `segment` must outlive the hub. `fault` (nullable) drops publishes at
+  // FaultSite::kPublishDrop, keyed by the publishing instance.
+  ShmHub(ShmSegment* segment, ShmHubOptions options, FaultInjector* fault);
+
+  u32 num_instances() const noexcept override;
+
+  bool publish(u32 instance, Input input) override;
+  std::vector<Input> fetch_new(u32 instance) override;
+  void reset_cursor(u32 instance) override;
+  u64 total_published() const override;
+  SyncHubStats stats() const override;
+
+  // Reserves and marks a slot but never commits it — the publisher "dies"
+  // mid-publish. This is the crash window the kProcExitMidPublish chaos
+  // site opens right before a worker _exits, exposed directly so tests can
+  // drill the reader's bounded-wait skip without forking.
+  void publish_partial(u32 instance, const Input& input);
+
+ private:
+  ShmSlotHeader* slot_at(u64 seq) const;
+  u8* payload_at(ShmSlotHeader* slot) const;
+  // Oldest sequence the ring can still hold given `head`.
+  u64 oldest(u64 head) const noexcept;
+  void check_instance(u32 instance) const;
+
+  // Outcome of one slot read.
+  enum class ReadSlot { kOk, kEvicted, kTimedOut, kOwn };
+  ReadSlot read_slot(u64 seq, u32 reader, Input* out) const;
+
+  ShmSegment* seg_;
+  ShmHeader* hdr_;
+  const ShmHubOptions opts_;
+  FaultInjector* fault_;
+};
+
+}  // namespace bigmap::procfleet

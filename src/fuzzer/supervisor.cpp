@@ -253,6 +253,10 @@ SupervisorResult run_supervised_campaign(const Program& program,
     ev.base_faulted_execs = s.base_faulted_execs;
     ev.base_injected_hangs = s.base_injected_hangs;
     ev.segment_max_execs = s.segment_max_execs;
+    // Newest snapshot actually committed so far, so statecheck can detect
+    // journal events referencing state that never made it to disk.
+    ev.checkpoint_seq =
+        fleet_store->instance_store(s.id).newest_seq_on_disk();
     std::string err;
     (void)fleet_store->append_event(ev, &err);
   };

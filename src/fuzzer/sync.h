@@ -53,17 +53,54 @@ struct SyncHubStats {
   u64 rejected_oversize = 0;  // publishes over max_input_size
   u64 dropped_faults = 0;     // publishes lost to injected faults
   u64 fetched = 0;            // records handed out by fetch_new
+  // Consumer reads that hit the bounded wait on a reserved-but-uncommitted
+  // record and skipped past it. Only the cross-process hub (ShmHub) can
+  // ever bump this: a publisher process can die between reserving a slot
+  // and committing it, and a reader must not wedge on the dead record. The
+  // in-process SyncHub publishes under a mutex that exception unwinding
+  // always releases, so it is wedge-free by construction and reports 0.
+  u64 reader_timeouts = 0;
   // Per instance: records evicted before the instance fetched them.
   std::vector<u64> missed;
 };
 
-class SyncHub {
+// Corpus-synchronization interface the campaign publishes/imports through.
+// Two implementations: the in-process SyncHub below (thread fleets) and the
+// shared-memory ShmHub (src/fuzzer/procfleet, process fleets). The campaign
+// only sees this interface, so the same fuzzing loop runs under both fleet
+// runtimes unchanged.
+class SyncEndpoint {
+ public:
+  virtual ~SyncEndpoint() = default;
+
+  virtual u32 num_instances() const noexcept = 0;
+
+  // Publishes an interesting input found by `instance`. Returns true when
+  // the record was accepted, false when it was rejected or dropped. Throws
+  // std::out_of_range on a bad id.
+  virtual bool publish(u32 instance, Input input) = 0;
+
+  // Returns all inputs published by *other* instances since this instance's
+  // previous fetch. Throws std::out_of_range on a bad id.
+  virtual std::vector<Input> fetch_new(u32 instance) = 0;
+
+  // Rewinds `instance`'s cursor to the eviction frontier so a restarted
+  // instance re-imports every record still retained.
+  virtual void reset_cursor(u32 instance) = 0;
+
+  // Lifetime count of accepted publishes (monotone).
+  virtual u64 total_published() const = 0;
+
+  virtual SyncHubStats stats() const = 0;
+};
+
+class SyncHub final : public SyncEndpoint {
  public:
   explicit SyncHub(u32 num_instances)
       : SyncHub(SyncHubOptions{num_instances}) {}
   explicit SyncHub(const SyncHubOptions& options);
 
-  u32 num_instances() const noexcept {
+  u32 num_instances() const noexcept override {
     return static_cast<u32>(cursors_.size());
   }
   const SyncHubOptions& options() const noexcept { return opts_; }
@@ -74,23 +111,23 @@ class SyncHub {
   // Publishes an interesting input found by `instance`. Returns true when
   // the record was accepted, false when it was rejected (oversize) or
   // dropped by fault injection. Throws std::out_of_range on a bad id.
-  bool publish(u32 instance, Input input);
+  bool publish(u32 instance, Input input) override;
 
   // Returns all inputs published by *other* instances since this
   // instance's previous fetch. Records evicted before this instance got to
   // them are counted as missed. Throws std::out_of_range on a bad id.
-  std::vector<Input> fetch_new(u32 instance);
+  std::vector<Input> fetch_new(u32 instance) override;
 
   // Rewinds `instance`'s cursor to the eviction frontier so a restarted
   // instance re-imports every record still retained (its in-memory queue
   // died with it). Throws std::out_of_range on a bad id.
-  void reset_cursor(u32 instance);
+  void reset_cursor(u32 instance) override;
 
   // Lifetime count of accepted publishes (monotone; unaffected by
   // eviction).
-  u64 total_published() const;
+  u64 total_published() const override;
 
-  SyncHubStats stats() const;
+  SyncHubStats stats() const override;
 
  private:
   struct Record {

@@ -84,6 +84,11 @@ CheckpointStore::CheckpointStore(std::string dir, FaultCtx fault, bool fresh)
   }
 }
 
+u64 CheckpointStore::newest_seq_on_disk() const {
+  const std::vector<u64> seqs = list_snaps(dir_);
+  return seqs.empty() ? 0 : seqs.back();
+}
+
 std::string CheckpointStore::snap_path(u64 seq) const {
   return dir_ + "/" + kSnapPrefix + std::to_string(seq) + kSnapSuffix;
 }

@@ -78,6 +78,13 @@ class CheckpointStore {
     return next_seq_.load(std::memory_order_relaxed);
   }
 
+  // Newest snapshot sequence currently on disk (0 when none). Re-scans the
+  // directory every call: in a process fleet the *workers* write snapshots
+  // into this store's directory from their own processes, so in-memory
+  // counters here can be stale — and next_seq()-1 may name a save that
+  // failed. This is the authoritative value for journal checkpoint refs.
+  u64 newest_seq_on_disk() const;
+
   PersistStats stats() const noexcept;
 
   // Adjusts the fault context (the supervisor binds the instance id).

@@ -67,24 +67,41 @@ void put_event(PayloadWriter& w, const InstanceEvent& ev) {
   w.put_u64(ev.base_faulted_execs);
   w.put_u64(ev.base_injected_hangs);
   w.put_u64(ev.segment_max_execs);
+  w.put_u64(ev.checkpoint_seq);
 }
 
 bool get_event(PayloadReader& r, InstanceEvent* ev) {
-  return r.get_u32(&ev->instance) && r.get_u32(&ev->final_state) &&
-         r.get_u32(&ev->attempts) && r.get_u32(&ev->restarts) &&
-         r.get_u32(&ev->stalls) && r.get_u32(&ev->kills) &&
-         r.get_u32(&ev->alloc_failures) && r.get_u32(&ev->warm_restarts) &&
-         r.get_u64(&ev->execs) && r.get_u64(&ev->interesting) &&
-         r.get_u64(&ev->crashes_total) && r.get_u64(&ev->faulted_execs) &&
-         r.get_u64(&ev->injected_hangs) &&
-         r.get_u64(&ev->base_execs) && r.get_u64(&ev->base_interesting) &&
-         r.get_u64(&ev->base_crashes) &&
-         r.get_u64(&ev->base_faulted_execs) &&
-         r.get_u64(&ev->base_injected_hangs) &&
-         r.get_u64(&ev->segment_max_execs);
+  if (!(r.get_u32(&ev->instance) && r.get_u32(&ev->final_state) &&
+        r.get_u32(&ev->attempts) && r.get_u32(&ev->restarts) &&
+        r.get_u32(&ev->stalls) && r.get_u32(&ev->kills) &&
+        r.get_u32(&ev->alloc_failures) && r.get_u32(&ev->warm_restarts) &&
+        r.get_u64(&ev->execs) && r.get_u64(&ev->interesting) &&
+        r.get_u64(&ev->crashes_total) && r.get_u64(&ev->faulted_execs) &&
+        r.get_u64(&ev->injected_hangs) &&
+        r.get_u64(&ev->base_execs) && r.get_u64(&ev->base_interesting) &&
+        r.get_u64(&ev->base_crashes) &&
+        r.get_u64(&ev->base_faulted_execs) &&
+        r.get_u64(&ev->base_injected_hangs) &&
+        r.get_u64(&ev->segment_max_execs))) {
+    return false;
+  }
+  // Journals written before the checkpoint_seq field lack it; 0 = unknown.
+  if (!r.get_u64(&ev->checkpoint_seq)) ev->checkpoint_seq = 0;
+  return true;
 }
 
 }  // namespace
+
+bool decode_fleet_fingerprint(std::span<const u8> payload,
+                              FleetFingerprint* fp) {
+  PayloadReader r(payload);
+  return get_fingerprint(r, fp);
+}
+
+bool decode_instance_event(std::span<const u8> payload, InstanceEvent* ev) {
+  PayloadReader r(payload);
+  return get_event(r, ev);
+}
 
 FleetStore::FleetStore(std::string dir, FleetFingerprint fp, FaultCtx fault,
                        bool resume)

@@ -42,7 +42,9 @@ struct FleetFingerprint {
 };
 
 // One instance lifecycle event. `final_state` mirrors the supervisor's
-// view: 0 = still owed budget (restarting), 1 = completed, 2 = failed.
+// view: 0 = still owed budget (restarting), 1 = completed, 2 = failed,
+// 3 = quarantined (parked by the procfleet coordinator; its remaining
+// budget was redistributed and nothing will resume it).
 //
 // The base_* fields carry the supervisor's budget-segment accounting:
 // counters charged to earlier cold segments of this instance (a resumed
@@ -69,11 +71,25 @@ struct InstanceEvent {
   u64 base_faulted_execs = 0;
   u64 base_injected_hangs = 0;
   u64 segment_max_execs = 0;
+  // Sequence number of the newest snapshot the instance's checkpoint store
+  // had committed when this event was journaled (0 = none yet). statecheck
+  // cross-validates it: the instance directory must still hold a snapshot
+  // at least this new, otherwise the journal references state that no
+  // longer exists (a dangling checkpoint reference).
+  u64 checkpoint_seq = 0;
 };
 
 inline constexpr u32 kEventRunning = 0;
 inline constexpr u32 kEventCompleted = 1;
 inline constexpr u32 kEventFailed = 2;
+inline constexpr u32 kEventQuarantined = 3;
+
+// Raw payload decoders for journal records, shared by FleetStore's replay
+// and the statecheck CLI (which inspects journals without opening a store,
+// so it can validate directories whose fingerprint it does not know).
+bool decode_fleet_fingerprint(std::span<const u8> payload,
+                              FleetFingerprint* fp);
+bool decode_instance_event(std::span<const u8> payload, InstanceEvent* ev);
 
 class FleetStore {
  public:

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -78,7 +79,17 @@ bool check_snapshot_file(const std::string& path, bool dump) {
   return true;
 }
 
-bool check_journal(const std::string& path, bool dump) {
+// Journal contents needed for cross-validation against the instance
+// directories.
+struct JournalSummary {
+  bool usable = false;
+  FleetFingerprint fp;
+  // Newest event per instance id, in journal order.
+  std::map<u32, InstanceEvent> last_events;
+  u32 bad_event_payloads = 0;
+};
+
+bool check_journal(const std::string& path, bool dump, JournalSummary* js) {
   std::vector<u8> bytes;
   std::string err;
   if (!read_file(path, &bytes, FaultCtx{}, &err)) {
@@ -91,7 +102,26 @@ bool check_journal(const std::string& path, bool dump) {
     std::printf("%s: INVALID (no fleet header)\n", path.c_str());
     return false;
   }
-  if (parsed.status != LoadStatus::kOk) {
+  if (!decode_fleet_fingerprint(parsed.records.front().payload, &js->fp)) {
+    std::printf("%s: INVALID (bad fingerprint payload)\n", path.c_str());
+    return false;
+  }
+  bool ok = true;
+  for (usize i = 1; i < parsed.records.size(); ++i) {
+    if (parsed.records[i].type != RecordType::kFleetEvent) continue;
+    InstanceEvent ev;
+    if (!decode_instance_event(parsed.records[i].payload, &ev)) {
+      ++js->bad_event_payloads;
+      ok = false;
+      continue;
+    }
+    js->last_events[ev.instance] = ev;
+  }
+  js->usable = true;
+  if (js->bad_event_payloads > 0) {
+    std::printf("%s: INVALID (%u event record(s) failed to decode)\n",
+                path.c_str(), js->bad_event_payloads);
+  } else if (parsed.status != LoadStatus::kOk) {
     // A torn journal tail is recoverable by design, so report it as a
     // warning, not a failure.
     std::printf("%s: ok with torn tail (%s; valid prefix %zu of %zu "
@@ -99,15 +129,82 @@ bool check_journal(const std::string& path, bool dump) {
                 path.c_str(), load_status_name(parsed.status),
                 parsed.valid_bytes, bytes.size(), parsed.records.size());
   } else {
-    std::printf("%s: ok (%zu record(s))\n", path.c_str(),
-                parsed.records.size());
+    std::printf("%s: ok (%zu record(s), %zu instance(s))\n", path.c_str(),
+                parsed.records.size(), js->last_events.size());
   }
   if (dump) dump_records(parsed);
+  return ok;
+}
+
+// Parses "snap-<seq>.bms" -> seq.
+bool parse_snap_seq(const std::string& name, u64* seq) {
+  const std::string prefix = "snap-";
+  const std::string suffix = ".bms";
+  if (name.size() <= prefix.size() + suffix.size() ||
+      name.compare(0, prefix.size(), prefix) != 0 ||
+      name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+          0) {
+    return false;
+  }
+  const std::string digits =
+      name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+  u64 value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<u64>(c - '0');
+  }
+  *seq = value;
   return true;
 }
 
+// Cross-validates the journal's view of the world against the instance
+// directories. Two distinct error classes beyond structural damage:
+//
+//  - unknown instance id: an event names an instance the fleet fingerprint
+//    says cannot exist (journal corruption or a foreign journal);
+//  - dangling checkpoint ref: the newest event for an instance references
+//    a checkpoint newer than any snapshot still on disk — resume would
+//    silently run with older state than the coordinator believed durable.
+//    (References *older* than the newest snapshot are fine: rotation
+//    prunes old snapshots by design.)
+bool cross_validate(const std::string& dir, const JournalSummary& js) {
+  bool ok = true;
+  std::error_code ec;
+  for (const auto& [id, ev] : js.last_events) {
+    if (id >= js.fp.num_instances) {
+      std::printf(
+          "%s: UNKNOWN INSTANCE ID (journal event for instance %u, "
+          "fleet has %u)\n",
+          dir.c_str(), id, js.fp.num_instances);
+      ok = false;
+      continue;
+    }
+    if (ev.checkpoint_seq == 0) continue;  // no checkpoint referenced
+    const std::string inst_dir = dir + "/instance-" + std::to_string(id);
+    u64 newest = 0;
+    for (const auto& f : fs::directory_iterator(inst_dir, ec)) {
+      u64 seq;
+      if (f.is_regular_file(ec) &&
+          parse_snap_seq(f.path().filename().string(), &seq)) {
+        newest = std::max(newest, seq);
+      }
+    }
+    if (newest < ev.checkpoint_seq) {
+      std::printf(
+          "%s: DANGLING CHECKPOINT REF (journal says instance %u had "
+          "snapshot seq %llu, newest on disk is %llu)\n",
+          inst_dir.c_str(), id,
+          static_cast<unsigned long long>(ev.checkpoint_seq),
+          static_cast<unsigned long long>(newest));
+      ok = false;
+    }
+  }
+  return ok;
+}
+
 bool check_fleet_dir(const std::string& dir, bool dump) {
-  bool ok = check_journal(dir + "/fleet.journal", dump);
+  JournalSummary js;
+  bool ok = check_journal(dir + "/fleet.journal", dump, &js);
   std::error_code ec;
   std::vector<std::string> snaps;
   for (const auto& inst : fs::directory_iterator(dir, ec)) {
@@ -122,6 +219,7 @@ bool check_fleet_dir(const std::string& dir, bool dump) {
   for (const std::string& path : snaps) {
     ok = check_snapshot_file(path, dump) && ok;
   }
+  if (js.usable) ok = cross_validate(dir, js) && ok;
   return ok;
 }
 

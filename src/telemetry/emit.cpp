@@ -98,6 +98,24 @@ std::string render_plot_data(const std::vector<StatsSnapshot>& series) {
   return out;
 }
 
+std::string render_registry_stats(const MetricRegistry& reg) {
+  std::string out;
+  const auto line = [&out](const std::string& name, u64 value) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%-32s: ", name.c_str());
+    out += buf;
+    out += std::to_string(value);
+    out += '\n';
+  };
+  for (const auto& [name, v] : reg.counters()) line(name, v);
+  for (const auto& [name, v] : reg.gauges()) line(name, v);
+  for (const MetricRegistry::HistogramView& h : reg.histograms()) {
+    line(h.name + ".count", h.count);
+    line(h.name + ".sum", h.sum);
+  }
+  return out;
+}
+
 StatsEmitter::StatsEmitter(std::string root_dir)
     : root_(std::move(root_dir)) {}
 
@@ -141,7 +159,20 @@ bool StatsEmitter::emit_fleet(const FleetTelemetry& fleet,
   StatsSnapshot latest =
       series.empty() ? fleet.fleet_total() : series.back();
   ok = write_pair(root_ + "/fleet", latest, series, banner) && ok;
+  ok = emit_registry(fleet.registry(), "fleet") && ok;
   return ok;
+}
+
+bool StatsEmitter::emit_registry(const MetricRegistry& reg,
+                                 const std::string& subdir) {
+  const std::string dir = root_ + "/" + subdir;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return false;
+  std::ofstream f(dir + "/registry_stats", std::ios::trunc);
+  if (!f) return false;
+  f << render_registry_stats(reg);
+  return static_cast<bool>(f);
 }
 
 }  // namespace bigmap::telemetry

@@ -36,6 +36,12 @@ std::string render_plot_data_row(const StatsSnapshot& s);
 // Header plus every row of `series`.
 std::string render_plot_data(const std::vector<StatsSnapshot>& series);
 
+// Key : value block for a MetricRegistry: every counter and gauge by name
+// (name-sorted, so golden tests can pin it), then <name>.count/.sum for
+// each histogram. This is how subsystem counters that are not part of the
+// fixed StatsSnapshot shape — procfleet.*, fault.* — reach stats files.
+std::string render_registry_stats(const MetricRegistry& reg);
+
 // Writes fuzzer_stats/plot_data trees. Creation failures are reported by
 // return value (benches warn and move on; tests assert).
 class StatsEmitter {
@@ -50,8 +56,12 @@ class StatsEmitter {
                  std::string_view banner);
 
   // Emits every instance (instance_<id>/) plus the fleet aggregate
-  // (fleet/, using the fleet series and fleet_total()).
+  // (fleet/, using the fleet series and fleet_total()); the fleet's
+  // registry lands in fleet/registry_stats.
   bool emit_fleet(const FleetTelemetry& fleet, std::string_view banner);
+
+  // Writes <root>/<subdir>/registry_stats from `reg`.
+  bool emit_registry(const MetricRegistry& reg, const std::string& subdir);
 
  private:
   bool write_pair(const std::string& dir, const StatsSnapshot& latest,

@@ -23,6 +23,10 @@ const char* fault_site_name(FaultSite site) noexcept {
     case FaultSite::kCorruptRead: return "corrupt-read";
     case FaultSite::kRenameFail: return "rename-fail";
     case FaultSite::kNoSpace: return "no-space";
+    case FaultSite::kProcKill: return "proc-kill";
+    case FaultSite::kProcStall: return "proc-stall";
+    case FaultSite::kProcExitMidPublish: return "proc-exit-mid-publish";
+    case FaultSite::kMmapFail: return "mmap-fail";
   }
   return "unknown";
 }
@@ -106,6 +110,18 @@ void FaultInjector::set_registry(telemetry::MetricRegistry* reg) {
 FaultStats FaultInjector::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+u64 FaultInjector::occurrences(FaultSite site, u32 instance) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(key(site, instance));
+  return it != counters_.end() ? it->second : 0;
+}
+
+void FaultInjector::advance(FaultSite site, u32 instance, u64 n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  u64& counter = counters_[key(site, instance)];
+  if (counter < n) counter = n;
 }
 
 u64 FaultInjector::injected_for(u32 instance) const {

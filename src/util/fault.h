@@ -43,8 +43,14 @@ enum class FaultSite : u8 {
   kCorruptRead,     // a read returns bit-flipped data (media corruption)
   kRenameFail,      // the atomic temp->final rename fails (commit lost)
   kNoSpace,         // the write fails up front with ENOSPC
+  // Process-level chaos sites (consulted by procfleet workers): each models
+  // one way a whole worker process dies or degrades under a real fleet.
+  kProcKill,          // the worker SIGKILLs itself (wild write / OOM killer)
+  kProcStall,         // the worker SIGSTOPs itself (scheduler wedge / swap)
+  kProcExitMidPublish,  // the worker dies inside a shm publish (torn record)
+  kMmapFail,          // attaching the shared-memory segment fails
 };
-inline constexpr usize kNumFaultSites = 9;
+inline constexpr usize kNumFaultSites = 13;
 
 const char* fault_site_name(FaultSite site) noexcept;
 
@@ -100,6 +106,19 @@ class FaultInjector {
   FaultStats stats() const;
   // Faults delivered to one instance, across all sites.
   u64 injected_for(u32 instance) const;
+
+  // Current occurrence count of (site, instance) — how many fire() calls
+  // that pair has seen so far.
+  u64 occurrences(FaultSite site, u32 instance) const;
+
+  // Pre-advances the (site, instance) occurrence counter to `n` without
+  // evaluating triggers or rates (no faults are delivered; nothing is
+  // counted as checked). A procfleet worker rebuilds its injector in a
+  // fresh process each attempt and advances the chaos-site counters to the
+  // values its previous incarnations published in shared memory, so "the
+  // nth occurrence faults" stays cumulative across process restarts exactly
+  // like it is across thread restarts. Counters never move backwards.
+  void advance(FaultSite site, u32 instance, u64 n);
 
   // Mirrors per-site occurrence counts into `reg` as
   // "fault.<site>.checked" / "fault.<site>.injected" counters, so

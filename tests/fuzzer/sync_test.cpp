@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "fuzzer/campaign.h"
+#include "fuzzer/procfleet/shm.h"
+#include "fuzzer/procfleet/shm_hub.h"
 #include "target/generator.h"
 
 namespace bigmap {
@@ -155,6 +157,49 @@ TEST(SyncHubTest, InjectedPublishDropsAreDeterministic) {
   EXPECT_TRUE(hub.publish(0, Input{2}));   // next occurrence passes
   EXPECT_EQ(hub.total_published(), 1u);
   EXPECT_EQ(hub.stats().dropped_faults, 1u);
+}
+
+// The cross-process hub's consumer reads are bounded-wait: a publisher
+// that died between reserving a ring slot and committing it (SIGKILL
+// mid-publish) must not wedge any reader. The reader waits out the
+// timeout, counts a reader_timeout, skips the torn record, and still
+// delivers every committed record around it.
+TEST(ShmHubTest, DeadPublisherCannotWedgeReaders) {
+  procfleet::ShmGeometry geom;
+  geom.num_workers = 2;
+  geom.max_records = 8;
+  geom.max_input_size = 64;
+  procfleet::ShmSegment seg(geom);
+  procfleet::ShmHubOptions opts;
+  opts.read_timeout_us = 1000;
+  opts.read_poll_us = 50;
+  procfleet::ShmHub hub(&seg, opts, nullptr);
+
+  EXPECT_TRUE(hub.publish(0, Input{1}));
+  hub.publish_partial(0, Input(16, 0xEE));  // reserved, never committed
+  EXPECT_TRUE(hub.publish(0, Input{2}));
+
+  auto got = hub.fetch_new(1);  // must return despite the torn record
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], (Input{1}));
+  EXPECT_EQ(got[1], (Input{2}));
+
+  const SyncHubStats s = hub.stats();
+  EXPECT_EQ(s.reader_timeouts, 1u);
+  EXPECT_EQ(s.fetched, 2u);
+
+  // The cursor moved past the torn slot: the next fetch re-waits nothing.
+  EXPECT_TRUE(hub.fetch_new(1).empty());
+  EXPECT_EQ(hub.stats().reader_timeouts, 1u);
+}
+
+// The in-process hub can never time out (publishes happen under a mutex),
+// so its stats must report the wedge-free invariant explicitly.
+TEST(ShmHubTest, InProcessHubReportsZeroReaderTimeouts) {
+  SyncHub hub(2);
+  hub.publish(0, Input{1});
+  EXPECT_EQ(hub.fetch_new(1).size(), 1u);
+  EXPECT_EQ(hub.stats().reader_timeouts, 0u);
 }
 
 TEST(SyncHubTest, ConcurrentPublishFetchWithEviction) {
