@@ -19,6 +19,11 @@
 // quarantine degradation claim: a fleet that parks one repeatedly-dying
 // worker must still deliver its exact exec budget at a throughput within
 // 10% of a fleet launched with N-1 workers in the first place.
+//
+// Set BIGMAP_NETFLEET=1 to additionally federate two coordinator processes
+// over a loopback PeerLink (fuzzer/netfleet) and compare the federation's
+// find-union and exec budget against one fleet of the same total width —
+// the scaling story one level up, across "hosts" instead of cores.
 #include <unistd.h>
 
 #include <algorithm>
@@ -29,6 +34,7 @@
 
 #include "bench_common.h"
 #include "cachesim/smp.h"
+#include "fuzzer/netfleet/federate.h"
 #include "fuzzer/procfleet/coordinator.h"
 #include "fuzzer/supervisor.h"
 #include "target/generator.h"
@@ -249,6 +255,112 @@ void run_real_process_section() {
       "baseline, not collapse.\n");
 }
 
+bool netfleet_enabled() {
+  const char* env = std::getenv("BIGMAP_NETFLEET");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+void run_federated_section() {
+  std::printf(
+      "\n(e) Federated fleet (two coordinator processes over a loopback "
+      "socket, measured): federation union vs one fleet of equal width:\n");
+
+  GeneratorParams gp;
+  gp.seed = 33;
+  gp.live_blocks = 200;
+  gp.num_bugs = 3;
+  gp.bug_min_depth = 1;
+  gp.bug_max_depth = 1;
+  auto target = generate_target(gp);
+  auto seeds = make_seed_corpus(target, 4, 1);
+
+  const u64 per_worker =
+      bench::scaled_execs(10000) < 2000 ? 2000 : bench::scaled_execs(10000);
+  const std::string root =
+      std::filesystem::temp_directory_path() /
+      ("bigmap_fig9_net_" + std::to_string(::getpid()));
+
+  const auto make_config = [&](const std::string& dir, u32 workers,
+                               u64 seed) {
+    procfleet::ProcFleetConfig fc;
+    fc.num_workers = workers;
+    fc.base.scheme = MapScheme::kTwoLevel;
+    fc.base.map.map_size = 1u << 16;
+    fc.base.map.huge_pages = false;
+    fc.base.max_execs = per_worker;
+    fc.base.seed = seed;
+    fc.base.sync_interval = 1024;
+    fc.base.deterministic_timing = true;
+    fc.poll_ms = 2;
+    fc.stall_deadline_ms = 5000;
+    fc.checkpoint_interval = 512;
+    fc.persist_dir = dir;
+    fc.quarantine_deaths = 0;
+    return fc;
+  };
+
+  // One fleet of 4 workers (seeds 501..504) vs a federation of 2+2 over
+  // the same seed set — the same shape the net-chaos drill pins down.
+  std::filesystem::remove_all(root);
+  auto single_cfg = make_config(root + "/single", 4, 501);
+  const auto single =
+      procfleet::run_process_fleet(target.program, seeds, single_cfg);
+
+  auto a = make_config(root + "/a", 2, 501);
+  auto b = make_config(root + "/b", 2, 503);
+  a.net.node_id = 1;
+  b.net.node_id = 2;
+  const auto fed = netfleet::run_federated_pair(target.program, seeds, a, b);
+  std::filesystem::remove_all(root);
+
+  if (!fed.ok) {
+    std::printf("WARNING: federated pair failed: %s\n", fed.error.c_str());
+    return;
+  }
+
+  const auto sorted_u32 = [](std::vector<u32> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  const bool union_match =
+      sorted_u32(single.found_bug_ids) == sorted_u32(fed.found_bug_ids);
+  const u64 budget = u64{4} * per_worker;
+
+  TableWriter table({"Topology", "workers", "bugs found", "total execs",
+                     "budget exact", "union match", "completed"});
+  table.add_row({"single fleet", "4",
+                 std::to_string(single.found_bug_ids.size()),
+                 fmt_count(single.total_execs),
+                 single.total_execs == budget ? "yes" : "NO", "-",
+                 single.all_completed() ? "yes" : "NO"});
+  table.add_row({"federated 2+2", "2+2",
+                 std::to_string(fed.found_bug_ids.size()),
+                 fmt_count(fed.total_execs),
+                 fed.total_execs == budget ? "yes" : "NO",
+                 union_match ? "yes" : "NO",
+                 fed.all_completed ? "yes" : "NO"});
+  bench::emit("federated_union", table);
+
+  TableWriter link({"Half", "sent", "recv", "novelty filtered", "dups",
+                    "reconnects", "bytes tx"});
+  const auto add_link = [&](const char* who, const netfleet::LinkStats& n) {
+    link.add_row({who, fmt_count(n.records_sent),
+                  fmt_count(n.records_received),
+                  fmt_count(n.novelty_filtered),
+                  fmt_count(n.duplicates_dropped), fmt_count(n.reconnects),
+                  fmt_count(n.bytes_sent)});
+  };
+  add_link("a (listener)", fed.a.net);
+  add_link("b (connector)", fed.b.net);
+  bench::emit("federated_link", link);
+
+  std::printf(
+      "The federation pays a socket round-trip per novel corpus entry but "
+      "must neither lose nor duplicate finds: \"union match\" compares the "
+      "planted-bug union against the equal-width single fleet, and both "
+      "topologies deliver exactly 4 x per-worker execs.\n");
+}
+
 struct Profile {
   const char* name;
   usize used_keys;       // coverage keys the campaign exercises
@@ -340,6 +452,13 @@ int main(int argc, char** argv) {
     std::printf(
         "Set BIGMAP_REAL_PROCS=1 for the measured forked-process fleet and "
         "its quarantine-degradation comparison.\n");
+  }
+  if (netfleet_enabled()) {
+    run_federated_section();
+  } else {
+    std::printf(
+        "Set BIGMAP_NETFLEET=1 for the measured two-coordinator federation "
+        "over a loopback socket and its union-equality comparison.\n");
   }
   return bench::finish();
 }

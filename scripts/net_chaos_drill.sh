@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# Federated network-chaos drill (ISSUE acceptance: netfleet). Four stages
+# over the fixed net_drill campaign shape (4 planted-bug workers total,
+# deterministic timing), comparing one local fleet against a two-coordinator
+# federation joined by a fault-injected loopback PeerLink:
+#
+#   1. single          — one 4-worker fleet, no network; the reference
+#                        find-union and exec budget
+#   2. pair            — federated pair (2 coordinators x 2 workers),
+#                        clean network; must equal single exactly
+#   3. pair-storm      — the full network storm (seeded frame drops,
+#                        delays, torn-frame short writes, connection
+#                        resets, a partition); must equal single exactly
+#   4. pair-partition  — a long mid-campaign partition-and-heal; both
+#                        sides keep fuzzing through the cut, reconcile on
+#                        heal, and must equal single exactly
+#
+# net_drill itself self-checks that corpus exchange happened and that the
+# chaos modes actually injected faults and forced reconnects; this script
+# additionally asserts the link diagnostics show the partition was
+# observed. CI runs this as the net-chaos job.
+#
+# Usage: scripts/net_chaos_drill.sh [work-dir]   (default: mktemp -d)
+# Requires the net_drill binary (`cmake --build build --target net_drill`).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+DRILL="$BUILD_DIR/src/fuzzer/net_drill"
+
+WORK_DIR="${1:-$(mktemp -d)}"
+mkdir -p "$WORK_DIR"
+rm -rf "$WORK_DIR/single" "$WORK_DIR/pair" "$WORK_DIR/storm" \
+  "$WORK_DIR/partition"
+
+cleanup() {
+  # The federated halves are separate coordinator processes with their own
+  # forked workers; -x matches the exact binary name only.
+  pkill -9 -x net_drill 2> /dev/null || true
+}
+trap cleanup EXIT
+
+# Compares the diff-friendly tail of two net_drill outputs; any divergence
+# is a drill failure (the federation changed what the fleet finds or how
+# much budget it delivers).
+compare_outputs() {
+  local label=$1 base=$2 got=$3
+  local key base_line got_line
+  for key in bug_ids stack_hashes total_execs all_completed; do
+    base_line=$(grep "^$key:" "$base")
+    got_line=$(grep "^$key:" "$got")
+    if [ "$base_line" != "$got_line" ]; then
+      echo "FAIL: $key diverged ($label)" >&2
+      echo "  single: $base_line" >&2
+      echo "  $label: $got_line" >&2
+      exit 1
+    fi
+    echo "  $key ok ($base_line)"
+  done
+}
+
+echo "== single fleet (no network) =="
+"$DRILL" single "$WORK_DIR/single" | tee "$WORK_DIR/single.txt"
+
+echo
+echo "== federated pair, clean network =="
+"$DRILL" pair "$WORK_DIR/pair" > "$WORK_DIR/pair.txt" \
+  2> "$WORK_DIR/pair.diag"
+cat "$WORK_DIR/pair.txt" "$WORK_DIR/pair.diag"
+compare_outputs pair "$WORK_DIR/single.txt" "$WORK_DIR/pair.txt"
+# The clean pair must actually exchange corpus over the wire.
+grep -qE 'sent=[1-9]' "$WORK_DIR/pair.diag" || {
+  echo "FAIL: clean pair shipped no records" >&2
+  exit 1
+}
+
+echo
+echo "== federated pair under full network storm =="
+"$DRILL" pair-storm "$WORK_DIR/storm" > "$WORK_DIR/storm.txt" \
+  2> "$WORK_DIR/storm.diag"
+cat "$WORK_DIR/storm.txt" "$WORK_DIR/storm.diag"
+compare_outputs storm "$WORK_DIR/single.txt" "$WORK_DIR/storm.txt"
+# Every injected failure class must have fired somewhere in the storm.
+for pat in 'drops=[1-9]' 'short_writes=[1-9]' 'resets=[1-9]' \
+  'partitions=[1-9]' 'reconnects=[1-9]'; do
+  grep -qE "$pat" "$WORK_DIR/storm.diag" || {
+    echo "FAIL: storm diagnostics missing $pat" >&2
+    cat "$WORK_DIR/storm.diag" >&2
+    exit 1
+  }
+done
+
+echo
+echo "== federated pair with mid-campaign partition-and-heal =="
+"$DRILL" pair-partition "$WORK_DIR/partition" > "$WORK_DIR/partition.txt" \
+  2> "$WORK_DIR/partition.diag"
+cat "$WORK_DIR/partition.txt" "$WORK_DIR/partition.diag"
+compare_outputs partition "$WORK_DIR/single.txt" "$WORK_DIR/partition.txt"
+# The cut side must report the partition; the other side must have
+# detected the silence (timeouts) and healed the session (reconnects).
+grep -qE 'partition_ms=[1-9]' "$WORK_DIR/partition.diag" || {
+  echo "FAIL: no partition time was recorded" >&2
+  exit 1
+}
+grep -qE 'reconnects=[1-9]' "$WORK_DIR/partition.diag" || {
+  echo "FAIL: the partition never healed (no reconnects)" >&2
+  exit 1
+}
+
+echo
+echo "net chaos drill PASSED"

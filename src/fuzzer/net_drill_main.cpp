@@ -1,0 +1,254 @@
+// net_drill: driver for the federated network-chaos drill
+// (scripts/net_chaos_drill.sh). Modes over one fixed campaign shape —
+// 4 worker processes, planted-bug target, deterministic timing — arranged
+// either as one local fleet or as two federated coordinator processes
+// (2 workers each) joined by a loopback PeerLink:
+//
+//   net_drill single <dir>          one 4-worker fleet, no network — the
+//                                   reference find-union and exec total
+//   net_drill pair <dir>            federated pair, clean network
+//   net_drill pair-storm <dir>      federated pair under the full network
+//                                   storm: seeded frame drops, delays,
+//                                   torn-frame short writes, connection
+//                                   resets, and a partition — the
+//                                   federation union must still match the
+//                                   single fleet exactly
+//   net_drill pair-partition <dir>  federated pair with a long
+//                                   mid-campaign partition-and-heal: both
+//                                   sides keep fuzzing on local sync
+//                                   during the cut, reconcile on heal
+//
+// Every mode prints sorted found_bug_ids / found_stack_hashes,
+// total_execs, and all_completed in the same diff-friendly format as
+// fleet_drill; link diagnostics go to stderr. The chaos modes self-check
+// that the storm actually engaged (injected faults, reconnects) and exit
+// non-zero if the network never hurt.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "fuzzer/netfleet/federate.h"
+#include "fuzzer/procfleet/coordinator.h"
+#include "target/generator.h"
+
+using namespace bigmap;
+using namespace bigmap::procfleet;
+using namespace bigmap::netfleet;
+
+namespace {
+
+GeneratedTarget make_target() {
+  GeneratorParams gp;
+  gp.seed = 33;
+  gp.live_blocks = 200;
+  gp.num_bugs = 3;
+  gp.bug_min_depth = 1;
+  gp.bug_max_depth = 1;
+  return generate_target(gp);
+}
+
+// The per-coordinator fleet shape. The single baseline runs it with 4
+// workers and base seed 501; the federated halves run 2 workers each with
+// base seeds 501 (A) and 503 (B), so the union of campaign seeds across
+// the federation is exactly the baseline's set {501..504}.
+ProcFleetConfig make_config(const std::string& dir, u32 workers, u64 seed) {
+  ProcFleetConfig fc;
+  fc.num_workers = workers;
+  fc.base.scheme = MapScheme::kTwoLevel;
+  fc.base.map.map_size = 1u << 16;
+  fc.base.map.huge_pages = false;
+  fc.base.max_execs = 10000;
+  fc.base.seed = seed;
+  fc.base.sync_interval = 1024;
+  fc.base.deterministic_timing = true;
+  fc.poll_ms = 2;
+  fc.stall_deadline_ms = 600;
+  fc.max_restarts_per_worker = 10;
+  fc.backoff_initial_ms = 5;
+  fc.backoff_cap_ms = 50;
+  fc.checkpoint_interval = 512;
+  fc.persist_dir = dir;
+  fc.quarantine_deaths = 0;  // equality drill: no degraded parking
+  return fc;
+}
+
+// The network storm: sustained frame loss and delay on every gateway, plus
+// deterministic torn-frame short writes, abrupt resets, and one partition
+// per side. All seeded — the schedule replays identically.
+FaultPlan make_net_storm_plan() {
+  FaultPlan plan;
+  // ~15% of entry frames vanish in flight; ~10% are deferred a pump.
+  plan.rates.push_back(
+      {FaultSite::kNetDrop, 150000, FaultRate::kAllInstances});
+  plan.rates.push_back(
+      {FaultSite::kNetDelay, 100000, FaultRate::kAllInstances});
+  // Torn frames (write half, then die) early and mid-stream.
+  plan.triggers.push_back({FaultSite::kNetShortWrite, 2, 1});
+  plan.triggers.push_back({FaultSite::kNetShortWrite, 2, 4});
+  // Abrupt RSTs: checked once per connected pump.
+  plan.triggers.push_back({FaultSite::kNetConnReset, 2, 40});
+  plan.triggers.push_back({FaultSite::kNetConnReset, 2, 200});
+  // One short partition in the middle of the storm.
+  plan.triggers.push_back({FaultSite::kNetPartition, 2, 120});
+  return plan;
+}
+
+// The partition drill: a single long cut, no other interference, landing
+// mid-campaign so both sides demonstrably keep fuzzing through it.
+FaultPlan make_partition_plan() {
+  FaultPlan plan;
+  plan.triggers.push_back({FaultSite::kNetPartition, 2, 60});
+  return plan;
+}
+
+void print_union(const std::vector<u32>& bugs_in,
+                 const std::vector<u64>& hashes_in, u64 execs,
+                 bool completed) {
+  std::vector<u32> bugs = bugs_in;
+  std::sort(bugs.begin(), bugs.end());
+  std::vector<u64> hashes = hashes_in;
+  std::sort(hashes.begin(), hashes.end());
+  std::printf("bug_ids:");
+  for (u32 b : bugs) std::printf(" %u", b);
+  std::printf("\nstack_hashes:");
+  for (u64 h : hashes) {
+    std::printf(" %llx", static_cast<unsigned long long>(h));
+  }
+  std::printf("\ntotal_execs: %llu\n", static_cast<unsigned long long>(execs));
+  std::printf("all_completed: %d\n", completed ? 1 : 0);
+  std::fflush(stdout);
+}
+
+void print_link_diag(const char* who, const LinkStats& n) {
+  std::fprintf(
+      stderr,
+      "[%s] sent=%llu recv=%llu offered=%llu novelty_filtered=%llu "
+      "dups=%llu ooo=%llu rewinds=%llu connects=%llu reconnects=%llu "
+      "timeouts=%llu conn_errors=%llu drops=%llu delays=%llu "
+      "short_writes=%llu resets=%llu partitions=%llu partition_ms=%llu "
+      "lost_to_eviction=%llu bytes_tx=%llu bytes_rx=%llu\n",
+      who, static_cast<unsigned long long>(n.records_sent),
+      static_cast<unsigned long long>(n.records_received),
+      static_cast<unsigned long long>(n.entries_offered),
+      static_cast<unsigned long long>(n.novelty_filtered),
+      static_cast<unsigned long long>(n.duplicates_dropped),
+      static_cast<unsigned long long>(n.out_of_order_dropped),
+      static_cast<unsigned long long>(n.rewinds),
+      static_cast<unsigned long long>(n.connects),
+      static_cast<unsigned long long>(n.reconnects),
+      static_cast<unsigned long long>(n.heartbeat_timeouts),
+      static_cast<unsigned long long>(n.conn_errors),
+      static_cast<unsigned long long>(n.injected_drops),
+      static_cast<unsigned long long>(n.injected_delays),
+      static_cast<unsigned long long>(n.injected_short_writes),
+      static_cast<unsigned long long>(n.injected_resets),
+      static_cast<unsigned long long>(n.injected_partitions),
+      static_cast<unsigned long long>(n.partition_ms_total),
+      static_cast<unsigned long long>(n.lost_to_eviction),
+      static_cast<unsigned long long>(n.bytes_sent),
+      static_cast<unsigned long long>(n.bytes_received));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string mode = argc > 1 ? argv[1] : "";
+  const std::string dir = argc > 2 ? argv[2] : "";
+  const bool known = mode == "single" || mode == "pair" ||
+                     mode == "pair-storm" || mode == "pair-partition";
+  if (!known || dir.empty()) {
+    std::fprintf(stderr,
+                 "usage: net_drill single <dir>\n"
+                 "       net_drill pair <dir>\n"
+                 "       net_drill pair-storm <dir>\n"
+                 "       net_drill pair-partition <dir>\n");
+    return 2;
+  }
+
+  auto target = make_target();
+  auto seeds = make_seed_corpus(target, 4, 1);
+
+  if (mode == "single") {
+    ProcFleetConfig fc = make_config(dir, 4, 501);
+    ProcFleetResult r = run_process_fleet(target.program, seeds, fc);
+    print_union(r.found_bug_ids, r.found_stack_hashes, r.total_execs,
+                r.all_completed());
+    return r.all_completed() ? 0 : 1;
+  }
+
+  ProcFleetConfig a = make_config(dir + "/a", 2, 501);
+  ProcFleetConfig b = make_config(dir + "/b", 2, 503);
+  a.net.node_id = 1;
+  b.net.node_id = 2;
+  // Fast liveness so injected failures are detected and healed well within
+  // the drill's runtime.
+  for (ProcFleetConfig* fc : {&a, &b}) {
+    fc->net.heartbeat_ms = 20;
+    fc->net.peer_timeout_ms = 400;
+    fc->net.reconnect_initial_ms = 5;
+    fc->net.reconnect_cap_ms = 100;
+  }
+
+  if (mode == "pair-storm") {
+    const FaultPlan plan = make_net_storm_plan();
+    a.fault_enabled = true;
+    a.fault_seed = 909;
+    a.fault_plan = plan;
+    b.fault_enabled = true;
+    b.fault_seed = 910;  // decorrelated: the sides fail at different times
+    b.fault_plan = plan;
+    a.net.partition_ms = 300;
+    b.net.partition_ms = 300;
+  } else if (mode == "pair-partition") {
+    const FaultPlan plan = make_partition_plan();
+    a.fault_enabled = true;
+    a.fault_seed = 911;
+    a.fault_plan = plan;
+    // Only A cuts the link; B experiences the partition as a peer timeout
+    // and keeps retrying into the void until the heal.
+    a.net.partition_ms = 1000;
+    // Stretch the campaign so the cut demonstrably lands mid-run with
+    // fuzzing continuing on both sides throughout.
+    a.base.work_per_block = 400;
+    b.base.work_per_block = 400;
+  }
+
+  FederatedResult fr = run_federated_pair(target.program, seeds, a, b);
+  if (!fr.ok) {
+    std::fprintf(stderr, "net_drill: %s\n", fr.error.c_str());
+    return 1;
+  }
+  print_link_diag("half-a", fr.a.net);
+  print_link_diag("half-b", fr.b.net);
+  print_union(fr.found_bug_ids, fr.found_stack_hashes, fr.total_execs,
+              fr.all_completed);
+
+  // Self-checks: the exchange must have happened, and chaos modes must
+  // have actually hurt the network (otherwise the drill proves nothing).
+  if (fr.a.net.records_sent == 0 && fr.b.net.records_sent == 0) {
+    std::fprintf(stderr, "net_drill: no corpus exchange happened\n");
+    return 3;
+  }
+  if (mode == "pair-storm") {
+    const u64 injected =
+        fr.a.net.injected_drops + fr.a.net.injected_delays +
+        fr.a.net.injected_short_writes + fr.a.net.injected_resets +
+        fr.a.net.injected_partitions + fr.b.net.injected_drops +
+        fr.b.net.injected_delays + fr.b.net.injected_short_writes +
+        fr.b.net.injected_resets + fr.b.net.injected_partitions;
+    if (injected == 0) {
+      std::fprintf(stderr, "net_drill: storm injected no faults\n");
+      return 3;
+    }
+    if (fr.a.net.reconnects + fr.b.net.reconnects == 0) {
+      std::fprintf(stderr, "net_drill: storm forced no reconnects\n");
+      return 3;
+    }
+  }
+  if (mode == "pair-partition" &&
+      fr.a.net.injected_partitions + fr.b.net.injected_partitions == 0) {
+    std::fprintf(stderr, "net_drill: no partition was injected\n");
+    return 3;
+  }
+  return fr.all_completed ? 0 : 1;
+}

@@ -1,0 +1,297 @@
+#include "fuzzer/netfleet/federate.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <exception>
+#include <set>
+#include <sstream>
+
+#include "fuzzer/netfleet/transport.h"
+#include "util/syscall.h"
+
+namespace bigmap::netfleet {
+namespace {
+
+// Reads until EOF (the child closing its end of the pipe).
+std::string read_all(int fd) {
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const ssize_t r = xread(fd, buf, sizeof(buf));
+    if (r <= 0) break;
+    out.append(buf, static_cast<usize>(r));
+  }
+  return out;
+}
+
+// One forked coordinator half: runs the fleet, reports over `pipe_wr`,
+// never returns.
+[[noreturn]] void child_main(const Program& program,
+                             const std::vector<Input>& seeds,
+                             const procfleet::ProcFleetConfig& config,
+                             int pipe_wr) {
+  std::string report;
+  try {
+    const procfleet::ProcFleetResult r =
+        run_process_fleet(program, seeds, config);
+    report = encode_half_report(r, true, "");
+  } catch (const std::exception& e) {
+    report = encode_half_report(procfleet::ProcFleetResult{}, false,
+                                e.what());
+  } catch (...) {
+    report = encode_half_report(procfleet::ProcFleetResult{}, false,
+                                "unknown exception");
+  }
+  (void)write_full(pipe_wr, reinterpret_cast<const u8*>(report.data()),
+                   report.size());
+  xclose(pipe_wr);
+  ::_exit(0);
+}
+
+}  // namespace
+
+std::string encode_half_report(const procfleet::ProcFleetResult& r, bool ok,
+                               const std::string& error) {
+  std::ostringstream os;
+  os << "ok " << (ok ? 1 : 0) << "\n";
+  if (!error.empty()) os << "error " << error << "\n";
+  os << "bug_ids";
+  for (u32 b : r.found_bug_ids) os << ' ' << b;
+  os << "\nstack_hashes";
+  for (u64 h : r.found_stack_hashes) os << ' ' << h;
+  os << "\ntotal_execs " << r.total_execs;
+  os << "\ntotal_interesting " << r.total_interesting;
+  os << "\ntotal_crashes " << r.total_crashes;
+  os << "\nall_completed " << (r.all_completed() ? 1 : 0);
+  const LinkStats& n = r.net;
+  os << "\nnet_bytes_sent " << n.bytes_sent;
+  os << "\nnet_bytes_received " << n.bytes_received;
+  os << "\nnet_records_sent " << n.records_sent;
+  os << "\nnet_records_received " << n.records_received;
+  os << "\nnet_entries_offered " << n.entries_offered;
+  os << "\nnet_novelty_filtered " << n.novelty_filtered;
+  os << "\nnet_duplicates_dropped " << n.duplicates_dropped;
+  os << "\nnet_out_of_order_dropped " << n.out_of_order_dropped;
+  os << "\nnet_rewinds " << n.rewinds;
+  os << "\nnet_connects " << n.connects;
+  os << "\nnet_reconnects " << n.reconnects;
+  os << "\nnet_heartbeat_timeouts " << n.heartbeat_timeouts;
+  os << "\nnet_conn_errors " << n.conn_errors;
+  os << "\nnet_injected_drops " << n.injected_drops;
+  os << "\nnet_injected_delays " << n.injected_delays;
+  os << "\nnet_injected_short_writes " << n.injected_short_writes;
+  os << "\nnet_injected_resets " << n.injected_resets;
+  os << "\nnet_injected_partitions " << n.injected_partitions;
+  os << "\nnet_partition_ms " << n.partition_ms_total;
+  os << "\nnet_log_evicted " << n.log_evicted;
+  os << "\nnet_lost_to_eviction " << n.lost_to_eviction;
+  os << "\n";
+  return os.str();
+}
+
+bool decode_half_report(const std::string& text, HalfReport* out) {
+  HalfReport r;
+  bool saw_ok = false;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    std::istringstream ls(line);
+    std::string key;
+    if (!(ls >> key)) continue;
+    if (key == "ok") {
+      int v = 0;
+      ls >> v;
+      r.ok = v != 0;
+      saw_ok = true;
+    } else if (key == "error") {
+      std::getline(ls, r.error);
+      if (!r.error.empty() && r.error.front() == ' ') r.error.erase(0, 1);
+    } else if (key == "bug_ids") {
+      u32 v;
+      while (ls >> v) r.bug_ids.push_back(v);
+    } else if (key == "stack_hashes") {
+      u64 v;
+      while (ls >> v) r.stack_hashes.push_back(v);
+    } else if (key == "total_execs") {
+      ls >> r.total_execs;
+    } else if (key == "total_interesting") {
+      ls >> r.total_interesting;
+    } else if (key == "total_crashes") {
+      ls >> r.total_crashes;
+    } else if (key == "all_completed") {
+      int v = 0;
+      ls >> v;
+      r.all_completed = v != 0;
+    } else if (key == "net_bytes_sent") {
+      ls >> r.net.bytes_sent;
+    } else if (key == "net_bytes_received") {
+      ls >> r.net.bytes_received;
+    } else if (key == "net_records_sent") {
+      ls >> r.net.records_sent;
+    } else if (key == "net_records_received") {
+      ls >> r.net.records_received;
+    } else if (key == "net_entries_offered") {
+      ls >> r.net.entries_offered;
+    } else if (key == "net_novelty_filtered") {
+      ls >> r.net.novelty_filtered;
+    } else if (key == "net_duplicates_dropped") {
+      ls >> r.net.duplicates_dropped;
+    } else if (key == "net_out_of_order_dropped") {
+      ls >> r.net.out_of_order_dropped;
+    } else if (key == "net_rewinds") {
+      ls >> r.net.rewinds;
+    } else if (key == "net_connects") {
+      ls >> r.net.connects;
+    } else if (key == "net_reconnects") {
+      ls >> r.net.reconnects;
+    } else if (key == "net_heartbeat_timeouts") {
+      ls >> r.net.heartbeat_timeouts;
+    } else if (key == "net_conn_errors") {
+      ls >> r.net.conn_errors;
+    } else if (key == "net_injected_drops") {
+      ls >> r.net.injected_drops;
+    } else if (key == "net_injected_delays") {
+      ls >> r.net.injected_delays;
+    } else if (key == "net_injected_short_writes") {
+      ls >> r.net.injected_short_writes;
+    } else if (key == "net_injected_resets") {
+      ls >> r.net.injected_resets;
+    } else if (key == "net_injected_partitions") {
+      ls >> r.net.injected_partitions;
+    } else if (key == "net_partition_ms") {
+      ls >> r.net.partition_ms_total;
+    } else if (key == "net_log_evicted") {
+      ls >> r.net.log_evicted;
+    } else if (key == "net_lost_to_eviction") {
+      ls >> r.net.lost_to_eviction;
+    }
+  }
+  if (!saw_ok) return false;
+  *out = r;
+  return true;
+}
+
+FederatedResult run_federated_pair(const Program& program,
+                                   const std::vector<Input>& seeds,
+                                   procfleet::ProcFleetConfig a,
+                                   procfleet::ProcFleetConfig b) {
+  FederatedResult out;
+  ignore_sigpipe();
+
+  // Bind the listener in the parent: the connector half then knows the
+  // port before either child exists, and the listening socket survives a
+  // listener-coordinator that is still setting up.
+  u16 port = 0;
+  std::string err;
+  const int listen_fd = tcp_listen("127.0.0.1", &port, &err);
+  if (listen_fd < 0) {
+    out.error = "federate: " + err;
+    return out;
+  }
+
+  // Shared session identity: derive it from config the federation halves
+  // genuinely have in common — seeds and worker counts legitimately differ
+  // between halves, so the coordinator's per-fleet auto-fingerprint would
+  // spuriously mismatch.
+  if (a.net.session_fingerprint == 0 && b.net.session_fingerprint == 0) {
+    u64 h = 0x66656465ull;
+    for (u64 v :
+         {a.base.max_execs, static_cast<u64>(a.base.scheme),
+          static_cast<u64>(a.base.metric),
+          static_cast<u64>(a.base.map.map_size)}) {
+      h = (h ^ v) * 0x100000001b3ull;
+    }
+    a.net.session_fingerprint = h;
+    b.net.session_fingerprint = h;
+  }
+
+  a.net.enabled = true;
+  a.net.listener = true;
+  a.net.listen_fd = listen_fd;
+  a.net.port = port;
+  b.net.enabled = true;
+  b.net.listener = false;
+  b.net.host = "127.0.0.1";
+  b.net.port = port;
+
+  int pipe_a[2] = {-1, -1};
+  int pipe_b[2] = {-1, -1};
+  if (::pipe(pipe_a) != 0 || ::pipe(pipe_b) != 0) {
+    out.error = "federate: pipe failed";
+    xclose(listen_fd);
+    if (pipe_a[0] >= 0) {
+      xclose(pipe_a[0]);
+      xclose(pipe_a[1]);
+    }
+    return out;
+  }
+
+  const pid_t pid_a = ::fork();
+  if (pid_a == 0) {
+    xclose(pipe_a[0]);
+    xclose(pipe_b[0]);
+    xclose(pipe_b[1]);
+    child_main(program, seeds, a, pipe_a[1]);
+  }
+  const pid_t pid_b = ::fork();
+  if (pid_b == 0) {
+    xclose(pipe_b[0]);
+    xclose(pipe_a[0]);
+    xclose(pipe_a[1]);
+    xclose(listen_fd);  // only the listener half needs it
+    child_main(program, seeds, b, pipe_b[1]);
+  }
+  xclose(pipe_a[1]);
+  xclose(pipe_b[1]);
+  xclose(listen_fd);
+  if (pid_a < 0 || pid_b < 0) {
+    out.error = "federate: fork failed";
+    if (pid_a > 0) ::kill(pid_a, SIGKILL);
+    if (pid_b > 0) ::kill(pid_b, SIGKILL);
+  }
+
+  const std::string text_a = read_all(pipe_a[0]);
+  const std::string text_b = read_all(pipe_b[0]);
+  xclose(pipe_a[0]);
+  xclose(pipe_b[0]);
+
+  int status = 0;
+  if (pid_a > 0) (void)xwaitpid(pid_a, &status, 0);
+  if (pid_b > 0) (void)xwaitpid(pid_b, &status, 0);
+  if (!out.error.empty()) return out;
+
+  if (!decode_half_report(text_a, &out.a)) {
+    out.error = "federate: half A produced no report";
+    return out;
+  }
+  if (!decode_half_report(text_b, &out.b)) {
+    out.error = "federate: half B produced no report";
+    return out;
+  }
+  if (!out.a.ok) {
+    out.error = "federate: half A failed: " + out.a.error;
+    return out;
+  }
+  if (!out.b.ok) {
+    out.error = "federate: half B failed: " + out.b.error;
+    return out;
+  }
+
+  std::set<u32> bugs(out.a.bug_ids.begin(), out.a.bug_ids.end());
+  bugs.insert(out.b.bug_ids.begin(), out.b.bug_ids.end());
+  out.found_bug_ids.assign(bugs.begin(), bugs.end());
+  std::set<u64> hashes(out.a.stack_hashes.begin(), out.a.stack_hashes.end());
+  hashes.insert(out.b.stack_hashes.begin(), out.b.stack_hashes.end());
+  out.found_stack_hashes.assign(hashes.begin(), hashes.end());
+  out.total_execs = out.a.total_execs + out.b.total_execs;
+  out.total_interesting = out.a.total_interesting + out.b.total_interesting;
+  out.total_crashes = out.a.total_crashes + out.b.total_crashes;
+  out.all_completed = out.a.all_completed && out.b.all_completed;
+  out.ok = true;
+  return out;
+}
+
+}  // namespace bigmap::netfleet

@@ -1,0 +1,65 @@
+// Two-coordinator federation harness: runs a pair of process-fleet
+// coordinators in forked child processes, joined by a PeerLink over
+// loopback TCP, and merges their results.
+//
+// This is how the net-chaos drill builds a "two hosts" topology on one
+// machine: each half is a full run_process_fleet (its own shm segment,
+// workers, persistence, chaos schedule), the only shared state is the
+// socket. The parent binds the listener before forking so the connector
+// half knows the port with no handshake file; each child reports its
+// result over a pipe as plain key-value text, and the parent computes the
+// federation union — found bugs, stack hashes, exec totals — which the
+// drill compares against a single-fleet baseline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fuzzer/procfleet/coordinator.h"
+#include "target/program.h"
+
+namespace bigmap::netfleet {
+
+// One half's reported outcome (parsed from its pipe).
+struct HalfReport {
+  bool ok = false;
+  std::string error;
+  std::vector<u32> bug_ids;
+  std::vector<u64> stack_hashes;
+  u64 total_execs = 0;
+  u64 total_interesting = 0;
+  u64 total_crashes = 0;
+  bool all_completed = false;
+  LinkStats net;
+};
+
+struct FederatedResult {
+  bool ok = false;        // both halves ran and reported
+  std::string error;
+  HalfReport a;           // listener half
+  HalfReport b;           // connector half
+
+  // Federation union / totals (the drill's comparison keys).
+  std::vector<u32> found_bug_ids;
+  std::vector<u64> found_stack_hashes;
+  u64 total_execs = 0;
+  u64 total_interesting = 0;
+  u64 total_crashes = 0;
+  bool all_completed = false;
+};
+
+// Runs `a` (listener) and `b` (connector) as forked coordinator processes
+// federated over loopback. net.enabled / roles / host / port / listen_fd
+// are filled in here; everything else in the two configs is the caller's.
+// Blocks until both halves exit.
+FederatedResult run_federated_pair(const Program& program,
+                                   const std::vector<Input>& seeds,
+                                   procfleet::ProcFleetConfig a,
+                                   procfleet::ProcFleetConfig b);
+
+// Serialization used across the child pipe (exposed for tests).
+std::string encode_half_report(const procfleet::ProcFleetResult& r,
+                               bool ok, const std::string& error);
+bool decode_half_report(const std::string& text, HalfReport* out);
+
+}  // namespace bigmap::netfleet

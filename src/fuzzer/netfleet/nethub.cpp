@@ -1,0 +1,64 @@
+#include "fuzzer/netfleet/nethub.h"
+
+#include <utility>
+
+namespace bigmap::netfleet {
+
+NetHub::NetHub(SyncEndpoint* inner, u32 gateway_instance,
+               std::unique_ptr<PeerLink> link)
+    : inner_(inner), gateway_(gateway_instance), link_(std::move(link)) {}
+
+u32 NetHub::num_instances() const noexcept {
+  return inner_->num_instances();
+}
+
+bool NetHub::publish(u32 instance, Input input) {
+  return inner_->publish(instance, std::move(input));
+}
+
+std::vector<Input> NetHub::fetch_new(u32 instance) {
+  return inner_->fetch_new(instance);
+}
+
+void NetHub::reset_cursor(u32 instance) {
+  inner_->reset_cursor(instance);
+}
+
+u64 NetHub::total_published() const { return inner_->total_published(); }
+
+SyncHubStats NetHub::stats() const { return inner_->stats(); }
+
+void NetHub::pump(u64 now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Export: everything workers published since the last pump (fetch_new on
+  // the gateway id excludes the gateway's own imports — no echo).
+  for (Input& in : inner_->fetch_new(gateway_)) {
+    link_->offer(std::move(in));
+  }
+  link_->pump(now_ns);
+  // Import: accepted remote entries become local publishes under the
+  // gateway identity; workers pick them up on their next fetch.
+  for (Input& in : link_->take_received()) {
+    inner_->publish(gateway_, std::move(in));
+  }
+}
+
+void NetHub::shutdown(u64 now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // One last export sweep so finds from the final sync interval still
+  // reach the peer before the goodbye.
+  for (Input& in : inner_->fetch_new(gateway_)) {
+    link_->offer(std::move(in));
+  }
+  link_->shutdown(now_ns);
+  for (Input& in : link_->take_received()) {
+    inner_->publish(gateway_, std::move(in));
+  }
+}
+
+LinkStats NetHub::link_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return link_->stats();
+}
+
+}  // namespace bigmap::netfleet

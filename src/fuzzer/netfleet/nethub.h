@@ -1,0 +1,65 @@
+// NetHub: a SyncEndpoint gateway that federates a local hub with one
+// remote peer over a PeerLink.
+//
+// Campaigns see only the SyncEndpoint interface (sync.h), so federation is
+// a wrapper, not a fuzzing-loop change: NetHub forwards every endpoint
+// call to the wrapped inner hub (SyncHub for thread fleets, ShmHub for
+// process fleets) and reserves one extra inner instance — the *gateway
+// instance* — as the remote side's local identity:
+//
+//   local find  -> inner.publish(worker)  -> pump: inner.fetch_new(gateway)
+//               -> link.offer()           -> wire -> remote gateway
+//   remote find -> link.take_received()   -> inner.publish(gateway)
+//               -> workers import it via their ordinary fetch_new
+//
+// fetch_new never returns an instance's own publishes, so the gateway
+// instance never re-exports what it just imported — there is no echo loop
+// by construction, and the novelty filter in the link suppresses
+// re-offering anything the peer already has.
+//
+// Thread-safety: the inner hub is already thread-safe; the link is
+// single-threaded, so the wrapper serializes offer/take/pump with a mutex
+// and endpoint calls pass straight through.
+#pragma once
+
+#include <memory>
+#include <mutex>
+
+#include "fuzzer/netfleet/link.h"
+#include "fuzzer/sync.h"
+
+namespace bigmap::netfleet {
+
+class NetHub final : public SyncEndpoint {
+ public:
+  // `inner` must outlive the NetHub and must have been created with one
+  // more instance than the fleet's workers; the extra (highest) id is the
+  // gateway instance. The link is owned.
+  NetHub(SyncEndpoint* inner, u32 gateway_instance,
+         std::unique_ptr<PeerLink> link);
+
+  u32 num_instances() const noexcept override;
+  bool publish(u32 instance, Input input) override;
+  std::vector<Input> fetch_new(u32 instance) override;
+  void reset_cursor(u32 instance) override;
+  u64 total_published() const override;
+  SyncHubStats stats() const override;
+
+  // Moves novelty between the inner hub and the wire; call from the
+  // supervisor loop every few milliseconds.
+  void pump(u64 now_ns);
+
+  // Drains the link (bounded) and closes the session.
+  void shutdown(u64 now_ns);
+
+  PeerLink& link() noexcept { return *link_; }
+  LinkStats link_stats() const;
+
+ private:
+  SyncEndpoint* inner_;
+  const u32 gateway_;
+  std::unique_ptr<PeerLink> link_;
+  mutable std::mutex mu_;
+};
+
+}  // namespace bigmap::netfleet

@@ -1,0 +1,172 @@
+#include "fuzzer/netfleet/transport.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include "util/syscall.h"
+
+namespace bigmap::netfleet {
+namespace {
+
+bool fill_addr(const std::string& host, u16 port, sockaddr_in* addr,
+               std::string* err) {
+  ::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr->sin_addr) != 1) {
+    if (err != nullptr) *err = "bad IPv4 address: " + host;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+int tcp_listen(const std::string& host, u16* port, std::string* err) {
+  sockaddr_in addr;
+  if (!fill_addr(host, *port, &addr, err)) return -1;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (err != nullptr) *err = std::string("socket: ") + ::strerror(errno);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (err != nullptr) *err = std::string("bind: ") + ::strerror(errno);
+    xclose(fd);
+    return -1;
+  }
+  if (::listen(fd, 8) != 0) {
+    if (err != nullptr) *err = std::string("listen: ") + ::strerror(errno);
+    xclose(fd);
+    return -1;
+  }
+  if (*port == 0) {
+    sockaddr_in bound;
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+      if (err != nullptr) {
+        *err = std::string("getsockname: ") + ::strerror(errno);
+      }
+      xclose(fd);
+      return -1;
+    }
+    *port = ntohs(bound.sin_port);
+  }
+  if (!set_nonblocking(fd)) {
+    if (err != nullptr) *err = "fcntl(O_NONBLOCK) failed";
+    xclose(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int tcp_accept(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      if (!set_nonblocking(fd)) {
+        xclose(fd);
+        return static_cast<int>(kErr);
+      }
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return static_cast<int>(kWouldBlock);
+    }
+    return static_cast<int>(kErr);
+  }
+}
+
+int tcp_connect_start(const std::string& host, u16 port, std::string* err) {
+  sockaddr_in addr;
+  if (!fill_addr(host, port, &addr, err)) return -1;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (err != nullptr) *err = std::string("socket: ") + ::strerror(errno);
+    return -1;
+  }
+  if (!set_nonblocking(fd)) {
+    if (err != nullptr) *err = "fcntl(O_NONBLOCK) failed";
+    xclose(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      return fd;  // connected immediately (loopback fast path)
+    }
+    if (errno == EINTR) continue;
+    if (errno == EINPROGRESS) return fd;
+    if (err != nullptr) *err = std::string("connect: ") + ::strerror(errno);
+    xclose(fd);
+    return -1;
+  }
+}
+
+int tcp_connect_poll(int fd) {
+  int soerr = 0;
+  socklen_t len = sizeof(soerr);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) != 0) return -1;
+  if (soerr == 0) {
+    // SO_ERROR == 0 covers both "connected" and "still connecting"; a
+    // zero-byte send disambiguates without touching stream data.
+    const ssize_t r = ::send(fd, "", 0, MSG_NOSIGNAL);
+    if (r == 0) return 1;
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOTCONN ||
+        errno == EINTR) {
+      return 0;
+    }
+    return -1;
+  }
+  if (soerr == EINPROGRESS || soerr == EALREADY || soerr == EINTR) return 0;
+  return -1;
+}
+
+ssize_t sock_send(int fd, const u8* data, usize n) {
+  for (;;) {
+    const ssize_t r = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (r >= 0) return r;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return kWouldBlock;
+    return kErr;
+  }
+}
+
+ssize_t sock_recv(int fd, u8* data, usize n) {
+  for (;;) {
+    const ssize_t r = ::recv(fd, data, n, 0);
+    if (r >= 0) return r;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return kWouldBlock;
+    return kErr;
+  }
+}
+
+void close_with_reset(int fd) {
+  struct linger lg;
+  lg.l_onoff = 1;
+  lg.l_linger = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  xclose(fd);
+}
+
+}  // namespace bigmap::netfleet

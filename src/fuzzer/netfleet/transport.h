@@ -1,0 +1,54 @@
+// Non-blocking TCP plumbing for the federation link.
+//
+// Thin wrappers over the BSD socket calls the PeerLink state machine
+// drives: everything is non-blocking (the link is pumped from a
+// single-threaded coordinator loop and must never stall it), every call
+// retries EINTR via util/syscall.h, and sends use MSG_NOSIGNAL so a peer
+// reset surfaces as EPIPE instead of a process-killing SIGPIPE (the
+// process-wide ignore_sigpipe() is belt-and-braces on top).
+//
+// Return convention for sock_send/sock_recv: >= 0 bytes moved,
+// kWouldBlock when the operation would block, kErr on a real error
+// (connection dead). recv additionally returns 0 for a clean EOF.
+#pragma once
+
+#include <string>
+
+#include "util/types.h"
+
+namespace bigmap::netfleet {
+
+inline constexpr ssize_t kWouldBlock = -2;
+inline constexpr ssize_t kErr = -1;
+
+// Marks `fd` non-blocking. Returns false on fcntl failure.
+bool set_nonblocking(int fd);
+
+// Binds and listens on host:*port (IPv4, SO_REUSEADDR). *port == 0 picks
+// an ephemeral port and writes the chosen one back. Returns the listening
+// fd, or -1 with *err set.
+int tcp_listen(const std::string& host, u16* port, std::string* err);
+
+// Accepts one pending connection from a non-blocking listener. Returns the
+// (non-blocking) connection fd, or kWouldBlock when none is pending, or
+// kErr on a real accept failure.
+int tcp_accept(int listen_fd);
+
+// Starts a non-blocking connect to host:port. Returns the in-progress fd
+// or -1 with *err set on immediate failure.
+int tcp_connect_start(const std::string& host, u16 port, std::string* err);
+
+// Polls an in-progress connect: 1 connected, 0 still in progress, -1
+// failed (caller closes the fd).
+int tcp_connect_poll(int fd);
+
+// Non-blocking send/recv with the convention above.
+ssize_t sock_send(int fd, const u8* data, usize n);
+ssize_t sock_recv(int fd, u8* data, usize n);
+
+// Closes with SO_LINGER{on, 0}: the kernel sends RST instead of FIN, so
+// the peer observes ECONNRESET — the abrupt-reset failure mode the
+// kNetConnReset chaos site models.
+void close_with_reset(int fd);
+
+}  // namespace bigmap::netfleet

@@ -1,0 +1,176 @@
+#include "fuzzer/netfleet/wire.h"
+
+#include "persist/record.h"
+#include "util/hash.h"
+
+namespace bigmap::netfleet {
+namespace {
+
+u32 read_u32_le(const u8* p) noexcept {
+  return static_cast<u32>(p[0]) | (static_cast<u32>(p[1]) << 8) |
+         (static_cast<u32>(p[2]) << 16) | (static_cast<u32>(p[3]) << 24);
+}
+
+void put_u32_le(std::vector<u8>& out, u32 v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
+}
+
+}  // namespace
+
+const char* net_msg_name(NetMsg m) noexcept {
+  switch (m) {
+    case NetMsg::kHello: return "hello";
+    case NetMsg::kEntry: return "entry";
+    case NetMsg::kHeartbeat: return "heartbeat";
+    case NetMsg::kBye: return "bye";
+  }
+  return "unknown";
+}
+
+void append_preamble(std::vector<u8>& out) {
+  put_u32_le(out, persist::kMagic);
+  put_u32_le(out, persist::kFormatVersion);
+}
+
+void append_frame(std::vector<u8>& out, NetMsg type,
+                  std::span<const u8> payload) {
+  const usize header_start = out.size();
+  put_u32_le(out, static_cast<u32>(type));
+  put_u32_le(out, static_cast<u32>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  // Same rule as persist::RecordWriter: CRC over type + len + payload.
+  const u32 crc = crc32(
+      {out.data() + header_start,
+       persist::kRecordHeaderSize + payload.size()});
+  put_u32_le(out, crc);
+}
+
+void append_hello(std::vector<u8>& out, const HelloMsg& hello) {
+  std::vector<u8> payload;
+  persist::PayloadWriter w(payload);
+  w.put_u32(hello.proto_version);
+  w.put_u64(hello.fingerprint);
+  w.put_u64(hello.node_id);
+  w.put_u64(hello.recv_cursor);
+  append_frame(out, NetMsg::kHello, payload);
+}
+
+void append_entry(std::vector<u8>& out, u64 seq, std::span<const u8> data) {
+  std::vector<u8> payload;
+  persist::PayloadWriter w(payload);
+  w.put_u64(seq);
+  w.put_u32(static_cast<u32>(data.size()));
+  w.put_bytes(data);
+  append_frame(out, NetMsg::kEntry, payload);
+}
+
+void append_cursor(std::vector<u8>& out, NetMsg type, u64 cursor) {
+  std::vector<u8> payload;
+  persist::PayloadWriter w(payload);
+  w.put_u64(cursor);
+  append_frame(out, type, payload);
+}
+
+bool parse_hello(std::span<const u8> payload, HelloMsg* out) {
+  persist::PayloadReader r(payload);
+  HelloMsg h;
+  if (!r.get_u32(&h.proto_version) || !r.get_u64(&h.fingerprint) ||
+      !r.get_u64(&h.node_id) || !r.get_u64(&h.recv_cursor) || !r.done()) {
+    return false;
+  }
+  *out = h;
+  return true;
+}
+
+bool parse_entry(std::span<const u8> payload, u64* seq, Input* data) {
+  persist::PayloadReader r(payload);
+  u64 s = 0;
+  u32 n = 0;
+  std::span<const u8> bytes;
+  if (!r.get_u64(&s) || !r.get_u32(&n) || !r.get_bytes(n, &bytes) ||
+      !r.done()) {
+    return false;
+  }
+  *seq = s;
+  data->assign(bytes.begin(), bytes.end());
+  return true;
+}
+
+bool parse_cursor(std::span<const u8> payload, u64* cursor) {
+  persist::PayloadReader r(payload);
+  u64 c = 0;
+  if (!r.get_u64(&c) || !r.done()) return false;
+  *cursor = c;
+  return true;
+}
+
+void FrameDecoder::feed(std::span<const u8> bytes) {
+  if (broken_) return;
+  // Compact the consumed prefix before growing; keeps the buffer bounded
+  // by one partial frame plus whatever arrived in this feed.
+  if (pos_ > 0) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  if (broken_) return std::nullopt;
+  if (!preamble_done_) {
+    if (buf_.size() - pos_ < persist::kFileHeaderSize) return std::nullopt;
+    const u8* p = buf_.data() + pos_;
+    if (read_u32_le(p) != persist::kMagic) {
+      fail("stream preamble: bad magic");
+      return std::nullopt;
+    }
+    if (read_u32_le(p + 4) != persist::kFormatVersion) {
+      fail("stream preamble: unsupported format version");
+      return std::nullopt;
+    }
+    pos_ += persist::kFileHeaderSize;
+    preamble_done_ = true;
+  }
+
+  const usize avail = buf_.size() - pos_;
+  if (avail < persist::kRecordHeaderSize) return std::nullopt;
+  const u8* p = buf_.data() + pos_;
+  const u32 type = read_u32_le(p);
+  const u32 len = read_u32_le(p + 4);
+  if (len > max_payload_) {
+    fail("frame length " + std::to_string(len) + " exceeds limit");
+    return std::nullopt;
+  }
+  const usize total = persist::kRecordHeaderSize + len +
+                      persist::kRecordTrailerSize;
+  if (avail < total) return std::nullopt;
+  const u32 stored_crc =
+      read_u32_le(p + persist::kRecordHeaderSize + len);
+  const u32 actual_crc = crc32({p, persist::kRecordHeaderSize + len});
+  if (stored_crc != actual_crc) {
+    fail("frame crc mismatch");
+    return std::nullopt;
+  }
+  Frame f;
+  f.type = static_cast<NetMsg>(type);
+  f.payload.assign(p + persist::kRecordHeaderSize,
+                   p + persist::kRecordHeaderSize + len);
+  pos_ += total;
+  return f;
+}
+
+void FrameDecoder::reset() {
+  buf_.clear();
+  pos_ = 0;
+  preamble_done_ = false;
+  broken_ = false;
+  error_.clear();
+}
+
+void FrameDecoder::fail(std::string why) {
+  broken_ = true;
+  error_ = std::move(why);
+}
+
+}  // namespace bigmap::netfleet

@@ -16,10 +16,12 @@
 #include <thread>
 #include <unordered_set>
 
+#include "fuzzer/netfleet/nethub.h"
 #include "fuzzer/procfleet/shm.h"
 #include "fuzzer/procfleet/shm_hub.h"
 #include "fuzzer/procfleet/worker.h"
 #include "persist/fleet.h"
+#include "util/syscall.h"
 #include "util/timing.h"
 
 namespace bigmap::procfleet {
@@ -78,6 +80,10 @@ ProcFleetResult run_process_fleet(const Program& program,
                                   const ProcFleetConfig& config) {
   ProcFleetResult out;
   if (config.num_workers == 0) return out;
+  // A federated peer resetting its socket must surface as EPIPE on the
+  // gateway's send path (triaged, retried), never as a SIGPIPE that kills
+  // the whole coordinator. Harmless for local-only fleets.
+  ignore_sigpipe();
   if (config.persist_dir.empty()) {
     throw std::invalid_argument(
         "run_process_fleet: persist_dir is required (crash isolation "
@@ -124,15 +130,49 @@ ProcFleetResult run_process_fleet(const Program& program,
     (void)store.instance_store(id);
   }
 
+  // Federation: the remote peer appears as one extra hub instance (the
+  // gateway) so its imports flow to workers through ordinary fetch_new and
+  // its exports are exactly what the gateway's own fetch_new returns.
+  const bool net_enabled = config.net.enabled;
+  const u32 gateway_id = config.num_workers;
+
   ShmGeometry geom;
-  geom.num_workers = config.num_workers;
+  geom.num_workers = config.num_workers + (net_enabled ? 1 : 0);
   geom.max_records = config.sync_max_records;
   geom.max_input_size = config.sync_max_input_size;
   ShmSegment segment(geom);
   ShmHubOptions hub_opts;
   hub_opts.read_timeout_us = config.sync_read_timeout_us;
-  // Coordinator-side hub view: cursor rewinds and stats only.
+  // Coordinator-side hub view: cursor rewinds, stats, and (when federated)
+  // the gateway's publish/fetch traffic.
   ShmHub hub(&segment, hub_opts, nullptr);
+
+  std::unique_ptr<netfleet::NetHub> nethub;
+  if (net_enabled) {
+    netfleet::NetPeerConfig net_cfg = config.net;
+    if (net_cfg.session_fingerprint == 0) {
+      // Default identity: the fleet fingerprint fields. Both sides of a
+      // correctly-configured federation derive the same value.
+      u64 h = 0xb1674a95ull;
+      for (u64 v : {static_cast<u64>(fp.num_instances), fp.base_seed,
+                    fp.seed_stride, fp.max_execs, static_cast<u64>(fp.scheme),
+                    static_cast<u64>(fp.metric), fp.map_size}) {
+        h = (h ^ v) * 0x100000001b3ull;
+      }
+      net_cfg.session_fingerprint = h;
+    }
+    if (net_cfg.max_entry_size > config.sync_max_input_size) {
+      net_cfg.max_entry_size = config.sync_max_input_size;
+    }
+    auto link = std::make_unique<netfleet::PeerLink>(
+        net_cfg, coord_fault, gateway_id,
+        fleet != nullptr ? &fleet->registry() : nullptr);
+    if (!link->ok()) {
+      throw std::runtime_error("run_process_fleet: " + link->error());
+    }
+    nethub = std::make_unique<netfleet::NetHub>(&hub, gateway_id,
+                                               std::move(link));
+  }
 
   const u64 start_ns = monotonic_ns();
   const u64 stall_ns = static_cast<u64>(config.stall_deadline_ms) * 1000000;
@@ -350,7 +390,7 @@ ProcFleetResult run_process_fleet(const Program& program,
 
     WorkerParams p;
     p.id = s.id;
-    p.expect_workers = config.num_workers;
+    p.expect_workers = geom.num_workers;  // includes the gateway instance
     p.segment = &segment;
     p.program = &program;
     p.seeds = &seeds;
@@ -648,7 +688,7 @@ ProcFleetResult run_process_fleet(const Program& program,
           break;
         case Slot::Phase::kRunning: {
           int status = 0;
-          const pid_t r = ::waitpid(s.pid, &status, WNOHANG);
+          const pid_t r = xwaitpid(s.pid, &status, WNOHANG);
           if (r == s.pid) {
             handle_exit(s, status);
             if (s.phase != Slot::Phase::kFinished) ++unfinished;
@@ -687,8 +727,17 @@ ProcFleetResult run_process_fleet(const Program& program,
       }
     }
 
+    if (nethub) nethub->pump(now);
+
     if (unfinished == 0) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(config.poll_ms));
+  }
+
+  if (nethub) {
+    // Drain the link before tallying: ship the final sync interval's
+    // finds, deliver the backlog, say goodbye.
+    nethub->shutdown(monotonic_ns());
+    out.net = nethub->link_stats();
   }
 
   out.wall_seconds = static_cast<double>(monotonic_ns() - start_ns) * 1e-9;

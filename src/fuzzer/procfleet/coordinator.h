@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "fuzzer/campaign.h"
+#include "fuzzer/netfleet/link.h"
 #include "fuzzer/sync.h"
 #include "persist/checkpoint.h"
 #include "target/program.h"
@@ -113,6 +114,12 @@ struct ProcFleetConfig {
   // Safety net: when > 0 and the fleet exceeds this, every worker gets a
   // cooperative stop, then a SIGKILL grace period.
   double max_wall_seconds = 0.0;
+
+  // Federation (src/fuzzer/netfleet): when net.enabled, the coordinator
+  // reserves one extra hub instance as the remote peer's gateway identity
+  // and pumps a PeerLink from its event loop — workers never know the
+  // difference; remote finds arrive through their ordinary fetch_new.
+  netfleet::NetPeerConfig net;
 };
 
 enum class WorkerState : u8 {
@@ -162,6 +169,9 @@ struct ProcFleetResult {
   SyncHubStats sync;
   persist::PersistStats persist;
   bool resumed = false;
+
+  // Federation link accounting (zeroed when net.enabled was false).
+  netfleet::LinkStats net;
 
   // Final fleet-level telemetry snapshot (zeroed without telemetry).
   telemetry::StatsSnapshot fleet_total;

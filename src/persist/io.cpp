@@ -1,16 +1,48 @@
 #include "persist/io.h"
 
-#include <cstdio>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/stat.h>
+
 #include <filesystem>
-#include <fstream>
+
+#include "util/syscall.h"
 
 namespace bigmap::persist {
 namespace {
 
-bool write_span(std::ofstream& f, std::span<const u8> bytes) {
-  f.write(reinterpret_cast<const char*>(bytes.data()),
-          static_cast<std::streamsize>(bytes.size()));
-  return static_cast<bool>(f);
+// fd-based file I/O through util/syscall.h: chaos runs are signal-heavy
+// (coordinator SIGKILLs, drill kills, sanitizer handlers), and an
+// fstream's failbit cannot distinguish a routine EINTR from real damage.
+// The raw descriptor path retries EINTR at the lowest level and reports
+// the actual errno.
+
+struct Fd {
+  int fd = -1;
+  explicit Fd(int f) : fd(f) {}
+  ~Fd() {
+    if (fd >= 0) xclose(fd);
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+};
+
+bool write_all_to(const std::string& path, int flags,
+                  std::span<const u8> bytes, std::string* io_err) {
+  Fd f(::open(path.c_str(), flags, 0644));
+  if (f.fd < 0) {
+    if (io_err != nullptr) {
+      *io_err = "open " + path + ": " + ::strerror(errno);
+    }
+    return false;
+  }
+  if (write_full(f.fd, bytes.data(), bytes.size()) < 0) {
+    if (io_err != nullptr) {
+      *io_err = "write " + path + ": " + ::strerror(errno);
+    }
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -26,14 +58,12 @@ bool write_file_atomic(const std::string& path, std::span<const u8> bytes,
   const bool short_write = fault.fire(FaultSite::kShortWrite);
   const std::span<const u8> to_write =
       short_write ? bytes.first(bytes.size() / 2) : bytes;
-  {
-    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
-    if (!f || !write_span(f, to_write)) {
-      if (err != nullptr) *err = "write " + path + ".tmp failed";
-      std::error_code ec;
-      std::filesystem::remove(tmp, ec);
-      return false;
-    }
+  std::string io_err;
+  if (!write_all_to(tmp, O_WRONLY | O_CREAT | O_TRUNC, to_write, &io_err)) {
+    if (err != nullptr) *err = io_err;
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    return false;
   }
 
   if (short_write) {
@@ -77,9 +107,10 @@ bool append_file(const std::string& path, std::span<const u8> bytes,
   const std::span<const u8> to_write =
       short_write ? bytes.first(bytes.size() / 2) : bytes;
 
-  std::ofstream f(path, std::ios::binary | std::ios::app);
-  if (!f || !write_span(f, to_write)) {
-    if (err != nullptr) *err = "append " + path + " failed";
+  std::string io_err;
+  if (!write_all_to(path, O_WRONLY | O_CREAT | O_APPEND, to_write,
+                    &io_err)) {
+    if (err != nullptr) *err = io_err;
     return false;
   }
   if (short_write) {
@@ -91,18 +122,34 @@ bool append_file(const std::string& path, std::span<const u8> bytes,
 
 bool read_file(const std::string& path, std::vector<u8>* out,
                const FaultCtx& fault, std::string* err) {
-  std::ifstream f(path, std::ios::binary | std::ios::ate);
-  if (!f) {
+  Fd f(::open(path.c_str(), O_RDONLY));
+  if (f.fd < 0) {
     if (err != nullptr) *err = "read " + path + ": cannot open";
     return false;
   }
-  const std::streamsize size = f.tellg();
-  f.seekg(0);
-  out->resize(static_cast<usize>(size));
-  if (size > 0 &&
-      !f.read(reinterpret_cast<char*>(out->data()), size)) {
-    if (err != nullptr) *err = "read " + path + " failed";
+  struct stat st;
+  if (::fstat(f.fd, &st) != 0) {
+    if (err != nullptr) {
+      *err = "read " + path + ": " + ::strerror(errno);
+    }
     return false;
+  }
+  out->resize(static_cast<usize>(st.st_size));
+  if (!out->empty()) {
+    const ssize_t r = read_full(f.fd, out->data(), out->size());
+    if (r < 0) {
+      if (err != nullptr) {
+        *err = "read " + path + ": " + ::strerror(errno);
+      }
+      return false;
+    }
+    // A file shrinking between fstat and read would be a caller bug (these
+    // files are immutable once renamed into place); surface it as damage
+    // rather than returning silently short data.
+    if (static_cast<usize>(r) != out->size()) {
+      if (err != nullptr) *err = "read " + path + ": truncated mid-read";
+      return false;
+    }
   }
   if (!out->empty() && fault.fire(FaultSite::kCorruptRead)) {
     // Deterministic single-byte flip in the middle of the file: past the

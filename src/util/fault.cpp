@@ -27,6 +27,11 @@ const char* fault_site_name(FaultSite site) noexcept {
     case FaultSite::kProcStall: return "proc-stall";
     case FaultSite::kProcExitMidPublish: return "proc-exit-mid-publish";
     case FaultSite::kMmapFail: return "mmap-fail";
+    case FaultSite::kNetDrop: return "net-drop";
+    case FaultSite::kNetDelay: return "net-delay";
+    case FaultSite::kNetShortWrite: return "net-short-write";
+    case FaultSite::kNetConnReset: return "net-conn-reset";
+    case FaultSite::kNetPartition: return "net-partition";
   }
   return "unknown";
 }

@@ -49,8 +49,16 @@ enum class FaultSite : u8 {
   kProcStall,         // the worker SIGSTOPs itself (scheduler wedge / swap)
   kProcExitMidPublish,  // the worker dies inside a shm publish (torn record)
   kMmapFail,          // attaching the shared-memory segment fails
+  // Network chaos sites (consulted by netfleet's PeerLink): each models one
+  // way a socket between federated coordinators fails *partially* — the
+  // first component in the system that can degrade rather than die.
+  kNetDrop,        // one outgoing frame vanishes (lossy path / full queue)
+  kNetDelay,       // one outgoing frame is delayed (congestion / bufferbloat)
+  kNetShortWrite,  // the connection tears mid-frame (peer sees a torn record)
+  kNetConnReset,   // the connection is reset abruptly (RST / peer crash)
+  kNetPartition,   // the link is cut for a while (switch died / net split)
 };
-inline constexpr usize kNumFaultSites = 13;
+inline constexpr usize kNumFaultSites = 18;
 
 const char* fault_site_name(FaultSite site) noexcept;
 

@@ -1,0 +1,101 @@
+// EINTR-safe raw syscall wrappers.
+//
+// Chaos runs are signal-heavy by design: the coordinator SIGKILLs stalled
+// workers, drills SIGKILL the coordinator itself, and sanitizer runtimes
+// install their own handlers. Any raw ::read/::write/::waitpid in that
+// environment can return -1/EINTR without anything being wrong, and a call
+// site that treats that as a real fault misreads a routine interruption as
+// an I/O error or a lost child. Every raw syscall the fleet runtimes issue
+// goes through these wrappers instead, so EINTR is retried at the lowest
+// level and never escapes as a spurious failure.
+//
+// Also home to process-wide signal hygiene: ignore_sigpipe() turns a write
+// to a reset network peer into an EPIPE errno (triaged and retried by the
+// transport layer) instead of a process-killing SIGPIPE.
+#pragma once
+
+#include <errno.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "util/types.h"
+
+namespace bigmap {
+
+// waitpid that retries EINTR. All other outcomes (including 0 under
+// WNOHANG and -1/ECHILD) pass through untouched.
+inline pid_t xwaitpid(pid_t pid, int* status, int options) noexcept {
+  for (;;) {
+    const pid_t r = ::waitpid(pid, status, options);
+    if (r >= 0 || errno != EINTR) return r;
+  }
+}
+
+// read(2) that retries EINTR; may still return a short count (stream
+// semantics) or -1 with a real errno.
+inline ssize_t xread(int fd, void* buf, usize n) noexcept {
+  for (;;) {
+    const ssize_t r = ::read(fd, buf, n);
+    if (r >= 0 || errno != EINTR) return r;
+  }
+}
+
+// write(2) that retries EINTR; may still return a short count.
+inline ssize_t xwrite(int fd, const void* buf, usize n) noexcept {
+  for (;;) {
+    const ssize_t r = ::write(fd, buf, n);
+    if (r >= 0 || errno != EINTR) return r;
+  }
+}
+
+// close(2) retrying EINTR. POSIX leaves the fd state unspecified after
+// EINTR; on Linux the descriptor is already gone, so a retry can only hit
+// EBADF, which is ignored — either way the fd is released exactly once.
+inline int xclose(int fd) noexcept {
+  const int r = ::close(fd);
+  if (r < 0 && errno == EINTR) return 0;
+  return r;
+}
+
+// Reads exactly `n` bytes unless EOF or a real error intervenes. Returns
+// the number of bytes read (== n on success; < n means EOF; -1 on error).
+inline ssize_t read_full(int fd, void* buf, usize n) noexcept {
+  u8* p = static_cast<u8*>(buf);
+  usize done = 0;
+  while (done < n) {
+    const ssize_t r = xread(fd, p + done, n - done);
+    if (r < 0) return -1;
+    if (r == 0) break;  // EOF
+    done += static_cast<usize>(r);
+  }
+  return static_cast<ssize_t>(done);
+}
+
+// Writes exactly `n` bytes or fails (-1 with errno from the failing call).
+// Short kernel writes are continued, EINTR is retried.
+inline ssize_t write_full(int fd, const void* buf, usize n) noexcept {
+  const u8* p = static_cast<const u8*>(buf);
+  usize done = 0;
+  while (done < n) {
+    const ssize_t r = xwrite(fd, p + done, n - done);
+    if (r < 0) return -1;
+    done += static_cast<usize>(r);
+  }
+  return static_cast<ssize_t>(done);
+}
+
+// Ignores SIGPIPE process-wide (idempotent). A peer that resets its end of
+// a socket then makes the next send fail with EPIPE — an error the
+// transport triages and recovers from — instead of killing the process
+// with the default SIGPIPE disposition. Coordinators and net drills call
+// this once at startup.
+inline void ignore_sigpipe() noexcept {
+  struct sigaction sa {};
+  sa.sa_handler = SIG_IGN;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGPIPE, &sa, nullptr);
+}
+
+}  // namespace bigmap

@@ -1,0 +1,440 @@
+// Tests for the federation tier: wire codec, PeerLink session machine
+// (novelty filter, session resume, go-back-N recovery, fault injection,
+// fingerprint refusal), the NetHub gateway, and the half-report
+// serialization the federated-pair harness speaks over its child pipes.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fuzzer/netfleet/federate.h"
+#include "fuzzer/netfleet/link.h"
+#include "fuzzer/netfleet/nethub.h"
+#include "fuzzer/netfleet/wire.h"
+#include "fuzzer/sync.h"
+#include "util/fault.h"
+
+namespace bigmap::netfleet {
+namespace {
+
+constexpr u64 kMs = 1'000'000ull;
+
+// ---------------------------------------------------------------- wire --
+
+std::vector<u8> stream_with(const std::vector<Frame>& frames) {
+  std::vector<u8> bytes;
+  append_preamble(bytes);
+  for (const Frame& f : frames) append_frame(bytes, f.type, f.payload);
+  return bytes;
+}
+
+TEST(WireTest, RoundTripsEveryMessageType) {
+  std::vector<u8> bytes;
+  append_preamble(bytes);
+  HelloMsg hello;
+  hello.fingerprint = 0xDEADBEEFu;
+  hello.node_id = 7;
+  hello.recv_cursor = 42;
+  append_hello(bytes, hello);
+  append_entry(bytes, 9, Input{1, 2, 3});
+  append_cursor(bytes, NetMsg::kHeartbeat, 13);
+  append_cursor(bytes, NetMsg::kBye, 14);
+
+  FrameDecoder dec;
+  dec.feed(bytes);
+
+  auto f1 = dec.next();
+  ASSERT_TRUE(f1.has_value());
+  EXPECT_EQ(f1->type, NetMsg::kHello);
+  HelloMsg h;
+  ASSERT_TRUE(parse_hello(f1->payload, &h));
+  EXPECT_EQ(h.proto_version, kProtocolVersion);
+  EXPECT_EQ(h.fingerprint, 0xDEADBEEFu);
+  EXPECT_EQ(h.node_id, 7u);
+  EXPECT_EQ(h.recv_cursor, 42u);
+
+  auto f2 = dec.next();
+  ASSERT_TRUE(f2.has_value());
+  EXPECT_EQ(f2->type, NetMsg::kEntry);
+  u64 seq = 0;
+  Input data;
+  ASSERT_TRUE(parse_entry(f2->payload, &seq, &data));
+  EXPECT_EQ(seq, 9u);
+  EXPECT_EQ(data, (Input{1, 2, 3}));
+
+  auto f3 = dec.next();
+  ASSERT_TRUE(f3.has_value());
+  u64 cursor = 0;
+  ASSERT_TRUE(parse_cursor(f3->payload, &cursor));
+  EXPECT_EQ(cursor, 13u);
+
+  auto f4 = dec.next();
+  ASSERT_TRUE(f4.has_value());
+  EXPECT_EQ(f4->type, NetMsg::kBye);
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_FALSE(dec.broken());
+}
+
+TEST(WireTest, DecoderHandlesArbitrarySplitPoints) {
+  std::vector<u8> bytes = stream_with({{NetMsg::kEntry, {}}});
+  append_entry(bytes, 1, Input{7, 8});
+
+  // Feed one byte at a time; frames must pop out exactly when complete.
+  FrameDecoder dec;
+  usize frames = 0;
+  for (u8 b : bytes) {
+    dec.feed({&b, 1});
+    while (dec.next().has_value()) ++frames;
+  }
+  EXPECT_EQ(frames, 2u);
+  EXPECT_FALSE(dec.broken());
+}
+
+TEST(WireTest, CorruptedFrameBreaksStreamStickily) {
+  std::vector<u8> bytes;
+  append_preamble(bytes);
+  append_entry(bytes, 0, Input{1, 2, 3, 4});
+  bytes[bytes.size() - 6] ^= 0x40;  // flip a payload bit under the CRC
+
+  FrameDecoder dec;
+  dec.feed(bytes);
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_TRUE(dec.broken());
+  EXPECT_NE(dec.error().find("crc"), std::string::npos);
+
+  // Sticky: more (valid) bytes cannot resurrect a torn stream.
+  std::vector<u8> more;
+  append_entry(more, 1, Input{5});
+  dec.feed(more);
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_TRUE(dec.broken());
+}
+
+TEST(WireTest, BadPreambleAndOversizeLengthAreRejected) {
+  FrameDecoder dec;
+  std::vector<u8> junk(8, 0x5A);
+  dec.feed(junk);
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_TRUE(dec.broken());
+
+  FrameDecoder small(/*max_payload=*/8);
+  std::vector<u8> bytes;
+  append_preamble(bytes);
+  append_entry(bytes, 0, Input(64, 1));  // payload > 8
+  small.feed(bytes);
+  EXPECT_FALSE(small.next().has_value());
+  EXPECT_TRUE(small.broken());
+}
+
+// ---------------------------------------------------------------- link --
+
+struct LinkPair {
+  std::unique_ptr<PeerLink> a;  // listener
+  std::unique_ptr<PeerLink> b;  // connector
+  u64 now = 1 * kMs;
+
+  explicit LinkPair(FaultInjector* fault_a = nullptr,
+                    FaultInjector* fault_b = nullptr, u64 fp = 99,
+                    u64 fp_b = 0) {
+    NetPeerConfig ca;
+    ca.enabled = true;
+    ca.listener = true;
+    ca.port = 0;  // ephemeral
+    ca.session_fingerprint = fp;
+    ca.heartbeat_ms = 5;
+    ca.peer_timeout_ms = 500;
+    ca.reconnect_initial_ms = 1;
+    ca.reconnect_cap_ms = 5;
+    a = std::make_unique<PeerLink>(ca, fault_a, 0, nullptr);
+    EXPECT_TRUE(a->ok()) << a->error();
+
+    NetPeerConfig cb = ca;
+    cb.listener = false;
+    cb.port = a->listen_port();
+    cb.session_fingerprint = fp_b != 0 ? fp_b : fp;
+    b = std::make_unique<PeerLink>(cb, fault_b, 0, nullptr);
+    EXPECT_TRUE(b->ok()) << b->error();
+  }
+
+  // Pumps both sides `rounds` times, advancing fake time by step_ms.
+  void pump(int rounds, u64 step_ms = 6) {
+    for (int i = 0; i < rounds; ++i) {
+      a->pump(now);
+      b->pump(now);
+      now += step_ms * kMs;
+    }
+  }
+};
+
+TEST(PeerLinkTest, ExchangesEntriesBothWays) {
+  LinkPair p;
+  p.pump(4);
+  ASSERT_TRUE(p.a->connected());
+  ASSERT_TRUE(p.b->connected());
+
+  EXPECT_TRUE(p.a->offer(Input{1, 2}));
+  EXPECT_TRUE(p.b->offer(Input{3, 4}));
+  p.pump(4);
+
+  auto at_b = p.b->take_received();
+  ASSERT_EQ(at_b.size(), 1u);
+  EXPECT_EQ(at_b[0], (Input{1, 2}));
+  auto at_a = p.a->take_received();
+  ASSERT_EQ(at_a.size(), 1u);
+  EXPECT_EQ(at_a[0], (Input{3, 4}));
+}
+
+TEST(PeerLinkTest, NoveltyFilterSuppressesKnownContent) {
+  LinkPair p;
+  p.pump(4);
+
+  EXPECT_TRUE(p.a->offer(Input{9, 9}));
+  EXPECT_FALSE(p.a->offer(Input{9, 9}));  // sent before: filtered
+  p.pump(4);
+  ASSERT_EQ(p.b->take_received().size(), 1u);
+
+  // Content that arrived FROM the peer is also known to it — offering it
+  // back is filtered, which is what kills the echo loop at the gateway.
+  EXPECT_FALSE(p.b->offer(Input{9, 9}));
+  EXPECT_EQ(p.a->stats().novelty_filtered, 1u);
+  EXPECT_EQ(p.b->stats().novelty_filtered, 1u);
+}
+
+TEST(PeerLinkTest, DroppedFramesAreRecoveredByRewind) {
+  // Drop the first two entry frames A sends; heartbeat-driven go-back-N
+  // must redeliver them in order with no duplicates accepted.
+  FaultPlan plan;
+  plan.triggers.push_back({FaultSite::kNetDrop, 0, 0});
+  plan.triggers.push_back({FaultSite::kNetDrop, 0, 1});
+  FaultInjector inj(5, plan);
+  LinkPair p(&inj, nullptr);
+  p.pump(4);
+
+  EXPECT_TRUE(p.a->offer(Input{1}));
+  EXPECT_TRUE(p.a->offer(Input{2}));
+  EXPECT_TRUE(p.a->offer(Input{3}));
+  p.pump(20);
+
+  auto got = p.b->take_received();
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], (Input{1}));
+  EXPECT_EQ(got[1], (Input{2}));
+  EXPECT_EQ(got[2], (Input{3}));
+  EXPECT_EQ(p.a->stats().injected_drops, 2u);
+  EXPECT_GE(p.a->stats().rewinds, 1u);
+  EXPECT_EQ(p.b->stats().records_received, 3u);
+}
+
+TEST(PeerLinkTest, ConnResetHealsWithSessionResume) {
+  FaultPlan plan;
+  plan.triggers.push_back({FaultSite::kNetConnReset, 0, 6});
+  FaultInjector inj(6, plan);
+  LinkPair p(&inj, nullptr);
+  p.pump(4);
+
+  for (u8 i = 0; i < 20; ++i) {
+    EXPECT_TRUE(p.a->offer(Input{i, 0x55}));
+    p.pump(2);
+  }
+  p.pump(20);
+
+  std::vector<Input> got = p.b->take_received();
+  ASSERT_EQ(got.size(), 20u);
+  for (u8 i = 0; i < 20; ++i) EXPECT_EQ(got[i], (Input{i, 0x55}));
+  EXPECT_EQ(p.a->stats().injected_resets, 1u);
+  // Both sides survived at least one reconnect.
+  EXPECT_GE(p.a->stats().connects + p.b->stats().connects, 3u);
+}
+
+TEST(PeerLinkTest, ShortWriteTearsFrameButNeverDuplicatesAccepts) {
+  FaultPlan plan;
+  plan.triggers.push_back({FaultSite::kNetShortWrite, 0, 1});
+  FaultInjector inj(7, plan);
+  LinkPair p(&inj, nullptr);
+  p.pump(4);
+
+  for (u8 i = 0; i < 10; ++i) EXPECT_TRUE(p.a->offer(Input{i, 0xCC}));
+  p.pump(30);
+
+  std::vector<Input> got = p.b->take_received();
+  ASSERT_EQ(got.size(), 10u);
+  for (u8 i = 0; i < 10; ++i) EXPECT_EQ(got[i], (Input{i, 0xCC}));
+  EXPECT_EQ(p.a->stats().injected_short_writes, 1u);
+  // Exactly-once: every accepted sequence is new; replays were dropped as
+  // duplicates, not re-accepted.
+  EXPECT_EQ(p.b->stats().records_received, 10u);
+}
+
+TEST(PeerLinkTest, PartitionPausesThenReconciles) {
+  FaultPlan plan;
+  plan.triggers.push_back({FaultSite::kNetPartition, 0, 4});
+  FaultInjector inj(8, plan);
+  LinkPair p(&inj, nullptr);
+  p.a->offer(Input{1});
+  p.pump(8);  // connect, deliver, then hit the partition trigger
+  ASSERT_EQ(p.a->stats().injected_partitions, 1u);
+  EXPECT_TRUE(p.a->stats().partitioned);
+
+  // During the cut, offers keep accumulating locally (graceful
+  // degradation: fuzzing continues on local sync).
+  for (u8 i = 0; i < 5; ++i) EXPECT_TRUE(p.a->offer(Input{i, 0x77}));
+  p.pump(10);
+
+  // Past partition_ms (default 500ms; pump steps 6ms), the link heals and
+  // the backlog replays through the resume path.
+  p.pump(100);
+  std::vector<Input> got = p.b->take_received();
+  EXPECT_EQ(got.size(), 6u);
+  EXPECT_FALSE(p.a->stats().partitioned);
+  EXPECT_EQ(p.a->stats().partition_ms_total, 500u);
+}
+
+TEST(PeerLinkTest, FingerprintMismatchIsFatalNotRetried) {
+  LinkPair p(nullptr, nullptr, /*fp=*/111, /*fp_b=*/222);
+  p.pump(10);
+  // At least one side must have refused and latched the failure.
+  const bool a_dead = !p.a->ok() || p.a->stats().gave_up;
+  const bool b_dead = !p.b->ok() || p.b->stats().gave_up;
+  EXPECT_TRUE(a_dead || b_dead);
+  EXPECT_GE(p.a->stats().hello_rejected + p.b->stats().hello_rejected, 1u);
+}
+
+TEST(PeerLinkTest, PeerSilenceTriggersTimeoutAndReconnectBudget) {
+  NetPeerConfig cb;
+  cb.enabled = true;
+  cb.listener = false;
+  cb.host = "127.0.0.1";
+  cb.port = 1;  // nothing listens on port 1
+  cb.session_fingerprint = 1;
+  cb.reconnect_initial_ms = 1;
+  cb.reconnect_cap_ms = 2;
+  cb.max_reconnects = 3;
+  PeerLink lone(cb, nullptr, 0, nullptr);
+  ASSERT_TRUE(lone.ok());
+  u64 now = 1 * kMs;
+  for (int i = 0; i < 50; ++i) {
+    lone.pump(now);
+    now += 5 * kMs;
+  }
+  // The retry budget is exhausted and the link degrades gracefully
+  // (dead, not crashed, offers still absorbed locally).
+  EXPECT_TRUE(lone.stats().gave_up);
+  EXPECT_TRUE(lone.offer(Input{1}));
+  EXPECT_LE(lone.stats().connects, 3u);
+}
+
+TEST(PeerLinkTest, OversizeEntriesAreRejectedAtOffer) {
+  NetPeerConfig ca;
+  ca.enabled = true;
+  ca.listener = true;
+  ca.port = 0;
+  ca.max_entry_size = 4;
+  PeerLink link(ca, nullptr, 0, nullptr);
+  ASSERT_TRUE(link.ok());
+  EXPECT_TRUE(link.offer(Input{1, 2, 3, 4}));
+  EXPECT_FALSE(link.offer(Input{1, 2, 3, 4, 5}));
+  EXPECT_EQ(link.stats().entries_offered, 1u);
+}
+
+// -------------------------------------------------------------- nethub --
+
+TEST(NetHubTest, GatewayBridgesTwoLocalHubsWithoutEcho) {
+  // Two 1-worker fleets, each with a gateway instance (id 1), federated.
+  SyncHub hub_a(2);
+  SyncHub hub_b(2);
+
+  NetPeerConfig ca;
+  ca.enabled = true;
+  ca.listener = true;
+  ca.port = 0;
+  ca.session_fingerprint = 5;
+  ca.heartbeat_ms = 5;
+  auto link_a = std::make_unique<PeerLink>(ca, nullptr, 1, nullptr);
+  ASSERT_TRUE(link_a->ok()) << link_a->error();
+  NetPeerConfig cb = ca;
+  cb.listener = false;
+  cb.port = link_a->listen_port();
+  auto link_b = std::make_unique<PeerLink>(cb, nullptr, 1, nullptr);
+  ASSERT_TRUE(link_b->ok()) << link_b->error();
+
+  NetHub net_a(&hub_a, 1, std::move(link_a));
+  NetHub net_b(&hub_b, 1, std::move(link_b));
+
+  // Worker 0 on side A finds something.
+  EXPECT_TRUE(net_a.publish(0, Input{0xAB, 0xCD}));
+  u64 now = 1 * kMs;
+  for (int i = 0; i < 8; ++i) {
+    net_a.pump(now);
+    net_b.pump(now);
+    now += 6 * kMs;
+  }
+
+  // Side B's worker imports it through its ordinary fetch.
+  auto got = net_b.fetch_new(0);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], (Input{0xAB, 0xCD}));
+
+  // No echo: nothing ever comes back to side A.
+  for (int i = 0; i < 8; ++i) {
+    net_a.pump(now);
+    net_b.pump(now);
+    now += 6 * kMs;
+  }
+  EXPECT_TRUE(net_a.fetch_new(0).empty());
+  EXPECT_EQ(net_a.link_stats().records_received, 0u);
+  EXPECT_EQ(net_b.link_stats().records_sent, 0u);
+
+  net_a.shutdown(now);
+  net_b.shutdown(now);
+}
+
+// ------------------------------------------------------------ federate --
+
+TEST(FederateTest, HalfReportRoundTrips) {
+  procfleet::ProcFleetResult r;
+  r.found_bug_ids = {3, 1, 7};
+  r.found_stack_hashes = {0xAAAA, 0xBBBB};
+  r.total_execs = 12345;
+  r.total_interesting = 67;
+  r.total_crashes = 8;
+  r.net.records_sent = 11;
+  r.net.records_received = 22;
+  r.net.novelty_filtered = 33;
+  r.net.reconnects = 2;
+  r.net.partition_ms_total = 500;
+  r.net.lost_to_eviction = 1;
+
+  HalfReport h;
+  ASSERT_TRUE(decode_half_report(encode_half_report(r, true, ""), &h));
+  EXPECT_TRUE(h.ok);
+  EXPECT_EQ(h.bug_ids, (std::vector<u32>{3, 1, 7}));
+  EXPECT_EQ(h.stack_hashes, (std::vector<u64>{0xAAAA, 0xBBBB}));
+  EXPECT_EQ(h.total_execs, 12345u);
+  EXPECT_EQ(h.total_interesting, 67u);
+  EXPECT_EQ(h.total_crashes, 8u);
+  EXPECT_FALSE(h.all_completed);  // empty worker list
+  EXPECT_EQ(h.net.records_sent, 11u);
+  EXPECT_EQ(h.net.records_received, 22u);
+  EXPECT_EQ(h.net.novelty_filtered, 33u);
+  EXPECT_EQ(h.net.reconnects, 2u);
+  EXPECT_EQ(h.net.partition_ms_total, 500u);
+  EXPECT_EQ(h.net.lost_to_eviction, 1u);
+}
+
+TEST(FederateTest, FailureReportCarriesError) {
+  HalfReport h;
+  ASSERT_TRUE(decode_half_report(
+      encode_half_report(procfleet::ProcFleetResult{}, false,
+                         "segment attach refused"),
+      &h));
+  EXPECT_FALSE(h.ok);
+  EXPECT_EQ(h.error, "segment attach refused");
+
+  HalfReport none;
+  EXPECT_FALSE(decode_half_report("", &none));
+  EXPECT_FALSE(decode_half_report("garbage text\n", &none));
+}
+
+}  // namespace
+}  // namespace bigmap::netfleet

@@ -2,6 +2,9 @@
 #include "fuzzer/sync.h"
 
 #include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <stdexcept>
 #include <thread>
@@ -11,6 +14,7 @@
 #include "fuzzer/procfleet/shm.h"
 #include "fuzzer/procfleet/shm_hub.h"
 #include "target/generator.h"
+#include "util/syscall.h"
 
 namespace bigmap {
 namespace {
@@ -191,6 +195,92 @@ TEST(ShmHubTest, DeadPublisherCannotWedgeReaders) {
   // The cursor moved past the torn slot: the next fetch re-waits nothing.
   EXPECT_TRUE(hub.fetch_new(1).empty());
   EXPECT_EQ(hub.stats().reader_timeouts, 1u);
+}
+
+// The real thing, not the in-process publish_partial() simulation: a
+// *forked* publisher process is SIGKILLed between reserving a ring slot
+// and committing it. The parent's reader must wait out the bounded
+// timeout, account exactly one reader_timeout, skip the dead record, and
+// still deliver every record committed before and after the death.
+TEST(ShmHubTest, ForkedPublisherKilledMidPublishIsSkipped) {
+  procfleet::ShmGeometry geom;
+  geom.num_workers = 2;
+  geom.max_records = 8;
+  geom.max_input_size = 64;
+  procfleet::ShmSegment seg(geom);
+  procfleet::ShmHubOptions opts;
+  opts.read_timeout_us = 1000;
+  opts.read_poll_us = 50;
+  procfleet::ShmHub hub(&seg, opts, nullptr);
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: its own hub object over the inherited MAP_SHARED segment.
+    procfleet::ShmHub child_hub(&seg, opts, nullptr);
+    child_hub.publish(0, Input{1});
+    child_hub.publish_partial(0, Input(16, 0xEE));
+    ::raise(SIGKILL);  // die inside the publish window
+    ::_exit(99);       // unreachable
+  }
+  int status = 0;
+  ASSERT_EQ(xwaitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+  // The fleet keeps publishing around the corpse.
+  EXPECT_TRUE(hub.publish(0, Input{2}));
+
+  auto got = hub.fetch_new(1);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], (Input{1}));
+  EXPECT_EQ(got[1], (Input{2}));
+
+  const SyncHubStats s = hub.stats();
+  EXPECT_EQ(s.reader_timeouts, 1u);
+  EXPECT_EQ(s.fetched, 2u);
+  // The cursor moved past the dead slot: no re-wait on the next fetch.
+  EXPECT_TRUE(hub.fetch_new(1).empty());
+  EXPECT_EQ(hub.stats().reader_timeouts, 1u);
+}
+
+// Several torn slots in one retained window: each is waited out and
+// accounted exactly once, committed records interleaved between them all
+// arrive, and a second reader pays its own (equally bounded) waits —
+// reader_timeouts accounts per skip, not per slot globally.
+TEST(ShmHubTest, MultipleTornSlotsEachAccountedOnce) {
+  procfleet::ShmGeometry geom;
+  geom.num_workers = 3;
+  geom.max_records = 16;
+  geom.max_input_size = 64;
+  procfleet::ShmSegment seg(geom);
+  procfleet::ShmHubOptions opts;
+  opts.read_timeout_us = 500;
+  opts.read_poll_us = 50;
+  procfleet::ShmHub hub(&seg, opts, nullptr);
+
+  EXPECT_TRUE(hub.publish(0, Input{1}));
+  hub.publish_partial(0, Input(8, 0xAA));
+  EXPECT_TRUE(hub.publish(0, Input{2}));
+  hub.publish_partial(0, Input(8, 0xBB));
+  EXPECT_TRUE(hub.publish(0, Input{3}));
+
+  auto got = hub.fetch_new(1);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], (Input{1}));
+  EXPECT_EQ(got[1], (Input{2}));
+  EXPECT_EQ(got[2], (Input{3}));
+  EXPECT_EQ(hub.stats().reader_timeouts, 2u);
+
+  // A second reader crossing the same window pays its own two skips.
+  auto got2 = hub.fetch_new(2);
+  ASSERT_EQ(got2.size(), 3u);
+  EXPECT_EQ(hub.stats().reader_timeouts, 4u);
+
+  // Nobody re-waits on a slot already skipped.
+  EXPECT_TRUE(hub.fetch_new(1).empty());
+  EXPECT_TRUE(hub.fetch_new(2).empty());
+  EXPECT_EQ(hub.stats().reader_timeouts, 4u);
 }
 
 // The in-process hub can never time out (publishes happen under a mutex),
