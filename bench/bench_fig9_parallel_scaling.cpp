@@ -361,6 +361,160 @@ void run_federated_section() {
       "topologies deliver exactly 4 x per-worker execs.\n");
 }
 
+void run_star_section() {
+  std::printf(
+      "\n(f) Three-node star federation (hub + 2 spokes, measured): "
+      "virgin-map novelty oracle vs content-hash-only filtering:\n");
+
+  GeneratorParams gp;
+  gp.seed = 33;
+  gp.live_blocks = 200;
+  gp.num_bugs = 3;
+  gp.bug_min_depth = 1;
+  gp.bug_max_depth = 1;
+  auto target = generate_target(gp);
+  auto seeds = make_seed_corpus(target, 4, 1);
+
+  const u64 per_worker =
+      bench::scaled_execs(10000) < 2000 ? 2000 : bench::scaled_execs(10000);
+  const std::string root =
+      std::filesystem::temp_directory_path() /
+      ("bigmap_fig9_star_" + std::to_string(::getpid()));
+
+  const auto make_node = [&](const std::string& dir, u32 node_id, u64 seed,
+                             bool oracle) {
+    procfleet::ProcFleetConfig fc;
+    fc.num_workers = 2;
+    fc.base.scheme = MapScheme::kTwoLevel;
+    fc.base.map.map_size = 1u << 16;
+    fc.base.map.huge_pages = false;
+    fc.base.max_execs = per_worker;
+    fc.base.seed = seed;
+    fc.base.sync_interval = 1024;
+    fc.base.deterministic_timing = true;
+    fc.poll_ms = 2;
+    fc.stall_deadline_ms = 5000;
+    fc.checkpoint_interval = 512;
+    fc.persist_dir = dir;
+    fc.quarantine_deaths = 0;
+    fc.net.node_id = node_id;
+    fc.net_virgin_oracle = oracle;
+    return fc;
+  };
+
+  // Reference: one fleet of the federation's total width (6 workers) over
+  // the same seed ladder — the drill-pinned union/budget baseline.
+  std::filesystem::remove_all(root);
+  auto single_cfg = make_node(root + "/single", 0, 501, false);
+  single_cfg.num_workers = 6;
+  const u64 t0 = monotonic_ns();
+  const auto single =
+      procfleet::run_process_fleet(target.program, seeds, single_cfg);
+  const double single_secs =
+      static_cast<double>(monotonic_ns() - t0) / 1e9;
+
+  const auto run_star = [&](const char* tag, bool oracle,
+                            double* secs) -> netfleet::StarResult {
+    std::vector<procfleet::ProcFleetConfig> nodes;
+    nodes.push_back(
+        make_node(root + "/" + tag + "_hub", 1, 501, oracle));
+    nodes.push_back(make_node(root + "/" + tag + "_s1", 2, 503, oracle));
+    nodes.push_back(make_node(root + "/" + tag + "_s2", 3, 505, oracle));
+    const u64 start = monotonic_ns();
+    auto r = netfleet::run_federated_star(target.program, seeds, nodes);
+    *secs = static_cast<double>(monotonic_ns() - start) / 1e9;
+    return r;
+  };
+
+  double hash_secs = 0, oracle_secs = 0;
+  const auto hash_only = run_star("hash", false, &hash_secs);
+  const auto with_oracle = run_star("oracle", true, &oracle_secs);
+  std::filesystem::remove_all(root);
+
+  if (!hash_only.ok || !with_oracle.ok) {
+    std::printf("WARNING: star federation failed: %s%s\n",
+                hash_only.error.c_str(), with_oracle.error.c_str());
+    return;
+  }
+
+  const auto sorted_u32 = [](std::vector<u32> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  const std::vector<u32> ref_bugs = sorted_u32(single.found_bug_ids);
+  const u64 budget = u64{6} * per_worker;
+
+  TableWriter table({"Topology", "workers", "bugs found", "total execs",
+                     "budget exact", "union match", "agg exec/s"});
+  const auto add = [&](const char* name, const std::vector<u32>& bugs,
+                       u64 execs, double secs) {
+    table.add_row({name, "3x2",
+                   std::to_string(bugs.size()), fmt_count(execs),
+                   execs == budget ? "yes" : "NO",
+                   sorted_u32(bugs) == ref_bugs ? "yes" : "NO",
+                   fmt_double(secs > 0 ? static_cast<double>(execs) / secs
+                                       : 0.0,
+                              0)});
+  };
+  table.add_row({"single fleet", "6",
+                 std::to_string(single.found_bug_ids.size()),
+                 fmt_count(single.total_execs),
+                 single.total_execs == budget ? "yes" : "NO", "-",
+                 fmt_double(single_secs > 0
+                                ? static_cast<double>(single.total_execs) /
+                                      single_secs
+                                : 0.0,
+                            0)});
+  add("star, hash filter", hash_only.found_bug_ids, hash_only.total_execs,
+      hash_secs);
+  add("star, virgin oracle", with_oracle.found_bug_ids,
+      with_oracle.total_execs, oracle_secs);
+  bench::emit("star_federation", table);
+
+  // Filtering economics: of every candidate transmission the gateways
+  // considered, what fraction was suppressed before it cost wire bytes.
+  // The hash filter only suppresses literal duplicates; the oracle
+  // additionally rejects distinct inputs that flip no virgin bits in its
+  // model of the receiving side (rejections include inbound model updates
+  // that pin down "never echo this back").
+  TableWriter filt({"Mode", "records sent", "hash-filtered",
+                    "oracle rejected", "bytes tx", "novelty reject ratio"});
+  const auto sum_stats = [](const netfleet::StarResult& r) {
+    netfleet::LinkStats net;
+    corpus::OracleStats oc;
+    for (const auto& n : r.nodes) {
+      net.records_sent += n.net.records_sent;
+      net.novelty_filtered += n.net.novelty_filtered;
+      net.bytes_sent += n.net.bytes_sent;
+      oc.checked += n.oracle.checked;
+      oc.accepted += n.oracle.accepted;
+      oc.rejected += n.oracle.rejected;
+    }
+    return std::make_pair(net, oc);
+  };
+  const auto add_filt = [&](const char* mode, const netfleet::StarResult& r) {
+    const auto [net, oc] = sum_stats(r);
+    const u64 suppressed = net.novelty_filtered + oc.rejected;
+    const double ratio =
+        suppressed + net.records_sent > 0
+            ? static_cast<double>(suppressed) /
+                  static_cast<double>(suppressed + net.records_sent)
+            : 0.0;
+    filt.add_row({mode, fmt_count(net.records_sent),
+                  fmt_count(net.novelty_filtered), fmt_count(oc.rejected),
+                  fmt_count(net.bytes_sent), fmt_double(ratio, 3)});
+  };
+  add_filt("hash filter", hash_only);
+  add_filt("virgin oracle", with_oracle);
+  bench::emit("star_novelty_filtering", filt);
+
+  std::printf(
+      "Both stars must reproduce the 6-worker fleet's planted-bug union at "
+      "the exact 6 x per-worker budget; the oracle row's higher reject "
+      "ratio and lower wire volume are the virgin-map dividend — "
+      "distinct-but-redundant inputs never reach the wire.\n");
+}
+
 struct Profile {
   const char* name;
   usize used_keys;       // coverage keys the campaign exercises
@@ -455,6 +609,7 @@ int main(int argc, char** argv) {
   }
   if (netfleet_enabled()) {
     run_federated_section();
+    run_star_section();
   } else {
     std::printf(
         "Set BIGMAP_NETFLEET=1 for the measured two-coordinator federation "

@@ -15,6 +15,14 @@
 #                        sides keep fuzzing through the cut, reconcile on
 #                        heal, and must equal single exactly
 #
+# Then two star stages over a 6-worker budget, with the virgin-map novelty
+# oracle gating every gateway link (corpus/novelty.h):
+#
+#   5. single-wide     — one 6-worker fleet; the star reference
+#   6. star            — 3-node hub federation (hub + 2 spokes, 2 workers
+#                        each); merged find-union must equal single-wide
+#   7. star-storm      — the same star under the network storm
+#
 # net_drill itself self-checks that corpus exchange happened and that the
 # chaos modes actually injected faults and forced reconnects; this script
 # additionally asserts the link diagnostics show the partition was
@@ -31,7 +39,8 @@ DRILL="$BUILD_DIR/src/fuzzer/net_drill"
 WORK_DIR="${1:-$(mktemp -d)}"
 mkdir -p "$WORK_DIR"
 rm -rf "$WORK_DIR/single" "$WORK_DIR/pair" "$WORK_DIR/storm" \
-  "$WORK_DIR/partition"
+  "$WORK_DIR/partition" "$WORK_DIR/single_wide" "$WORK_DIR/star" \
+  "$WORK_DIR/star_storm"
 
 cleanup() {
   # The federated halves are separate coordinator processes with their own
@@ -104,6 +113,43 @@ grep -qE 'partition_ms=[1-9]' "$WORK_DIR/partition.diag" || {
 }
 grep -qE 'reconnects=[1-9]' "$WORK_DIR/partition.diag" || {
   echo "FAIL: the partition never healed (no reconnects)" >&2
+  exit 1
+}
+
+echo
+echo "== single wide fleet (6 workers, no network) =="
+"$DRILL" single-wide "$WORK_DIR/single_wide" | tee "$WORK_DIR/single_wide.txt"
+
+echo
+echo "== 3-node star federation, virgin-map oracle, clean network =="
+"$DRILL" star "$WORK_DIR/star" > "$WORK_DIR/star.txt" \
+  2> "$WORK_DIR/star.diag"
+cat "$WORK_DIR/star.txt" "$WORK_DIR/star.diag"
+compare_outputs star "$WORK_DIR/single_wide.txt" "$WORK_DIR/star.txt"
+# The star must exchange corpus and the novelty oracle must both engage
+# and actually suppress coverage duplicates.
+grep -qE 'sent=[1-9]' "$WORK_DIR/star.diag" || {
+  echo "FAIL: star shipped no records" >&2
+  exit 1
+}
+grep -qE 'oracle checked=[1-9]' "$WORK_DIR/star.diag" || {
+  echo "FAIL: star oracle never engaged" >&2
+  exit 1
+}
+grep -qE 'rejected=[1-9]' "$WORK_DIR/star.diag" || {
+  echo "FAIL: star oracle rejected nothing (gate is a no-op)" >&2
+  exit 1
+}
+
+echo
+echo "== 3-node star federation under network storm =="
+"$DRILL" star-storm "$WORK_DIR/star_storm" > "$WORK_DIR/star_storm.txt" \
+  2> "$WORK_DIR/star_storm.diag"
+cat "$WORK_DIR/star_storm.txt" "$WORK_DIR/star_storm.diag"
+compare_outputs star-storm "$WORK_DIR/single_wide.txt" \
+  "$WORK_DIR/star_storm.txt"
+grep -qE 'reconnects=[1-9]' "$WORK_DIR/star_storm.diag" || {
+  echo "FAIL: star storm forced no reconnects" >&2
   exit 1
 }
 

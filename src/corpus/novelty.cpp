@@ -1,0 +1,74 @@
+#include "corpus/novelty.h"
+
+#include "core/flat_map.h"
+#include "core/two_level_map.h"
+#include "fuzzer/executor.h"
+#include "util/hash.h"
+
+namespace bigmap::corpus {
+namespace {
+
+template <class Map, class Metric>
+class OracleImpl final : public NoveltyOracle {
+ public:
+  OracleImpl(const Program& prog, const OracleConfig& cfg)
+      // Same block-id derivation as Campaign: the model sees the exact
+      // coverage keys a worker seeded with cfg.seed would.
+      : ids_(prog.blocks.size(), cfg.map.map_size,
+             mix64(cfg.seed ^ 0xB10C1D5ULL)),
+        ex_(prog, cfg.map, ids_, cfg.step_budget, cfg.work_per_block) {}
+
+  bool admit(std::span<const u8> input) override {
+    ++stats_.checked;
+    OpTimeBreakdown timing;
+    const auto out = ex_.run(input, timing);
+    const bool novel = out.new_bits != NewBits::kNone ||
+                       out.outcome_new_bits != NewBits::kNone;
+    if (novel) {
+      ++stats_.accepted;
+    } else {
+      ++stats_.rejected;
+    }
+    return novel;
+  }
+
+  usize covered() const override {
+    return ex_.virgin_queue().count_covered();
+  }
+
+ private:
+  BlockIdTable ids_;
+  Executor<Map, Metric> ex_;
+};
+
+template <class Metric>
+std::unique_ptr<NoveltyOracle> make_for_scheme(const Program& prog,
+                                               const OracleConfig& cfg) {
+  if (cfg.scheme == MapScheme::kFlat) {
+    return std::make_unique<OracleImpl<FlatCoverageMap, Metric>>(prog, cfg);
+  }
+  return std::make_unique<OracleImpl<TwoLevelCoverageMap, Metric>>(prog, cfg);
+}
+
+}  // namespace
+
+std::unique_ptr<NoveltyOracle> make_novelty_oracle(const Program& program,
+                                                   const OracleConfig& cfg) {
+  switch (cfg.metric) {
+    case MetricKind::kEdge:
+      return make_for_scheme<EdgeMetric>(program, cfg);
+    case MetricKind::kNGram:
+      return make_for_scheme<NGramMetric<3>>(program, cfg);
+    case MetricKind::kNGram2:
+      return make_for_scheme<NGramMetric<2>>(program, cfg);
+    case MetricKind::kNGram4:
+      return make_for_scheme<NGramMetric<4>>(program, cfg);
+    case MetricKind::kNGram8:
+      return make_for_scheme<NGramMetric<8>>(program, cfg);
+    case MetricKind::kContext:
+      return make_for_scheme<ContextMetric>(program, cfg);
+  }
+  return make_for_scheme<EdgeMetric>(program, cfg);
+}
+
+}  // namespace bigmap::corpus

@@ -1,0 +1,73 @@
+// NoveltyOracle: virgin-map novelty classification for federation.
+//
+// The PeerLink's built-in novelty filter is exact but shallow: it drops
+// entries whose *content hash* the remote side already announced. Two
+// different inputs exercising the same coverage both pass it. The oracle
+// is the deeper test the BigMap structure makes cheap: re-execute the
+// candidate against a private model of the receiver's virgin maps and ship
+// it only when it would actually flip virgin bits there.
+//
+// A gateway keeps one oracle per peer link as a "remote model": every
+// entry shipped to or accepted from that peer is admitted into the model,
+// so the model's virgin maps track (a conservative superset of) the
+// coverage the peer has seen through this link. admit() returns whether
+// the input produced new bits against the model — exactly Executor::run's
+// interesting() verdict, which is what the differential test pins.
+//
+// The oracle is deliberately deterministic: same seed + same admission
+// sequence -> same verdicts, so federation drills with the oracle enabled
+// still converge to exact find-union equality.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "core/map_options.h"
+#include "instrumentation/metrics.h"
+#include "target/program.h"
+#include "util/types.h"
+
+namespace bigmap::corpus {
+
+// Map/metric geometry the model executor runs with. Must match the fleet
+// the oracle stands in for (same seed => same block-id table as a worker
+// with that seed).
+struct OracleConfig {
+  MapScheme scheme = MapScheme::kTwoLevel;
+  MetricKind metric = MetricKind::kEdge;
+  MapOptions map;
+  u64 seed = 1;
+  u64 step_budget = 1u << 16;
+  u32 work_per_block = 12;
+};
+
+struct OracleStats {
+  u64 checked = 0;
+  u64 accepted = 0;
+  u64 rejected = 0;
+};
+
+class NoveltyOracle {
+ public:
+  virtual ~NoveltyOracle() = default;
+
+  // Runs `input` against the model and updates the model's virgin maps.
+  // True = the input flipped virgin bits (queue bits for normal runs,
+  // crash/hang bits for faulting runs) and is worth shipping.
+  virtual bool admit(std::span<const u8> input) = 0;
+
+  // Covered positions of the model's queue virgin map.
+  virtual usize covered() const = 0;
+
+  const OracleStats& stats() const noexcept { return stats_; }
+
+ protected:
+  OracleStats stats_;
+};
+
+// Builds an oracle for the given geometry (dispatching scheme x metric to
+// the fully-inlined executor, like run_campaign does).
+std::unique_ptr<NoveltyOracle> make_novelty_oracle(const Program& program,
+                                                   const OracleConfig& cfg);
+
+}  // namespace bigmap::corpus

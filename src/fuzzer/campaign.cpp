@@ -12,6 +12,7 @@
 
 #include "core/flat_map.h"
 #include "core/two_level_map.h"
+#include "corpus/store.h"
 #include "fuzzer/executor.h"
 #include "fuzzer/mutator.h"
 #include "persist/checkpoint.h"
@@ -64,7 +65,16 @@ class Campaign {
             static_cast<double>(monotonic_ns() - start_ns_) * 1e-9;
       }
       if (cfg_.checkpoint != nullptr && cfg_.checkpoint_interval != 0) {
-        next_checkpoint_ = res_.execs + cfg_.checkpoint_interval;
+        // Absolute cadence: thresholds are multiples of the interval in
+        // this instance's exec numbering, so an interrupted-and-resumed
+        // run re-arms the SAME thresholds the uninterrupted run used.
+        // Checkpoint content is then a pure function of the exec stream —
+        // which is what lets the corpus chaos drill demand byte equality.
+        next_checkpoint_ = (res_.execs / cfg_.checkpoint_interval + 1) *
+                           cfg_.checkpoint_interval;
+      }
+      if (cfg_.corpus != nullptr && cfg_.corpus_compact_interval != 0) {
+        next_compact_ = res_.execs + cfg_.corpus_compact_interval;
       }
       main_loop();
     } catch (const InjectedInstanceKill&) {
@@ -147,6 +157,53 @@ class Campaign {
     stamp_telemetry();
   }
 
+  // --- corpus store ---------------------------------------------------------
+
+  // Sparse coverage positions of the last run's classified trace — the
+  // rarity signal the store's trim pass works from. Interesting entries
+  // are rare, so the scan cost rides on the same slow path that already
+  // walks this span in update_scores.
+  std::vector<u32> trace_positions() const {
+    std::vector<u32> out;
+    const std::span<const u8> trace = ex_.last_trace();
+    for (usize i = 0; i < trace.size(); ++i) {
+      if (trace[i] != 0) out.push_back(static_cast<u32>(i));
+    }
+    return out;
+  }
+
+  // Appends queue entry `idx` to the corpus store and remembers its
+  // content hash so checkpoints can encode the entry as a store ref.
+  void record_corpus_entry(usize idx, u64 sched_ns, u32 bitmap_hash,
+                           u32 depth, std::span<const u32> positions) {
+    u64 hash = 0;
+    bool durable = false;
+    if (cfg_.corpus->add_entry(queue_.entry(idx).data, sched_ns, bitmap_hash,
+                               depth, positions, &hash, &durable)) {
+      ++res_.corpus_appends;
+    } else {
+      ++res_.corpus_dedup_hits;
+    }
+    if (entry_hash_.size() <= idx) {
+      entry_hash_.resize(idx + 1, 0);
+    }
+    entry_hash_[idx] = hash;
+  }
+
+  void maybe_compact_corpus() {
+    if (cfg_.corpus == nullptr || cfg_.corpus_compact_interval == 0 ||
+        res_.execs < next_compact_) {
+      return;
+    }
+    next_compact_ = res_.execs + cfg_.corpus_compact_interval;
+    ScopedOpTimer t(res_.timing, MapOp::kOther);
+    // Failure is non-fatal: the WAL keeps accumulating and the next cycle
+    // (or offline maintenance) retries.
+    std::string err;
+    cfg_.corpus->flush_pending(&err);
+    cfg_.corpus->compact(&err);
+  }
+
   // --- persistence ----------------------------------------------------------
 
   // Serializes the full resumable state: identity, lifetime counters, RNG
@@ -178,13 +235,35 @@ class Campaign {
 
     const SeedQueue::ExportedState q = queue_.export_state();
     s.entries.reserve(q.entries.size());
-    for (const QueueEntry* e : q.entries) {
-      s.entries.push_back({e->data, e->exec_ns, e->bitmap_hash, e->depth,
-                           e->favored, e->was_fuzzed, e->times_selected});
+    for (usize i = 0; i < q.entries.size(); ++i) {
+      const QueueEntry* e = q.entries[i];
+      persist::QueueEntrySnap snap;
+      snap.data = e->data;
+      snap.exec_ns = e->exec_ns;
+      snap.bitmap_hash = e->bitmap_hash;
+      snap.depth = e->depth;
+      snap.favored = e->favored;
+      snap.was_fuzzed = e->was_fuzzed;
+      snap.times_selected = e->times_selected;
+      // Durable store entries shrink to refs; anything the store has not
+      // safely journaled stays inline so the checkpoint remains
+      // self-sufficient under injected WAL faults.
+      if (cfg_.corpus != nullptr && i < entry_hash_.size() &&
+          entry_hash_[i] != 0 && cfg_.corpus->durable(entry_hash_[i])) {
+        snap.content_hash = entry_hash_[i];
+        snap.stored_len = e->data.size();
+        snap.in_store = true;
+      }
+      s.entries.push_back(std::move(snap));
     }
     s.top_entry.assign(q.top_entry.begin(), q.top_entry.end());
     s.top_factor.assign(q.top_factor.begin(), q.top_factor.end());
     s.top_covered = q.top_covered;
+
+    s.in_cycle = in_cycle_;
+    s.cycle_qi = cycle_qi_;
+    s.cycle_len = cycle_len_;
+    s.cycle_avg_ns = cycle_avg_ns_;
 
     const auto span_of = [](const VirginMap& v) {
       return std::vector<u8>(v.data(), v.data() + v.size());
@@ -207,6 +286,12 @@ class Campaign {
     persist::CheckpointStore& store = *cfg_.checkpoint;
     const persist::PersistStats before = store.stats();
     std::string err;
+    if (cfg_.corpus != nullptr) {
+      // WAL-append-before-checkpoint ordering: retry failed appends now so
+      // as many queue entries as possible become durable refs, and any ref
+      // the snapshot writes is guaranteed to resolve on restore.
+      cfg_.corpus->flush_pending(&err);
+    }
     if (store.save(build_snapshot(), cfg_.keep_checkpoints, &err)) {
       ++res_.checkpoints_written;
     } else {
@@ -226,12 +311,25 @@ class Campaign {
     }
   }
 
+  // Checkpoints are REQUESTED on the absolute exec cadence but COMMITTED
+  // only at queue-entry boundaries (flush_due_checkpoint): a snapshot never
+  // captures a half-processed trim/deterministic/havoc stage, so restoring
+  // one re-enters the mutation stream exactly where it left off. The write
+  // slides to the next boundary; the cadence itself does not drift because
+  // the next threshold stays a multiple of the interval.
   void maybe_checkpoint() {
     if (cfg_.checkpoint == nullptr || cfg_.checkpoint_interval == 0 ||
         res_.execs < next_checkpoint_) {
       return;
     }
-    next_checkpoint_ = res_.execs + cfg_.checkpoint_interval;
+    next_checkpoint_ = (res_.execs / cfg_.checkpoint_interval + 1) *
+                       cfg_.checkpoint_interval;
+    checkpoint_due_ = true;
+  }
+
+  void flush_due_checkpoint() {
+    if (!checkpoint_due_) return;
+    checkpoint_due_ = false;
     ScopedOpTimer t(res_.timing, MapOp::kOther);
     write_checkpoint();
   }
@@ -274,6 +372,21 @@ class Campaign {
     // cold-start instead.
     if (s.entries.empty()) return false;
 
+    // Resolve store refs to bytes BEFORE touching live state, so a
+    // missing/mismatched corpus entry rejects the snapshot cleanly (the
+    // checkpoint store then falls back to an older snapshot or a cold
+    // start).
+    for (persist::QueueEntrySnap& e : s.entries) {
+      if (!e.in_store) continue;
+      if (cfg_.corpus == nullptr) return false;
+      corpus::CorpusEntry ce;
+      if (!cfg_.corpus->fetch(e.content_hash, &ce) ||
+          ce.data.size() != e.stored_len) {
+        return false;
+      }
+      e.data = std::move(ce.data);
+    }
+
     std::vector<QueueEntry> entries;
     entries.reserve(s.entries.size());
     for (persist::QueueEntrySnap& e : s.entries) {
@@ -310,6 +423,43 @@ class Campaign {
                     s.crashes_afl_unique);
     rng_.set_state(s.rng_state);
     mut_.rng().set_state(s.mutator_rng_state);
+
+    // Cycle cursor: re-enter the main loop exactly where the snapshot was
+    // taken. cycle_qi == cycle_len is legal (snapshot from finalize after
+    // the budget ran out mid-cycle); anything out of range is damage. A
+    // pre-cursor snapshot leaves in_cycle false — cycle-restart semantics.
+    if (s.in_cycle &&
+        (s.cycle_qi > s.cycle_len || s.cycle_len > queue_.size())) {
+      queue_ = SeedQueue(ex_.virgin_positions());
+      return false;
+    }
+    in_cycle_ = s.in_cycle;
+    cycle_qi_ = static_cast<usize>(s.cycle_qi);
+    cycle_len_ = static_cast<usize>(s.cycle_len);
+    cycle_avg_ns_ = s.cycle_avg_ns;
+
+    if (cfg_.corpus != nullptr) {
+      // Rebuild the queue-index -> content-hash table. Entries that were
+      // inline (their WAL append failed before the crash) are re-offered
+      // to the store; dedup makes this a no-op when the bytes survived.
+      entry_hash_.assign(s.entries.size(), 0);
+      for (usize i = 0; i < s.entries.size(); ++i) {
+        const persist::QueueEntrySnap& e = s.entries[i];
+        if (e.in_store) {
+          entry_hash_[i] = e.content_hash;
+        } else {
+          u64 hash = 0;
+          if (cfg_.corpus->add_entry(queue_.entry(i).data, e.exec_ns,
+                                     e.bitmap_hash, e.depth, {}, &hash,
+                                     nullptr)) {
+            ++res_.corpus_appends;
+          } else {
+            ++res_.corpus_dedup_hits;
+          }
+          entry_hash_[i] = hash;
+        }
+      }
+    }
 
     res_.execs = s.execs;
     res_.seed_execs = s.seed_execs;
@@ -385,11 +535,20 @@ class Campaign {
     maybe_sample_series();
     maybe_stamp_telemetry();
     maybe_checkpoint();
+    maybe_compact_corpus();
     if (cfg_.telemetry != nullptr) cfg_.telemetry->exec_ns.record(out.exec_ns);
 
     if (out.exec.crashed()) {
       if (cfg_.telemetry != nullptr) cfg_.telemetry->crashes.add();
       triage_.record(out.exec, out.outcome_new_bits != NewBits::kNone);
+      if (cfg_.corpus != nullptr) {
+        // Same identity as CrashTriage; res_.execs is this instance's
+        // deterministic exec sequence number, which makes re-reports from
+        // checkpoint-resume replay no-ops in the store.
+        cfg_.corpus->record_crash(
+            hash_combine(out.exec.stack_hash, out.exec.faulting_block),
+            out.exec.bug_id, cfg_.sync_id, res_.execs, input);
+      }
       return false;
     }
     if (out.exec.hung()) {
@@ -418,6 +577,9 @@ class Campaign {
     const usize idx =
         queue_.add(std::move(input), sched_ns, out.hash, depth);
     queue_.update_scores(idx, ex_.last_trace());
+    if (cfg_.corpus != nullptr) {
+      record_corpus_entry(idx, sched_ns, out.hash, depth, trace_positions());
+    }
     return true;
   }
 
@@ -477,6 +639,7 @@ class Campaign {
         maybe_sample_series();
         maybe_stamp_telemetry();
         maybe_checkpoint();
+        maybe_compact_corpus();
 
         if (sr.exec.outcome == ExecResult::Outcome::kOk &&
             sr.hash == target_hash) {
@@ -492,6 +655,27 @@ class Campaign {
     if (changed) {
       res_.trimmed_bytes += orig_len - data.size();
       e.data = std::move(data);
+      if (cfg_.corpus != nullptr && qi < entry_hash_.size() &&
+          entry_hash_[qi] != 0) {
+        // The entry's bytes changed, so its content hash did too: add the
+        // trimmed form under its new hash (keeping the original's coverage
+        // positions — trimming preserves the classified trace) so store
+        // refs keep matching the live queue. The untrimmed original stays
+        // until a rarity trim pass subsumes it.
+        corpus::CorpusEntry old;
+        std::vector<u32> positions;
+        if (cfg_.corpus->fetch(entry_hash_[qi], &old)) {
+          positions = std::move(old.positions);
+        }
+        u64 hash = 0;
+        if (cfg_.corpus->add_entry(e.data, e.exec_ns, e.bitmap_hash, e.depth,
+                                   positions, &hash, nullptr)) {
+          ++res_.corpus_appends;
+        } else {
+          ++res_.corpus_dedup_hits;
+        }
+        entry_hash_[qi] = hash;
+      }
     }
   }
 
@@ -561,12 +745,22 @@ class Campaign {
   void main_loop() {
     next_sync_ = cfg_.sync_interval;
     while (!exhausted() && !queue_.empty()) {
-      queue_.cull();
-      const u64 avg_ns = queue_.average_exec_ns();
-      const usize cycle_len = queue_.size();
+      if (!in_cycle_) {
+        queue_.cull();
+        cycle_avg_ns_ = queue_.average_exec_ns();
+        cycle_len_ = queue_.size();
+        cycle_qi_ = 0;
+        in_cycle_ = true;
+      }
+      // else: restored mid-cycle from a checkpoint — the cursor, cycle
+      // length, and cycle average were snapshotted at an entry boundary,
+      // so re-entering here (without re-culling) continues the exact
+      // stream the interrupted run was producing.
 
-      for (usize qi = 0; qi < cycle_len && !exhausted(); ++qi) {
-        QueueEntry& e = queue_.entry(qi);
+      for (; cycle_qi_ < cycle_len_ && !exhausted(); ++cycle_qi_) {
+        // Entry boundary: the only place a due checkpoint is committed.
+        flush_due_checkpoint();
+        QueueEntry& e = queue_.entry(cycle_qi_);
 
         // AFL's skip logic: favored entries always run; others mostly
         // skipped (more aggressively once already fuzzed).
@@ -577,19 +771,22 @@ class Campaign {
         ++e.times_selected;
 
         if (cfg_.trim_enabled && !e.was_fuzzed) {
-          trim_entry(qi);
+          trim_entry(cycle_qi_);
         }
         if (cfg_.run_deterministic && !e.was_fuzzed &&
             (cfg_.sync == nullptr || cfg_.is_master)) {
-          deterministic_stage(qi);
+          deterministic_stage(cycle_qi_);
         }
 
-        const double score = queue_.perf_score(qi, avg_ns);
+        const double score = queue_.perf_score(cycle_qi_, cycle_avg_ns_);
         const u64 rounds = std::max<u64>(
             8, static_cast<u64>(cfg_.havoc_rounds * score / 100.0));
-        havoc_stage(qi, rounds);
-        queue_.entry(qi).was_fuzzed = true;
+        havoc_stage(cycle_qi_, rounds);
+        queue_.entry(cycle_qi_).was_fuzzed = true;
       }
+      if (exhausted()) break;
+      in_cycle_ = false;
+      flush_due_checkpoint();  // cycle boundary counts as one too
     }
   }
 
@@ -646,6 +843,20 @@ class Campaign {
   u64 next_sample_ = 0;
   u64 next_stamp_ = 0;
   u64 next_checkpoint_ = 0;
+  u64 next_compact_ = 0;
+
+  // Main-loop cycle cursor (checkpointed; see main_loop). checkpoint_due_
+  // carries a cadence hit from wherever it fired to the next entry
+  // boundary, where the snapshot is actually committed.
+  bool in_cycle_ = false;
+  usize cycle_qi_ = 0;
+  usize cycle_len_ = 0;
+  u64 cycle_avg_ns_ = 0;
+  bool checkpoint_due_ = false;
+
+  // Queue index -> corpus content hash (0 = not recorded). Parallel to the
+  // queue, which only ever appends.
+  std::vector<u64> entry_hash_;
 };
 
 template <class Metric>

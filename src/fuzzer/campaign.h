@@ -29,6 +29,10 @@ namespace persist {
 class CheckpointStore;
 }
 
+namespace corpus {
+class CorpusStore;
+}
+
 // Shared-memory control block between a running campaign and its
 // supervisor: the campaign publishes an execution heartbeat the watchdog
 // samples for stall detection, and honours a cooperative stop request at
@@ -131,6 +135,18 @@ struct CampaignConfig {
   u32 keep_checkpoints = 2;
   bool resume_from_checkpoint = false;
 
+  // Corpus database (optional, shareable across a fleet's instances). A
+  // non-null store receives every queued entry (content-hash dedup + WAL
+  // append with the entry's sparse coverage positions) and every crash
+  // occurrence (keyed by Crashwalk stack hash, with this instance's exec
+  // sequence number so checkpoint-resume replay is idempotent). Checkpoint
+  // snapshots then encode durable queue entries as store refs instead of
+  // inline bytes, and the restore path resolves them back through the
+  // store. When corpus_compact_interval > 0 the campaign also compacts
+  // the store every that many execs.
+  corpus::CorpusStore* corpus = nullptr;
+  u64 corpus_compact_interval = 0;
+
   // On whole-process resume the telemetry sink starts from zero; this makes
   // a successful restore prime the sink's lifetime counters from the
   // snapshot so fleet totals stay cumulative. In-process warm restarts
@@ -220,6 +236,10 @@ struct CampaignResult {
   // Trimming statistics (when trim_enabled).
   u64 trim_execs = 0;
   u64 trimmed_bytes = 0;
+
+  // Corpus-store accounting (zero without a CorpusStore).
+  u64 corpus_appends = 0;     // entries this instance added to the store
+  u64 corpus_dedup_hits = 0;  // adds dropped as already-known content
 
   // Coverage growth samples (when series_interval > 0): (execs, covered
   // map positions) pairs — the raw data behind coverage-over-time plots.

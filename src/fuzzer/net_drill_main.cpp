@@ -18,6 +18,17 @@
 //                                   sides keep fuzzing on local sync
 //                                   during the cut, reconcile on heal
 //
+// Star (3-node hub) modes over a 6-worker budget, with the virgin-map
+// novelty oracle gating every gateway link:
+//
+//   net_drill single-wide <dir>     one 6-worker fleet, no network — the
+//                                   reference for the star modes
+//   net_drill star <dir>            hub (2 workers) + 2 spokes (2 workers
+//                                   each), clean network; the merged
+//                                   find-union must match single-wide
+//   net_drill star-storm <dir>      the same star under the network storm
+//                                   on the hub's links
+//
 // Every mode prints sorted found_bug_ids / found_stack_hashes,
 // total_execs, and all_completed in the same diff-friendly format as
 // fleet_drill; link diagnostics go to stderr. The chaos modes self-check
@@ -149,31 +160,129 @@ void print_link_diag(const char* who, const LinkStats& n) {
       static_cast<unsigned long long>(n.bytes_received));
 }
 
+int run_star(const GeneratedTarget& target, const std::vector<Input>& seeds,
+             const std::string& mode, const std::string& dir) {
+  // Hub seed 501 (workers 501-502), spokes 503 and 505 (503-506): the
+  // union of campaign seeds across the star is exactly the single-wide
+  // baseline's set {501..506}, at the same total exec budget.
+  std::vector<ProcFleetConfig> nodes;
+  nodes.push_back(make_config(dir + "/hub", 2, 501));
+  nodes.push_back(make_config(dir + "/s1", 2, 503));
+  nodes.push_back(make_config(dir + "/s2", 2, 505));
+  for (usize i = 0; i < nodes.size(); ++i) {
+    ProcFleetConfig& fc = nodes[i];
+    fc.net.node_id = i + 1;
+    fc.net.heartbeat_ms = 20;
+    fc.net.peer_timeout_ms = 400;
+    fc.net.reconnect_initial_ms = 5;
+    fc.net.reconnect_cap_ms = 100;
+    // Virgin-map novelty gate on every gateway link (hub and spokes): the
+    // drill doubles as proof the oracle never costs a find.
+    fc.net_virgin_oracle = true;
+  }
+
+  if (mode == "star-storm") {
+    // The storm rides the hub's coordinator injector (gateway instance 2,
+    // shared occurrence counters across its links), plus one spoke with
+    // its own schedule so connector-side failures fire too.
+    nodes[0].fault_enabled = true;
+    nodes[0].fault_seed = 909;
+    nodes[0].fault_plan = make_net_storm_plan();
+    nodes[0].net.partition_ms = 300;
+    nodes[1].fault_enabled = true;
+    nodes[1].fault_seed = 910;
+    nodes[1].fault_plan = make_net_storm_plan();
+    nodes[1].net.partition_ms = 300;
+  }
+
+  StarResult sr = run_federated_star(target.program, seeds, nodes);
+  if (!sr.ok) {
+    std::fprintf(stderr, "net_drill: %s\n", sr.error.c_str());
+    return 1;
+  }
+  u64 oracle_checked = 0, oracle_rejected = 0, records_sent = 0;
+  u64 injected = 0, reconnects = 0;
+  for (usize i = 0; i < sr.nodes.size(); ++i) {
+    const HalfReport& r = sr.nodes[i];
+    const std::string who =
+        i == 0 ? std::string("hub") : "spoke-" + std::to_string(i);
+    print_link_diag(who.c_str(), r.net);
+    std::fprintf(stderr,
+                 "[%s] oracle checked=%llu accepted=%llu rejected=%llu\n",
+                 who.c_str(),
+                 static_cast<unsigned long long>(r.oracle.checked),
+                 static_cast<unsigned long long>(r.oracle.accepted),
+                 static_cast<unsigned long long>(r.oracle.rejected));
+    oracle_checked += r.oracle.checked;
+    oracle_rejected += r.oracle.rejected;
+    records_sent += r.net.records_sent;
+    injected += r.net.injected_drops + r.net.injected_delays +
+                r.net.injected_short_writes + r.net.injected_resets +
+                r.net.injected_partitions;
+    reconnects += r.net.reconnects;
+  }
+  print_union(sr.found_bug_ids, sr.found_stack_hashes, sr.total_execs,
+              sr.all_completed);
+
+  if (records_sent == 0) {
+    std::fprintf(stderr, "net_drill: no corpus exchange happened\n");
+    return 3;
+  }
+  if (oracle_checked == 0) {
+    std::fprintf(stderr, "net_drill: the novelty oracle never engaged\n");
+    return 3;
+  }
+  std::fprintf(stderr, "[star] oracle_reject_ratio=%.3f\n",
+               static_cast<double>(oracle_rejected) /
+                   static_cast<double>(oracle_checked));
+  if (mode == "star-storm") {
+    if (injected == 0) {
+      std::fprintf(stderr, "net_drill: storm injected no faults\n");
+      return 3;
+    }
+    if (reconnects == 0) {
+      std::fprintf(stderr, "net_drill: storm forced no reconnects\n");
+      return 3;
+    }
+  }
+  return sr.all_completed ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string mode = argc > 1 ? argv[1] : "";
   const std::string dir = argc > 2 ? argv[2] : "";
   const bool known = mode == "single" || mode == "pair" ||
-                     mode == "pair-storm" || mode == "pair-partition";
+                     mode == "pair-storm" || mode == "pair-partition" ||
+                     mode == "single-wide" || mode == "star" ||
+                     mode == "star-storm";
   if (!known || dir.empty()) {
     std::fprintf(stderr,
                  "usage: net_drill single <dir>\n"
                  "       net_drill pair <dir>\n"
                  "       net_drill pair-storm <dir>\n"
-                 "       net_drill pair-partition <dir>\n");
+                 "       net_drill pair-partition <dir>\n"
+                 "       net_drill single-wide <dir>\n"
+                 "       net_drill star <dir>\n"
+                 "       net_drill star-storm <dir>\n");
     return 2;
   }
 
   auto target = make_target();
   auto seeds = make_seed_corpus(target, 4, 1);
 
-  if (mode == "single") {
-    ProcFleetConfig fc = make_config(dir, 4, 501);
+  if (mode == "single" || mode == "single-wide") {
+    ProcFleetConfig fc =
+        make_config(dir, mode == "single" ? 4 : 6, 501);
     ProcFleetResult r = run_process_fleet(target.program, seeds, fc);
     print_union(r.found_bug_ids, r.found_stack_hashes, r.total_execs,
                 r.all_completed());
     return r.all_completed() ? 0 : 1;
+  }
+
+  if (mode == "star" || mode == "star-storm") {
+    return run_star(target, seeds, mode, dir);
   }
 
   ProcFleetConfig a = make_config(dir + "/a", 2, 501);

@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <exception>
 #include <set>
 #include <sstream>
@@ -88,6 +89,9 @@ std::string encode_half_report(const procfleet::ProcFleetResult& r, bool ok,
   os << "\nnet_partition_ms " << n.partition_ms_total;
   os << "\nnet_log_evicted " << n.log_evicted;
   os << "\nnet_lost_to_eviction " << n.lost_to_eviction;
+  os << "\noracle_checked " << r.oracle.checked;
+  os << "\noracle_accepted " << r.oracle.accepted;
+  os << "\noracle_rejected " << r.oracle.rejected;
   os << "\n";
   return os.str();
 }
@@ -167,6 +171,12 @@ bool decode_half_report(const std::string& text, HalfReport* out) {
       ls >> r.net.log_evicted;
     } else if (key == "net_lost_to_eviction") {
       ls >> r.net.lost_to_eviction;
+    } else if (key == "oracle_checked") {
+      ls >> r.oracle.checked;
+    } else if (key == "oracle_accepted") {
+      ls >> r.oracle.accepted;
+    } else if (key == "oracle_rejected") {
+      ls >> r.oracle.rejected;
     }
   }
   if (!saw_ok) return false;
@@ -290,6 +300,155 @@ FederatedResult run_federated_pair(const Program& program,
   out.total_interesting = out.a.total_interesting + out.b.total_interesting;
   out.total_crashes = out.a.total_crashes + out.b.total_crashes;
   out.all_completed = out.a.all_completed && out.b.all_completed;
+  out.ok = true;
+  return out;
+}
+
+StarResult run_federated_star(const Program& program,
+                              const std::vector<Input>& seeds,
+                              std::vector<procfleet::ProcFleetConfig> nodes) {
+  StarResult out;
+  if (nodes.size() < 2) {
+    out.error = "federate: a star needs a hub and at least one spoke";
+    return out;
+  }
+  ignore_sigpipe();
+  const usize spokes = nodes.size() - 1;
+
+  // Shared session identity across the whole star, derived (like the pair
+  // runner) from config the nodes genuinely have in common — seeds and
+  // worker counts legitimately differ per node.
+  bool any_fp = false;
+  for (const procfleet::ProcFleetConfig& n : nodes) {
+    any_fp = any_fp || n.net.session_fingerprint != 0;
+  }
+  if (!any_fp) {
+    u64 h = 0x73746172ull;  // "star"
+    for (u64 v :
+         {nodes[0].base.max_execs, static_cast<u64>(nodes[0].base.scheme),
+          static_cast<u64>(nodes[0].base.metric),
+          static_cast<u64>(nodes[0].base.map.map_size)}) {
+      h = (h ^ v) * 0x100000001b3ull;
+    }
+    for (procfleet::ProcFleetConfig& n : nodes) {
+      n.net.session_fingerprint = h;
+    }
+  }
+
+  // One pre-bound listener per spoke: every port is known before any
+  // child exists. The hub's `net` field is the per-link template; the hub
+  // itself runs on mesh_links only.
+  std::vector<int> listen_fds(spokes, -1);
+  auto close_listeners = [&] {
+    for (int fd : listen_fds) {
+      if (fd >= 0) xclose(fd);
+    }
+  };
+  for (usize i = 0; i < spokes; ++i) {
+    u16 port = 0;
+    std::string err;
+    listen_fds[i] = tcp_listen("127.0.0.1", &port, &err);
+    if (listen_fds[i] < 0) {
+      out.error = "federate: " + err;
+      close_listeners();
+      return out;
+    }
+    netfleet::NetPeerConfig link = nodes[0].net;
+    link.enabled = true;
+    link.listener = true;
+    link.listen_fd = listen_fds[i];
+    link.port = port;
+    nodes[0].mesh_links.push_back(link);
+
+    nodes[i + 1].net.enabled = true;
+    nodes[i + 1].net.listener = false;
+    nodes[i + 1].net.host = "127.0.0.1";
+    nodes[i + 1].net.port = port;
+  }
+  nodes[0].net.enabled = false;  // hub: mesh_links only
+
+  std::vector<std::array<int, 2>> pipes(nodes.size(), {-1, -1});
+  auto close_pipes = [&] {
+    for (auto& p : pipes) {
+      if (p[0] >= 0) xclose(p[0]);
+      if (p[1] >= 0) xclose(p[1]);
+    }
+  };
+  for (auto& p : pipes) {
+    if (::pipe(p.data()) != 0) {
+      out.error = "federate: pipe failed";
+      close_pipes();
+      close_listeners();
+      return out;
+    }
+  }
+
+  std::vector<pid_t> pids(nodes.size(), -1);
+  for (usize i = 0; i < nodes.size(); ++i) {
+    pids[i] = ::fork();
+    if (pids[i] == 0) {
+      for (usize j = 0; j < pipes.size(); ++j) {
+        xclose(pipes[j][0]);
+        if (j != i) xclose(pipes[j][1]);
+      }
+      // Only the hub holds listening sockets (via mesh_links).
+      if (i != 0) close_listeners();
+      child_main(program, seeds, nodes[i], pipes[i][1]);
+    }
+  }
+  for (auto& p : pipes) {
+    xclose(p[1]);
+    p[1] = -1;
+  }
+  close_listeners();
+  bool fork_failed = false;
+  for (pid_t pid : pids) fork_failed = fork_failed || pid < 0;
+  if (fork_failed) {
+    out.error = "federate: fork failed";
+    for (pid_t pid : pids) {
+      if (pid > 0) ::kill(pid, SIGKILL);
+    }
+  }
+
+  std::vector<std::string> texts(nodes.size());
+  for (usize i = 0; i < nodes.size(); ++i) {
+    texts[i] = read_all(pipes[i][0]);
+    xclose(pipes[i][0]);
+    pipes[i][0] = -1;
+  }
+  int status = 0;
+  for (pid_t pid : pids) {
+    if (pid > 0) (void)xwaitpid(pid, &status, 0);
+  }
+  if (!out.error.empty()) return out;
+
+  out.nodes.resize(nodes.size());
+  std::set<u32> bugs;
+  std::set<u64> hashes;
+  for (usize i = 0; i < nodes.size(); ++i) {
+    HalfReport& r = out.nodes[i];
+    const std::string who =
+        i == 0 ? std::string("hub") : "spoke " + std::to_string(i);
+    if (!decode_half_report(texts[i], &r)) {
+      out.error = "federate: " + who + " produced no report";
+      return out;
+    }
+    if (!r.ok) {
+      out.error = "federate: " + who + " failed: " + r.error;
+      return out;
+    }
+    bugs.insert(r.bug_ids.begin(), r.bug_ids.end());
+    hashes.insert(r.stack_hashes.begin(), r.stack_hashes.end());
+    out.total_execs += r.total_execs;
+    out.total_interesting += r.total_interesting;
+    out.total_crashes += r.total_crashes;
+  }
+  out.found_bug_ids.assign(bugs.begin(), bugs.end());
+  out.found_stack_hashes.assign(hashes.begin(), hashes.end());
+  out.all_completed = true;
+  for (const HalfReport& r : out.nodes) {
+    out.all_completed = out.all_completed && r.all_completed;
+  }
   out.ok = true;
   return out;
 }

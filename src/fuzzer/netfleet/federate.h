@@ -20,7 +20,9 @@
 
 namespace bigmap::netfleet {
 
-// One half's reported outcome (parsed from its pipe).
+// One node's reported outcome (parsed from its pipe). For a star hub,
+// `net` is the sum over its spoke links and `oracle` the aggregate
+// novelty-oracle accounting (zeroed when the oracle was off).
 struct HalfReport {
   bool ok = false;
   std::string error;
@@ -31,6 +33,7 @@ struct HalfReport {
   u64 total_crashes = 0;
   bool all_completed = false;
   LinkStats net;
+  corpus::OracleStats oracle;
 };
 
 struct FederatedResult {
@@ -56,6 +59,31 @@ FederatedResult run_federated_pair(const Program& program,
                                    const std::vector<Input>& seeds,
                                    procfleet::ProcFleetConfig a,
                                    procfleet::ProcFleetConfig b);
+
+// N-node star federation: nodes[0] is the hub, the rest are spokes.
+struct StarResult {
+  bool ok = false;            // every node ran and reported
+  std::string error;
+  std::vector<HalfReport> nodes;  // [0] = hub, then spokes in order
+
+  // Federation union / totals across every node.
+  std::vector<u32> found_bug_ids;
+  std::vector<u64> found_stack_hashes;
+  u64 total_execs = 0;
+  u64 total_interesting = 0;
+  u64 total_crashes = 0;
+  bool all_completed = false;
+};
+
+// Runs nodes[0] as the star hub (one pre-bound listener link per spoke,
+// via mesh_links) and nodes[1..] as connector spokes, all forked
+// coordinator processes on loopback. The hub's `net` field serves as the
+// template for its per-spoke links (liveness/backoff tuning); roles,
+// ports, and listener fds are filled in here. Blocks until every node
+// exits. Requires at least two nodes.
+StarResult run_federated_star(const Program& program,
+                              const std::vector<Input>& seeds,
+                              std::vector<procfleet::ProcFleetConfig> nodes);
 
 // Serialization used across the child pipe (exposed for tests).
 std::string encode_half_report(const procfleet::ProcFleetResult& r,

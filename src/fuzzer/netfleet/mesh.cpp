@@ -1,0 +1,155 @@
+#include "fuzzer/netfleet/mesh.h"
+
+#include <utility>
+
+namespace bigmap::netfleet {
+
+LinkStats sum_link_stats(const LinkStats& a, const LinkStats& b) {
+  LinkStats s = a;
+  s.bytes_sent += b.bytes_sent;
+  s.bytes_received += b.bytes_received;
+  s.records_sent += b.records_sent;
+  s.records_received += b.records_received;
+  s.entries_offered += b.entries_offered;
+  s.novelty_filtered += b.novelty_filtered;
+  s.duplicates_dropped += b.duplicates_dropped;
+  s.out_of_order_dropped += b.out_of_order_dropped;
+  s.rewinds += b.rewinds;
+  s.connects += b.connects;
+  s.reconnects += b.reconnects;
+  s.heartbeat_timeouts += b.heartbeat_timeouts;
+  s.conn_errors += b.conn_errors;
+  s.hello_rejected += b.hello_rejected;
+  s.injected_drops += b.injected_drops;
+  s.injected_delays += b.injected_delays;
+  s.injected_short_writes += b.injected_short_writes;
+  s.injected_resets += b.injected_resets;
+  s.injected_partitions += b.injected_partitions;
+  s.partition_ms_total += b.partition_ms_total;
+  s.log_evicted += b.log_evicted;
+  s.lost_to_eviction += b.lost_to_eviction;
+  s.send_next += b.send_next;
+  s.peer_acked += b.peer_acked;
+  s.recv_cursor += b.recv_cursor;
+  s.connected = a.connected || b.connected;
+  s.partitioned = a.partitioned || b.partitioned;
+  s.gave_up = a.gave_up || b.gave_up;
+  return s;
+}
+
+MeshHub::MeshHub(SyncEndpoint* inner, u32 gateway_instance)
+    : inner_(inner), gateway_(gateway_instance) {}
+
+void MeshHub::add_link(std::unique_ptr<PeerLink> link,
+                       std::unique_ptr<corpus::NoveltyOracle> oracle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  peers_.push_back(Peer{std::move(link), std::move(oracle)});
+}
+
+u32 MeshHub::num_instances() const noexcept {
+  return inner_->num_instances();
+}
+
+bool MeshHub::publish(u32 instance, Input input) {
+  return inner_->publish(instance, std::move(input));
+}
+
+std::vector<Input> MeshHub::fetch_new(u32 instance) {
+  return inner_->fetch_new(instance);
+}
+
+void MeshHub::reset_cursor(u32 instance) {
+  inner_->reset_cursor(instance);
+}
+
+u64 MeshHub::total_published() const { return inner_->total_published(); }
+
+SyncHubStats MeshHub::stats() const { return inner_->stats(); }
+
+void MeshHub::export_to(Peer& peer, const Input& in) {
+  // The oracle verdict also advances the remote model: a shipped entry is
+  // coverage the peer now has, a rejected one is coverage it already had.
+  if (peer.oracle != nullptr && !peer.oracle->admit(in)) return;
+  peer.link->offer(in);
+}
+
+void MeshHub::pump(u64 now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Export: everything workers published since the last pump goes to every
+  // spoke (fetch_new on the gateway id excludes the gateway's own imports,
+  // so relayed entries are not re-exported here).
+  for (Input& in : inner_->fetch_new(gateway_)) {
+    for (Peer& p : peers_) export_to(p, in);
+  }
+  for (Peer& p : peers_) p.link->pump(now_ns);
+  // Import: accepted entries become local publishes under the gateway
+  // identity AND are relayed to the other spokes — the hub hop that makes
+  // a star behave like a full mesh.
+  for (usize i = 0; i < peers_.size(); ++i) {
+    for (Input& in : peers_[i].link->take_received()) {
+      if (peers_[i].oracle != nullptr) {
+        // The source peer evidently has this entry: fold it into that
+        // peer's remote model so we never ship its coverage back.
+        (void)peers_[i].oracle->admit(in);
+      }
+      for (usize j = 0; j < peers_.size(); ++j) {
+        if (j != i) export_to(peers_[j], in);
+      }
+      inner_->publish(gateway_, std::move(in));
+    }
+  }
+}
+
+void MeshHub::shutdown(u64 now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // One last export sweep so finds from the final sync interval still
+  // reach every spoke before the goodbyes.
+  for (Input& in : inner_->fetch_new(gateway_)) {
+    for (Peer& p : peers_) export_to(p, in);
+  }
+  for (Peer& p : peers_) p.link->shutdown(now_ns);
+  // Entries that arrived during the drain still reach local workers; the
+  // links are closed, so there is no spoke relay for them anymore.
+  for (Peer& p : peers_) {
+    for (Input& in : p.link->take_received()) {
+      inner_->publish(gateway_, std::move(in));
+    }
+  }
+}
+
+usize MeshHub::link_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peers_.size();
+}
+
+LinkStats MeshHub::link_stats(usize i) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peers_[i].link->stats();
+}
+
+corpus::OracleStats MeshHub::oracle_stats(usize i) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peers_[i].oracle != nullptr ? peers_[i].oracle->stats()
+                                     : corpus::OracleStats{};
+}
+
+LinkStats MeshHub::aggregate_link_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  LinkStats out;
+  for (const Peer& p : peers_) out = sum_link_stats(out, p.link->stats());
+  return out;
+}
+
+corpus::OracleStats MeshHub::aggregate_oracle_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  corpus::OracleStats out;
+  for (const Peer& p : peers_) {
+    if (p.oracle == nullptr) continue;
+    out.checked += p.oracle->stats().checked;
+    out.accepted += p.oracle->stats().accepted;
+    out.rejected += p.oracle->stats().rejected;
+  }
+  return out;
+}
+
+}  // namespace bigmap::netfleet

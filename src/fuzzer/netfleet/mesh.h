@@ -1,0 +1,96 @@
+// MeshHub: a SyncEndpoint gateway that federates a local hub with N
+// remote peers — the hub role of a hub-and-spoke (star) topology.
+//
+// Generalizes NetHub (nethub.h) from one PeerLink to many, all sharing
+// the single gateway instance of the wrapped inner hub:
+//
+//   local find   -> inner.publish(worker) -> pump: inner.fetch_new(gateway)
+//                -> every link's offer()  -> wire -> each spoke
+//   spoke find   -> link[i].take_received() -> inner.publish(gateway)
+//                                           -> re-offered on links j != i
+//
+// The spoke-to-spoke relay is the hub's whole job: spokes only know the
+// hub, yet every spoke still receives every other spoke's finds, one hop
+// later. fetch_new never returns an instance's own publishes, so relayed
+// imports are never echoed back out through the normal export path — the
+// relay in the import loop is the only forwarding, and it explicitly
+// skips the source link.
+//
+// Each link may carry a corpus::NoveltyOracle as its "remote model": the
+// oracle's virgin maps track the coverage that peer has provably seen
+// through this hub (everything shipped to it, everything accepted from
+// it). With an oracle attached, an entry is shipped on a link only when
+// it would flip virgin bits in that peer's model — a strictly deeper gate
+// than the link's built-in content-hash novelty filter, and the reason a
+// saturated federation's wire goes quiet instead of re-shipping coverage
+// duplicates. Without an oracle the link behaves exactly as in NetHub.
+//
+// Thread-safety: like NetHub — the inner hub is thread-safe, the links
+// and oracles are single-threaded, so offer/take/pump are serialized
+// behind one mutex and endpoint calls pass straight through.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "corpus/novelty.h"
+#include "fuzzer/netfleet/link.h"
+#include "fuzzer/sync.h"
+
+namespace bigmap::netfleet {
+
+// Sums per-link accounting into one LinkStats (booleans OR-ed; the cursor
+// fields are summed too and only meaningful per-link).
+LinkStats sum_link_stats(const LinkStats& a, const LinkStats& b);
+
+class MeshHub final : public SyncEndpoint {
+ public:
+  // `inner` must outlive the MeshHub and must have been created with one
+  // more instance than the fleet's workers; the extra (highest) id is the
+  // gateway instance shared by every link.
+  MeshHub(SyncEndpoint* inner, u32 gateway_instance);
+
+  // Attaches one peer session (owned). `oracle` may be null (content-hash
+  // novelty only). Attach every link before the first pump().
+  void add_link(std::unique_ptr<PeerLink> link,
+                std::unique_ptr<corpus::NoveltyOracle> oracle);
+
+  u32 num_instances() const noexcept override;
+  bool publish(u32 instance, Input input) override;
+  std::vector<Input> fetch_new(u32 instance) override;
+  void reset_cursor(u32 instance) override;
+  u64 total_published() const override;
+  SyncHubStats stats() const override;
+
+  // Moves novelty between the inner hub and every wire, relaying imports
+  // across spokes; call from the coordinator loop every few milliseconds.
+  void pump(u64 now_ns);
+
+  // Final export sweep, then drains and closes every link.
+  void shutdown(u64 now_ns);
+
+  usize link_count() const;
+  LinkStats link_stats(usize i) const;
+  // Zeroed when link `i` has no oracle.
+  corpus::OracleStats oracle_stats(usize i) const;
+  LinkStats aggregate_link_stats() const;
+  corpus::OracleStats aggregate_oracle_stats() const;
+
+ private:
+  struct Peer {
+    std::unique_ptr<PeerLink> link;
+    std::unique_ptr<corpus::NoveltyOracle> oracle;
+  };
+
+  // Offers `in` on one link, gated by its oracle when present.
+  void export_to(Peer& peer, const Input& in);
+
+  SyncEndpoint* inner_;
+  const u32 gateway_;
+  std::vector<Peer> peers_;
+  mutable std::mutex mu_;
+};
+
+}  // namespace bigmap::netfleet

@@ -8,6 +8,11 @@ NetHub::NetHub(SyncEndpoint* inner, u32 gateway_instance,
                std::unique_ptr<PeerLink> link)
     : inner_(inner), gateway_(gateway_instance), link_(std::move(link)) {}
 
+void NetHub::set_oracle(std::unique_ptr<corpus::NoveltyOracle> oracle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  oracle_ = std::move(oracle);
+}
+
 u32 NetHub::num_instances() const noexcept {
   return inner_->num_instances();
 }
@@ -28,17 +33,27 @@ u64 NetHub::total_published() const { return inner_->total_published(); }
 
 SyncHubStats NetHub::stats() const { return inner_->stats(); }
 
+void NetHub::export_one(Input in) {
+  // The oracle verdict also advances the remote model: a shipped entry is
+  // coverage the peer now has, a rejected one is coverage it already had.
+  if (oracle_ != nullptr && !oracle_->admit(in)) return;
+  link_->offer(std::move(in));
+}
+
 void NetHub::pump(u64 now_ns) {
   std::lock_guard<std::mutex> lock(mu_);
   // Export: everything workers published since the last pump (fetch_new on
   // the gateway id excludes the gateway's own imports — no echo).
   for (Input& in : inner_->fetch_new(gateway_)) {
-    link_->offer(std::move(in));
+    export_one(std::move(in));
   }
   link_->pump(now_ns);
   // Import: accepted remote entries become local publishes under the
   // gateway identity; workers pick them up on their next fetch.
   for (Input& in : link_->take_received()) {
+    // The peer evidently has this entry: fold it into the remote model so
+    // we never ship its coverage back.
+    if (oracle_ != nullptr) (void)oracle_->admit(in);
     inner_->publish(gateway_, std::move(in));
   }
 }
@@ -48,10 +63,11 @@ void NetHub::shutdown(u64 now_ns) {
   // One last export sweep so finds from the final sync interval still
   // reach the peer before the goodbye.
   for (Input& in : inner_->fetch_new(gateway_)) {
-    link_->offer(std::move(in));
+    export_one(std::move(in));
   }
   link_->shutdown(now_ns);
   for (Input& in : link_->take_received()) {
+    if (oracle_ != nullptr) (void)oracle_->admit(in);
     inner_->publish(gateway_, std::move(in));
   }
 }
@@ -59,6 +75,11 @@ void NetHub::shutdown(u64 now_ns) {
 LinkStats NetHub::link_stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return link_->stats();
+}
+
+corpus::OracleStats NetHub::oracle_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return oracle_ != nullptr ? oracle_->stats() : corpus::OracleStats{};
 }
 
 }  // namespace bigmap::netfleet

@@ -25,6 +25,7 @@
 #include <memory>
 #include <mutex>
 
+#include "corpus/novelty.h"
 #include "fuzzer/netfleet/link.h"
 #include "fuzzer/sync.h"
 
@@ -37,6 +38,12 @@ class NetHub final : public SyncEndpoint {
   // gateway instance. The link is owned.
   NetHub(SyncEndpoint* inner, u32 gateway_instance,
          std::unique_ptr<PeerLink> link);
+
+  // Optional virgin-map novelty gate (owned; see corpus/novelty.h and the
+  // MeshHub file comment). Opt-in: without it the pump behaves exactly as
+  // before, which keeps the pre-oracle federation drills bit-identical.
+  // Attach before the first pump().
+  void set_oracle(std::unique_ptr<corpus::NoveltyOracle> oracle);
 
   u32 num_instances() const noexcept override;
   bool publish(u32 instance, Input input) override;
@@ -54,11 +61,17 @@ class NetHub final : public SyncEndpoint {
 
   PeerLink& link() noexcept { return *link_; }
   LinkStats link_stats() const;
+  // Zeroed when no oracle is attached.
+  corpus::OracleStats oracle_stats() const;
 
  private:
+  // Offers one export, gated by the oracle when present.
+  void export_one(Input in);
+
   SyncEndpoint* inner_;
   const u32 gateway_;
   std::unique_ptr<PeerLink> link_;
+  std::unique_ptr<corpus::NoveltyOracle> oracle_;
   mutable std::mutex mu_;
 };
 

@@ -4,18 +4,9 @@
 #include "util/hash.h"
 
 namespace bigmap::netfleet {
-namespace {
 
-u32 read_u32_le(const u8* p) noexcept {
-  return static_cast<u32>(p[0]) | (static_cast<u32>(p[1]) << 8) |
-         (static_cast<u32>(p[2]) << 16) | (static_cast<u32>(p[3]) << 24);
-}
-
-void put_u32_le(std::vector<u8>& out, u32 v) {
-  for (int i = 0; i < 4; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
-}
-
-}  // namespace
+using bmsp::put_u32_le;
+using bmsp::read_u32_le;
 
 const char* net_msg_name(NetMsg m) noexcept {
   switch (m) {
@@ -39,9 +30,7 @@ void append_frame(std::vector<u8>& out, NetMsg type,
   put_u32_le(out, static_cast<u32>(payload.size()));
   out.insert(out.end(), payload.begin(), payload.end());
   // Same rule as persist::RecordWriter: CRC over type + len + payload.
-  const u32 crc = crc32(
-      {out.data() + header_start,
-       persist::kRecordHeaderSize + payload.size()});
+  const u32 crc = bmsp::frame_crc(out.data() + header_start, payload.size());
   put_u32_le(out, crc);
 }
 
@@ -147,7 +136,7 @@ std::optional<Frame> FrameDecoder::next() {
   if (avail < total) return std::nullopt;
   const u32 stored_crc =
       read_u32_le(p + persist::kRecordHeaderSize + len);
-  const u32 actual_crc = crc32({p, persist::kRecordHeaderSize + len});
+  const u32 actual_crc = bmsp::frame_crc(p, len);
   if (stored_crc != actual_crc) {
     fail("frame crc mismatch");
     return std::nullopt;

@@ -16,6 +16,8 @@
 #include <thread>
 #include <unordered_set>
 
+#include "corpus/novelty.h"
+#include "fuzzer/netfleet/mesh.h"
 #include "fuzzer/netfleet/nethub.h"
 #include "fuzzer/procfleet/shm.h"
 #include "fuzzer/procfleet/shm_hub.h"
@@ -89,6 +91,11 @@ ProcFleetResult run_process_fleet(const Program& program,
         "run_process_fleet: persist_dir is required (crash isolation "
         "without durable state would lose every unsynced find)");
   }
+  if (config.net.enabled && !config.mesh_links.empty()) {
+    throw std::invalid_argument(
+        "run_process_fleet: net.enabled and mesh_links are mutually "
+        "exclusive (a coordinator is a spoke or the hub, not both)");
+  }
   telemetry::FleetTelemetry* fleet = config.telemetry;
   if (fleet != nullptr && fleet->num_instances() < config.num_workers) {
     throw std::invalid_argument(
@@ -130,10 +137,11 @@ ProcFleetResult run_process_fleet(const Program& program,
     (void)store.instance_store(id);
   }
 
-  // Federation: the remote peer appears as one extra hub instance (the
-  // gateway) so its imports flow to workers through ordinary fetch_new and
-  // its exports are exactly what the gateway's own fetch_new returns.
-  const bool net_enabled = config.net.enabled;
+  // Federation: every remote peer appears behind one extra hub instance
+  // (the gateway) so imports flow to workers through ordinary fetch_new
+  // and exports are exactly what the gateway's own fetch_new returns. The
+  // gateway slot is shared by all links — a star hub still reserves one.
+  const bool net_enabled = config.net.enabled || !config.mesh_links.empty();
   const u32 gateway_id = config.num_workers;
 
   ShmGeometry geom;
@@ -147,9 +155,9 @@ ProcFleetResult run_process_fleet(const Program& program,
   // the gateway's publish/fetch traffic.
   ShmHub hub(&segment, hub_opts, nullptr);
 
-  std::unique_ptr<netfleet::NetHub> nethub;
-  if (net_enabled) {
-    netfleet::NetPeerConfig net_cfg = config.net;
+  // Builds one gateway link from a peer config, applying the shared
+  // defaults (fingerprint from the fleet identity, entry-size clamp).
+  auto make_link = [&](netfleet::NetPeerConfig net_cfg) {
     if (net_cfg.session_fingerprint == 0) {
       // Default identity: the fleet fingerprint fields. Both sides of a
       // correctly-configured federation derive the same value.
@@ -170,8 +178,33 @@ ProcFleetResult run_process_fleet(const Program& program,
     if (!link->ok()) {
       throw std::runtime_error("run_process_fleet: " + link->error());
     }
+    return link;
+  };
+  // One remote model per link: the oracle re-executes each candidate and
+  // ships it only when it flips virgin bits the peer has not covered.
+  auto make_oracle = [&]() -> std::unique_ptr<corpus::NoveltyOracle> {
+    if (!config.net_virgin_oracle) return nullptr;
+    corpus::OracleConfig oc;
+    oc.scheme = config.base.scheme;
+    oc.metric = config.base.metric;
+    oc.map = config.base.map;
+    oc.seed = config.base.seed;
+    oc.step_budget = config.base.step_budget;
+    oc.work_per_block = config.base.work_per_block;
+    return corpus::make_novelty_oracle(program, oc);
+  };
+
+  std::unique_ptr<netfleet::NetHub> nethub;
+  std::unique_ptr<netfleet::MeshHub> meshhub;
+  if (!config.mesh_links.empty()) {
+    meshhub = std::make_unique<netfleet::MeshHub>(&hub, gateway_id);
+    for (const netfleet::NetPeerConfig& ml : config.mesh_links) {
+      meshhub->add_link(make_link(ml), make_oracle());
+    }
+  } else if (net_enabled) {
     nethub = std::make_unique<netfleet::NetHub>(&hub, gateway_id,
-                                               std::move(link));
+                                                make_link(config.net));
+    if (config.net_virgin_oracle) nethub->set_oracle(make_oracle());
   }
 
   const u64 start_ns = monotonic_ns();
@@ -728,6 +761,7 @@ ProcFleetResult run_process_fleet(const Program& program,
     }
 
     if (nethub) nethub->pump(now);
+    if (meshhub) meshhub->pump(now);
 
     if (unfinished == 0) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(config.poll_ms));
@@ -738,6 +772,15 @@ ProcFleetResult run_process_fleet(const Program& program,
     // finds, deliver the backlog, say goodbye.
     nethub->shutdown(monotonic_ns());
     out.net = nethub->link_stats();
+    out.oracle = nethub->oracle_stats();
+  }
+  if (meshhub) {
+    meshhub->shutdown(monotonic_ns());
+    out.net = meshhub->aggregate_link_stats();
+    out.oracle = meshhub->aggregate_oracle_stats();
+    for (usize i = 0; i < meshhub->link_count(); ++i) {
+      out.mesh.push_back(meshhub->link_stats(i));
+    }
   }
 
   out.wall_seconds = static_cast<double>(monotonic_ns() - start_ns) * 1e-9;

@@ -44,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "corpus/novelty.h"
 #include "fuzzer/campaign.h"
 #include "fuzzer/netfleet/link.h"
 #include "fuzzer/sync.h"
@@ -120,6 +121,19 @@ struct ProcFleetConfig {
   // and pumps a PeerLink from its event loop — workers never know the
   // difference; remote finds arrive through their ordinary fetch_new.
   netfleet::NetPeerConfig net;
+
+  // Hub role of a star topology: one link per spoke, all sharing the
+  // single gateway instance, with spoke-to-spoke relay through the hub
+  // (netfleet/mesh.h). Mutually exclusive with net.enabled — a coordinator
+  // is either a spoke (one link) or the hub (many).
+  std::vector<netfleet::NetPeerConfig> mesh_links;
+
+  // Upgrades every gateway link's novelty gate from content-hash to
+  // virgin-map semantics: a per-link corpus::NoveltyOracle re-executes
+  // each candidate against a model of that peer's coverage and ships it
+  // only when it would flip virgin bits there. Opt-in so oracle-free
+  // federation runs stay bit-identical.
+  bool net_virgin_oracle = false;
 };
 
 enum class WorkerState : u8 {
@@ -170,8 +184,15 @@ struct ProcFleetResult {
   persist::PersistStats persist;
   bool resumed = false;
 
-  // Federation link accounting (zeroed when net.enabled was false).
+  // Federation link accounting (zeroed when no link was configured). For
+  // a star hub this is the sum over every spoke link; `mesh` then carries
+  // the per-link breakdown.
   netfleet::LinkStats net;
+  std::vector<netfleet::LinkStats> mesh;
+
+  // Gateway novelty-oracle accounting, aggregated over every link (zeroed
+  // unless net_virgin_oracle was set).
+  corpus::OracleStats oracle;
 
   // Final fleet-level telemetry snapshot (zeroed without telemetry).
   telemetry::StatsSnapshot fleet_total;

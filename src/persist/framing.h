@@ -1,0 +1,43 @@
+// Shared BMSP framing: the one definition of the record framing used both
+// on disk (persist/record.cpp: snapshots, journals, the corpus store) and
+// on the wire (fuzzer/netfleet/wire.cpp: PeerLink frames).
+//
+//   stream := [u32 magic "BMSP"][u32 format_version] frame*
+//   frame  := [u32 type][u32 payload_len][payload][u32 crc]
+//
+// All integers are little-endian; the CRC-32 (IEEE) covers type +
+// payload_len + payload. Both consumers previously carried private copies
+// of these constants and byte helpers — keeping them here means the disk
+// and wire formats cannot drift apart.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/hash.h"
+#include "util/types.h"
+
+namespace bigmap::bmsp {
+
+inline constexpr u32 kMagic = 0x50534D42u;  // "BMSP" little-endian
+inline constexpr u32 kFormatVersion = 1;
+inline constexpr usize kFileHeaderSize = 8;    // magic + format_version
+inline constexpr usize kRecordHeaderSize = 8;  // type + payload_len
+inline constexpr usize kRecordTrailerSize = 4;  // crc
+
+inline u32 read_u32_le(const u8* p) noexcept {
+  return static_cast<u32>(p[0]) | (static_cast<u32>(p[1]) << 8) |
+         (static_cast<u32>(p[2]) << 16) | (static_cast<u32>(p[3]) << 24);
+}
+
+inline void put_u32_le(std::vector<u8>& out, u32 v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
+}
+
+// CRC over one framed record starting at `frame` (header + payload, no
+// trailer) — the value stored in, and checked against, the trailer.
+inline u32 frame_crc(const u8* frame, usize payload_len) noexcept {
+  return crc32({frame, kRecordHeaderSize + payload_len});
+}
+
+}  // namespace bigmap::bmsp

@@ -6,14 +6,8 @@
 #include "util/hash.h"
 
 namespace bigmap::persist {
-namespace {
 
-u32 read_u32_le(const u8* p) noexcept {
-  return static_cast<u32>(p[0]) | (static_cast<u32>(p[1]) << 8) |
-         (static_cast<u32>(p[2]) << 16) | (static_cast<u32>(p[3]) << 24);
-}
-
-}  // namespace
+using bmsp::read_u32_le;
 
 const char* record_type_name(RecordType t) noexcept {
   switch (t) {
@@ -29,6 +23,12 @@ const char* record_type_name(RecordType t) noexcept {
     case RecordType::kCommit: return "commit";
     case RecordType::kFleetHeader: return "fleet-header";
     case RecordType::kFleetEvent: return "fleet-event";
+    case RecordType::kCorpusEntry: return "corpus-entry";
+    case RecordType::kCorpusCrash: return "corpus-crash";
+    case RecordType::kCorpusTombstone: return "corpus-tombstone";
+    case RecordType::kCorpusMeta: return "corpus-meta";
+    case RecordType::kQueueEntryRef: return "queue-entry-ref";
+    case RecordType::kCycleCursor: return "cycle-cursor";
   }
   return "unknown";
 }
@@ -112,8 +112,7 @@ void RecordWriter::end_record() {
   buf_[header_start_ + 6] = static_cast<u8>(len32 >> 16);
   buf_[header_start_ + 7] = static_cast<u8>(len32 >> 24);
   // CRC covers type + payload_len + payload.
-  const u32 crc = crc32(
-      {buf_.data() + header_start_, kRecordHeaderSize + len});
+  const u32 crc = bmsp::frame_crc(buf_.data() + header_start_, len);
   PayloadWriter w(buf_);
   w.put_u32(crc);
 }
@@ -151,8 +150,7 @@ ParsedFile parse_records(std::span<const u8> file) {
     }
     const u32 stored_crc =
         read_u32_le(file.data() + pos + kRecordHeaderSize + len);
-    const u32 actual_crc =
-        crc32({file.data() + pos, kRecordHeaderSize + len});
+    const u32 actual_crc = bmsp::frame_crc(file.data() + pos, len);
     if (stored_crc != actual_crc) {
       out.status = LoadStatus::kBadCrc;
       return out;

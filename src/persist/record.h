@@ -26,15 +26,18 @@
 #include <string>
 #include <vector>
 
+#include "persist/framing.h"
 #include "util/types.h"
 
 namespace bigmap::persist {
 
-inline constexpr u32 kMagic = 0x50534D42u;  // "BMSP" little-endian
-inline constexpr u32 kFormatVersion = 1;
-inline constexpr usize kFileHeaderSize = 8;
-inline constexpr usize kRecordHeaderSize = 8;  // type + payload_len
-inline constexpr usize kRecordTrailerSize = 4;  // crc
+// The framing itself (magic, version, header/trailer sizes, byte helpers)
+// lives in persist/framing.h and is shared with the netfleet wire format.
+inline constexpr u32 kMagic = bmsp::kMagic;
+inline constexpr u32 kFormatVersion = bmsp::kFormatVersion;
+inline constexpr usize kFileHeaderSize = bmsp::kFileHeaderSize;
+inline constexpr usize kRecordHeaderSize = bmsp::kRecordHeaderSize;
+inline constexpr usize kRecordTrailerSize = bmsp::kRecordTrailerSize;
 
 // Record types (v1). Values are part of the on-disk format — append only.
 enum class RecordType : u32 {
@@ -50,6 +53,12 @@ enum class RecordType : u32 {
   kCommit = 10,         // snapshot completeness marker (always last)
   kFleetHeader = 11,    // fleet journal: config fingerprint
   kFleetEvent = 12,     // fleet journal: one instance lifecycle event
+  kCorpusEntry = 13,    // corpus store: one deduplicated input (WAL + pack)
+  kCorpusCrash = 14,    // corpus store: one crash-triage index row
+  kCorpusTombstone = 15,  // corpus store WAL: entry dropped by trimming
+  kCorpusMeta = 16,     // corpus pack: live entry/crash counts
+  kQueueEntryRef = 17,  // snapshot: queue entry by corpus content hash
+  kCycleCursor = 18,    // snapshot: main-loop cycle cursor (stream-exact resume)
 };
 
 const char* record_type_name(RecordType t) noexcept;

@@ -87,7 +87,27 @@ std::vector<u8> encode_snapshot(const CampaignSnapshot& s) {
     w.put_u64(s.top_covered);
   });
 
+  rw.append(RecordType::kCycleCursor, [&](PayloadWriter& w) {
+    w.put_u8(s.in_cycle ? 1 : 0);
+    w.put_u64(s.cycle_qi);
+    w.put_u64(s.cycle_len);
+    w.put_u64(s.cycle_avg_ns);
+  });
+
   for (const QueueEntrySnap& e : s.entries) {
+    if (e.in_store) {
+      rw.append(RecordType::kQueueEntryRef, [&](PayloadWriter& w) {
+        w.put_u64(e.content_hash);
+        w.put_u64(e.stored_len);
+        w.put_u64(e.exec_ns);
+        w.put_u32(e.bitmap_hash);
+        w.put_u32(e.depth);
+        w.put_u8(e.favored ? 1 : 0);
+        w.put_u8(e.was_fuzzed ? 1 : 0);
+        w.put_u64(e.times_selected);
+      });
+      continue;
+    }
     rw.append(RecordType::kQueueEntry, [&](PayloadWriter& w) {
       w.put_u64(e.data.size());
       w.put_bytes(e.data);
@@ -217,6 +237,30 @@ DecodeResult decode_snapshot(std::span<const u8> file) {
         s.entries.push_back(std::move(e));
         break;
       }
+      case RecordType::kQueueEntryRef: {
+        QueueEntrySnap e;
+        u8 fav, fuzzed;
+        if (!r.get_u64(&e.content_hash) || !r.get_u64(&e.stored_len) ||
+            !r.get_u64(&e.exec_ns) || !r.get_u32(&e.bitmap_hash) ||
+            !r.get_u32(&e.depth) || !r.get_u8(&fav) || !r.get_u8(&fuzzed) ||
+            !r.get_u64(&e.times_selected)) {
+          return fail();
+        }
+        e.in_store = true;
+        e.favored = fav != 0;
+        e.was_fuzzed = fuzzed != 0;
+        s.entries.push_back(std::move(e));
+        break;
+      }
+      case RecordType::kCycleCursor: {
+        u8 in_cycle;
+        if (!r.get_u8(&in_cycle) || !r.get_u64(&s.cycle_qi) ||
+            !r.get_u64(&s.cycle_len) || !r.get_u64(&s.cycle_avg_ns)) {
+          return fail();
+        }
+        s.in_cycle = in_cycle != 0;
+        break;
+      }
       case RecordType::kTopRated: {
         if (!get_u32_vec(r, &s.top_entry) ||
             !get_u64_vec(r, &s.top_factor)) {
@@ -261,7 +305,12 @@ DecodeResult decode_snapshot(std::span<const u8> file) {
       }
       case RecordType::kFleetHeader:
       case RecordType::kFleetEvent:
-        // Fleet journal records inside a snapshot file: wrong file kind.
+      case RecordType::kCorpusEntry:
+      case RecordType::kCorpusCrash:
+      case RecordType::kCorpusTombstone:
+      case RecordType::kCorpusMeta:
+        // Journal / corpus-store records inside a snapshot file: wrong
+        // file kind.
         return fail();
     }
   }

@@ -28,6 +28,15 @@ struct QueueEntrySnap {
   bool favored = false;
   bool was_fuzzed = false;
   u64 times_selected = 0;
+  // Corpus-store reference. When `in_store` the entry is encoded as a
+  // kQueueEntryRef record — content hash + metadata, no bytes — and the
+  // restore path resolves the bytes through the campaign's CorpusStore.
+  // `stored_len` is the expected byte count, cross-checked on resolve.
+  // Entries whose WAL append failed (injected I/O faults) fall back to the
+  // inline kQueueEntry form so a checkpoint is always self-sufficient.
+  u64 content_hash = 0;
+  u64 stored_len = 0;
+  bool in_store = false;
 };
 
 struct CampaignSnapshot {
@@ -62,6 +71,18 @@ struct CampaignSnapshot {
   std::vector<u32> top_entry;   // per-position winner (kNoEntry when none)
   std::vector<u64> top_factor;  // per-position winning fav factor
   u64 top_covered = 0;
+
+  // --- main-loop cycle cursor ----------------------------------------------
+  // Checkpoints are committed only at queue-entry boundaries, so restoring
+  // this cursor re-enters the cycle exactly where the snapshot left off and
+  // the post-resume mutation stream is byte-identical to an uninterrupted
+  // run (the corpus chaos drill depends on this). A snapshot without the
+  // cursor record restores to a cycle restart — the old, stream-inexact
+  // behavior.
+  bool in_cycle = false;  // true: resume at entry cycle_qi of the open cycle
+  u64 cycle_qi = 0;       // next entry index within the cycle
+  u64 cycle_len = 0;      // queue length captured at cycle start
+  u64 cycle_avg_ns = 0;   // average exec_ns captured at cycle start
 
   // --- coverage state ------------------------------------------------------
   std::vector<u8> virgin_queue;

@@ -4,6 +4,17 @@
 //   statecheck [--dump] --fleet <dir>       validate a fleet directory
 //                                           (journal + every instance
 //                                           snapshot)
+//   statecheck [--dump] --corpus <dir>      fsck a corpus store (WAL +
+//                                           pack CRC/payload/content-hash
+//                                           integrity, torn tail) and
+//                                           cross-check every snap-*.bms
+//                                           store ref under <dir> against
+//                                           the live entry set
+//
+// --corpus accepts either the store directory itself (corpus.wal /
+// corpus.pack) or a fleet directory with a corpus/ subdirectory. The check
+// is read-only: a torn WAL tail is reported as a warning (open() truncates
+// it by design), structural pack damage and dangling refs are failures.
 //
 // Exit status 0 when everything checked is valid, 1 otherwise. --dump
 // additionally lists every record and the decoded campaign identity, which
@@ -16,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "corpus/store.h"
 #include "persist/fleet.h"
 #include "persist/io.h"
 #include "persist/record.h"
@@ -202,6 +214,99 @@ bool cross_validate(const std::string& dir, const JournalSummary& js) {
   return ok;
 }
 
+// Fsck of a corpus store plus ref cross-validation: every kQueueEntryRef
+// in every snapshot under `root` must resolve to a live store entry —
+// a dangling ref means a resumed campaign would lose that queue entry.
+bool check_corpus_dir(const std::string& root, bool dump) {
+  std::error_code ec;
+  std::string store_dir = root;
+  if (!fs::exists(root + "/corpus.wal", ec) &&
+      !fs::exists(root + "/corpus.pack", ec) &&
+      fs::is_directory(root + "/corpus", ec)) {
+    store_dir = root + "/corpus";
+  }
+  if (!fs::is_directory(store_dir, ec)) {
+    std::printf("%s: MISSING (not a directory)\n", store_dir.c_str());
+    return false;
+  }
+
+  corpus::CorpusStore probe(store_dir);
+  const corpus::FsckReport rep = probe.fsck();
+  bool ok = rep.ok;
+  for (const std::string& e : rep.errors) {
+    std::printf("%s: INVALID (%s)\n", store_dir.c_str(), e.c_str());
+  }
+  if (rep.ok) {
+    if (rep.torn_tail_bytes > 0) {
+      std::printf(
+          "%s: ok with torn tail (%llu trailing byte(s) past the valid "
+          "WAL prefix)\n",
+          store_dir.c_str(),
+          static_cast<unsigned long long>(rep.torn_tail_bytes));
+    } else {
+      std::printf("%s: ok\n", store_dir.c_str());
+    }
+    std::printf(
+        "  pack=%s wal=%s generation=%llu entries=%llu crash_rows=%llu "
+        "wal_records=%llu\n",
+        rep.pack_present ? "present" : "absent",
+        rep.wal_present ? "present" : "absent",
+        static_cast<unsigned long long>(rep.generation),
+        static_cast<unsigned long long>(rep.entries),
+        static_cast<unsigned long long>(rep.crash_rows),
+        static_cast<unsigned long long>(rep.wal_records));
+  }
+  if (dump) {
+    for (const char* name : {"corpus.pack", "corpus.wal"}) {
+      const std::string path = store_dir + "/" + name;
+      std::vector<u8> bytes;
+      std::string err;
+      if (!read_file(path, &bytes, FaultCtx{}, &err)) continue;
+      std::printf("  %s:\n", name);
+      dump_records(parse_records(bytes));
+    }
+  }
+  if (!rep.ok) return false;
+
+  // Snapshot store refs: any snap-*.bms anywhere under `root` that
+  // references a content hash the store no longer holds is a resume-time
+  // data loss. Skipped when the store itself is damaged (refs against a
+  // partial live set would be noise).
+  u64 refs = 0, dangling = 0;
+  for (auto it = fs::recursive_directory_iterator(
+           root, fs::directory_options::skip_permission_denied, ec);
+       it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    u64 seq;
+    if (ec || !it->is_regular_file(ec) ||
+        !parse_snap_seq(it->path().filename().string(), &seq)) {
+      continue;
+    }
+    std::vector<u8> bytes;
+    std::string err;
+    if (!read_file(it->path().string(), &bytes, FaultCtx{}, &err)) continue;
+    DecodeResult dec = decode_snapshot(bytes);
+    if (dec.status != LoadStatus::kOk) continue;  // reported by --fleet
+    for (const QueueEntrySnap& e : dec.snapshot->entries) {
+      if (!e.in_store) continue;
+      ++refs;
+      if (!std::binary_search(rep.live_hashes.begin(),
+                              rep.live_hashes.end(), e.content_hash)) {
+        std::printf(
+            "%s: DANGLING STORE REF (queue entry %016llx not in %s)\n",
+            it->path().c_str(),
+            static_cast<unsigned long long>(e.content_hash),
+            store_dir.c_str());
+        ++dangling;
+        ok = false;
+      }
+    }
+  }
+  std::printf("  %llu store ref(s) across snapshots, %llu dangling\n",
+              static_cast<unsigned long long>(refs),
+              static_cast<unsigned long long>(dangling));
+  return ok;
+}
+
 bool check_fleet_dir(const std::string& dir, bool dump) {
   JournalSummary js;
   bool ok = check_journal(dir + "/fleet.journal", dump, &js);
@@ -228,25 +333,30 @@ bool check_fleet_dir(const std::string& dir, bool dump) {
 int main(int argc, char** argv) {
   bool dump = false;
   std::string fleet_dir;
+  std::string corpus_dir;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--dump") == 0) {
       dump = true;
     } else if (std::strcmp(argv[i], "--fleet") == 0 && i + 1 < argc) {
       fleet_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--corpus") == 0 && i + 1 < argc) {
+      corpus_dir = argv[++i];
     } else {
       files.emplace_back(argv[i]);
     }
   }
-  if (fleet_dir.empty() && files.empty()) {
+  if (fleet_dir.empty() && corpus_dir.empty() && files.empty()) {
     std::fprintf(stderr,
                  "usage: statecheck [--dump] <snapshot.bms>...\n"
-                 "       statecheck [--dump] --fleet <dir>\n");
+                 "       statecheck [--dump] --fleet <dir>\n"
+                 "       statecheck [--dump] --corpus <dir>\n");
     return 2;
   }
 
   bool ok = true;
   if (!fleet_dir.empty()) ok = check_fleet_dir(fleet_dir, dump) && ok;
+  if (!corpus_dir.empty()) ok = check_corpus_dir(corpus_dir, dump) && ok;
   for (const std::string& path : files) {
     ok = check_snapshot_file(path, dump) && ok;
   }

@@ -1,0 +1,505 @@
+// CorpusStore tests: WAL round-trip property, corruption drills (every
+// truncation point, every flipped byte), compaction-crash recovery at each
+// phase, dedup/min-merge and trim invariants, canonical-export determinism,
+// pending-append retry under injected I/O faults, and fsck reporting.
+#include "corpus/store.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "util/fault.h"
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace bigmap::corpus {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  explicit TempDir(const char* tag) {
+    path = (fs::temp_directory_path() /
+            (std::string("bigmap_corpus_") + tag + "_" +
+             std::to_string(static_cast<unsigned>(::getpid()))))
+               .string();
+    fs::remove_all(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  std::string path;
+};
+
+std::vector<u8> read_all(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<u8>((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+}
+
+void write_all(const std::string& path, std::span<const u8> bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+// Deterministic input blob: `tag` selects content, so distinct tags are
+// distinct corpus entries.
+std::vector<u8> blob(u64 tag, usize len = 16) {
+  Xoshiro256 rng(tag * 0x9E3779B97F4A7C15ULL + 1);
+  std::vector<u8> out(len);
+  for (u8& b : out) b = static_cast<u8>(rng());
+  return out;
+}
+
+// Fills `store` with `n` random-ish entries and a couple of crash rows.
+// Returns the content hashes in insertion order.
+std::vector<u64> populate(CorpusStore& store, u64 seed, usize n) {
+  Xoshiro256 rng(seed);
+  std::vector<u64> hashes;
+  for (usize i = 0; i < n; ++i) {
+    const std::vector<u8> data = blob(seed * 1000 + i, 8 + (i % 24));
+    std::vector<u32> pos;
+    const usize npos = 1 + rng() % 5;
+    for (usize p = 0; p < npos; ++p) pos.push_back(static_cast<u32>(rng() % 64));
+    u64 h = 0;
+    store.add_entry(data, 100 + rng() % 900, static_cast<u32>(rng()),
+                    static_cast<u32>(rng() % 8), pos, &h);
+    hashes.push_back(h);
+  }
+  store.record_crash(0xDEAD0000 + seed, 1, 0, 10 + seed, blob(seed + 7000));
+  store.record_crash(0xBEEF0000 + seed, 2, 1, 20 + seed, blob(seed + 8000));
+  return hashes;
+}
+
+// --- WAL round-trip property ------------------------------------------------
+
+TEST(CorpusStoreTest, WalRoundTripProperty) {
+  for (u64 seed = 1; seed <= 8; ++seed) {
+    TempDir dir("roundtrip");
+    std::vector<u64> entry_hashes;
+    std::vector<CrashRow> crash_rows;
+    u64 digest = 0;
+    {
+      CorpusStore store(dir.path);
+      ASSERT_TRUE(store.open(/*fresh=*/true).ok);
+      populate(store, seed, 5 + static_cast<usize>(seed % 4));
+      entry_hashes = store.entry_hashes();
+      crash_rows = store.crash_rows();
+      digest = store.corpus_digest();
+    }
+    CorpusStore reopened(dir.path);
+    OpenReport rep = reopened.open(/*fresh=*/false);
+    ASSERT_TRUE(rep.ok) << "seed " << seed << ": " << rep.error;
+    EXPECT_EQ(reopened.entry_hashes(), entry_hashes) << "seed " << seed;
+    EXPECT_EQ(reopened.corpus_digest(), digest) << "seed " << seed;
+    ASSERT_EQ(reopened.crash_row_count(), crash_rows.size());
+    const std::vector<CrashRow> rows = reopened.crash_rows();
+    for (usize i = 0; i < rows.size(); ++i) {
+      EXPECT_EQ(rows[i].stack_hash, crash_rows[i].stack_hash);
+      EXPECT_EQ(rows[i].bug_id, crash_rows[i].bug_id);
+      EXPECT_EQ(rows[i].witness, crash_rows[i].witness);
+      EXPECT_EQ(rows[i].occurrences(), crash_rows[i].occurrences());
+    }
+    // Entry payloads survive byte-for-byte.
+    for (u64 h : entry_hashes) {
+      CorpusEntry e;
+      ASSERT_TRUE(reopened.fetch(h, &e));
+      EXPECT_EQ(fnv1a64(e.data), h);
+      EXPECT_TRUE(std::is_sorted(e.positions.begin(), e.positions.end()));
+    }
+  }
+}
+
+// --- corruption drills ------------------------------------------------------
+
+// Cutting the WAL at every possible byte must always reopen cleanly, with
+// the live set equal to exactly the adds whose record fully precedes the
+// cut — the truncated-tail recovery rule, checked at byte granularity.
+TEST(CorpusStoreTest, WalTruncationAtEveryByte) {
+  TempDir dir("trunc");
+  std::vector<usize> boundary;  // WAL size after each add
+  usize n_adds = 0;
+  {
+    CorpusStore store(dir.path);
+    ASSERT_TRUE(store.open(true).ok);
+    for (u64 i = 0; i < 6; ++i) {
+      store.add_entry(blob(i), 100 + i, 0, 0, std::vector<u32>{1});
+      boundary.push_back(read_all(dir.path + "/corpus.wal").size());
+      ++n_adds;
+    }
+  }
+  const std::vector<u8> wal = read_all(dir.path + "/corpus.wal");
+  ASSERT_EQ(wal.size(), boundary.back());
+  for (usize cut = 0; cut <= wal.size(); ++cut) {
+    TempDir sub("trunc_sub");
+    CorpusStore probe(sub.path);
+    ASSERT_TRUE(probe.open(true).ok);
+    write_all(sub.path + "/corpus.wal",
+              std::span<const u8>(wal.data(), cut));
+    CorpusStore reopened(sub.path);
+    OpenReport rep = reopened.open(false);
+    if (cut >= 1 && cut < 8) {
+      // A torn *file header* cannot come from a crash (it is written via
+      // temp + rename), so it is rejected as real damage. An empty file
+      // (cut 0) is re-headered like a fresh store.
+      EXPECT_FALSE(rep.ok) << "cut at " << cut;
+      continue;
+    }
+    ASSERT_TRUE(rep.ok) << "cut at " << cut << ": " << rep.error;
+    usize expect = 0;
+    for (usize b : boundary) {
+      if (b <= cut) ++expect;
+    }
+    EXPECT_EQ(reopened.size(), expect) << "cut at " << cut;
+  }
+}
+
+// Flipping any single WAL byte must reopen cleanly: the CRC catches the
+// damage and the tail past it is truncated away — never a crash, never a
+// corrupted entry admitted (content hashes are re-verified on replay).
+TEST(CorpusStoreTest, WalByteFlipTruncatesTail) {
+  TempDir dir("flip");
+  {
+    CorpusStore store(dir.path);
+    ASSERT_TRUE(store.open(true).ok);
+    for (u64 i = 0; i < 4; ++i) {
+      store.add_entry(blob(100 + i), 10 + i, 0, 0, std::vector<u32>{2});
+    }
+  }
+  const std::vector<u8> wal = read_all(dir.path + "/corpus.wal");
+  const usize full = [&] {
+    CorpusStore s(dir.path);
+    s.open(false);
+    return s.size();
+  }();
+  ASSERT_EQ(full, 4u);
+  for (usize i = 0; i < wal.size(); ++i) {
+    TempDir sub("flip_sub");
+    CorpusStore probe(sub.path);
+    ASSERT_TRUE(probe.open(true).ok);
+    std::vector<u8> corrupt = wal;
+    corrupt[i] ^= 0xFF;
+    write_all(sub.path + "/corpus.wal", corrupt);
+    CorpusStore reopened(sub.path);
+    OpenReport rep = reopened.open(false);
+    if (i < 8) {
+      // Damage in the file header: the whole journal is rejected.
+      EXPECT_FALSE(rep.ok) << "byte " << i;
+    } else {
+      ASSERT_TRUE(rep.ok) << "byte " << i << ": " << rep.error;
+      EXPECT_LE(reopened.size(), full) << "byte " << i;
+      for (u64 h : reopened.entry_hashes()) {
+        CorpusEntry e;
+        ASSERT_TRUE(reopened.fetch(h, &e));
+        EXPECT_EQ(fnv1a64(e.data), h) << "byte " << i;
+      }
+    }
+  }
+}
+
+// A pack is committed atomically, so any flipped byte is real corruption
+// and open() must refuse it outright rather than guess.
+TEST(CorpusStoreTest, PackByteFlipRejectsOpen) {
+  TempDir dir("packflip");
+  {
+    CorpusStore store(dir.path);
+    ASSERT_TRUE(store.open(true).ok);
+    populate(store, 3, 4);
+    std::string err;
+    ASSERT_TRUE(store.compact(&err)) << err;
+  }
+  const std::vector<u8> pack = read_all(dir.path + "/corpus.pack");
+  ASSERT_FALSE(pack.empty());
+  for (usize i = 0; i < pack.size(); i += 7) {  // stride keeps the drill fast
+    TempDir sub("packflip_sub");
+    CorpusStore probe(sub.path);
+    ASSERT_TRUE(probe.open(true).ok);
+    std::vector<u8> corrupt = pack;
+    corrupt[i] ^= 0xFF;
+    write_all(sub.path + "/corpus.pack", corrupt);
+    CorpusStore reopened(sub.path);
+    EXPECT_FALSE(reopened.open(false).ok) << "byte " << i;
+  }
+}
+
+// --- compaction crash recovery ----------------------------------------------
+
+// Aborting compaction at either phase (before the pack write; after the
+// rename but before the WAL reset) must reopen to the identical logical
+// state — the two-file commit protocol's core guarantee.
+TEST(CorpusStoreTest, CompactionCrashAtEachPhaseRecovers) {
+  for (CompactPhase crash_at :
+       {CompactPhase::kBeforePackWrite, CompactPhase::kAfterPackRename}) {
+    TempDir dir("compact_crash");
+    u64 digest = 0;
+    std::vector<u64> hashes;
+    usize crash_rows = 0;
+    {
+      CorpusStore store(dir.path);
+      ASSERT_TRUE(store.open(true).ok);
+      populate(store, 11, 6);
+      digest = store.corpus_digest();
+      hashes = store.entry_hashes();
+      crash_rows = store.crash_row_count();
+      store.set_compact_hook(
+          [crash_at](CompactPhase p) { return p != crash_at; });
+      std::string err;
+      EXPECT_FALSE(store.compact(&err));
+    }
+    CorpusStore reopened(dir.path);
+    OpenReport rep = reopened.open(false);
+    ASSERT_TRUE(rep.ok) << rep.error;
+    EXPECT_EQ(reopened.corpus_digest(), digest);
+    EXPECT_EQ(reopened.entry_hashes(), hashes);
+    EXPECT_EQ(reopened.crash_row_count(), crash_rows);
+    // And the wreckage must compact cleanly afterwards.
+    std::string err;
+    ASSERT_TRUE(reopened.compact(&err)) << err;
+    CorpusStore again(dir.path);
+    ASSERT_TRUE(again.open(false).ok);
+    EXPECT_EQ(again.corpus_digest(), digest);
+  }
+}
+
+// --- dedup / min-merge ------------------------------------------------------
+
+TEST(CorpusStoreTest, DedupByContentHash) {
+  TempDir dir("dedup");
+  CorpusStore store(dir.path);
+  ASSERT_TRUE(store.open(true).ok);
+  const std::vector<u8> data = blob(42);
+  EXPECT_TRUE(store.add_entry(data, 500, 1, 1, std::vector<u32>{3}));
+  EXPECT_FALSE(store.add_entry(data, 500, 1, 1, std::vector<u32>{3}));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.stats().dedup_hits, 1u);
+}
+
+// Two observations of the same content with different metadata must
+// converge to the same stored row whichever arrived first, both live and
+// across a WAL replay.
+TEST(CorpusStoreTest, DuplicateMetadataMergeIsOrderIndependent) {
+  const std::vector<u8> data = blob(77);
+  const std::vector<u32> pos_a{1, 2, 3};
+  const std::vector<u32> pos_b{4};
+  auto build = [&](const char* tag, bool a_first, std::vector<u8>* canonical) {
+    TempDir dir(tag);
+    CorpusStore store(dir.path);
+    ASSERT_TRUE(store.open(true).ok);
+    if (a_first) {
+      store.add_entry(data, 900, 10, 5, pos_a);
+      store.add_entry(data, 200, 20, 2, pos_b);
+    } else {
+      store.add_entry(data, 200, 20, 2, pos_b);
+      store.add_entry(data, 900, 10, 5, pos_a);
+    }
+    // The merged row must survive replay identically.
+    CorpusStore reopened(dir.path);
+    ASSERT_TRUE(reopened.open(false).ok);
+    CorpusEntry live, replayed;
+    ASSERT_TRUE(store.fetch(fnv1a64(data), &live));
+    ASSERT_TRUE(reopened.fetch(fnv1a64(data), &replayed));
+    EXPECT_EQ(live.exec_ns, replayed.exec_ns);
+    EXPECT_EQ(live.depth, replayed.depth);
+    EXPECT_EQ(live.positions, replayed.positions);
+    std::string err;
+    ASSERT_TRUE(store.export_canonical(dir.path + "/c.bin", &err)) << err;
+    *canonical = read_all(dir.path + "/c.bin");
+  };
+  std::vector<u8> ab, ba;
+  build("merge_ab", true, &ab);
+  build("merge_ba", false, &ba);
+  ASSERT_FALSE(ab.empty());
+  EXPECT_EQ(ab, ba);
+}
+
+// --- trimming ---------------------------------------------------------------
+
+TEST(CorpusStoreTest, TrimKeepsRareWitnessesAndPins) {
+  TempDir dir("trim");
+  CorpusStore store(dir.path);
+  ASSERT_TRUE(store.open(true).ok);
+  // cheap covers {1,2}; expensive covers {1,2} too (dominated); rare
+  // covers {9} alone; pinned covers {1} (dominated but pinned).
+  u64 cheap = 0, expensive = 0, rare = 0, pinned = 0;
+  store.add_entry(blob(1), 10, 0, 0, std::vector<u32>{1, 2}, &cheap);
+  store.add_entry(blob(2), 10000, 0, 0, std::vector<u32>{1, 2}, &expensive);
+  store.add_entry(blob(3), 9000, 0, 0, std::vector<u32>{9}, &rare);
+  store.add_entry(blob(4), 9000, 0, 0, std::vector<u32>{1}, &pinned);
+  TrimReport rep = store.trim({pinned});
+  EXPECT_EQ(rep.scanned, 4u);
+  EXPECT_EQ(rep.kept + rep.dropped, rep.scanned);
+  EXPECT_TRUE(store.contains(cheap));     // position winner
+  EXPECT_TRUE(store.contains(rare));      // sole coverer of 9
+  EXPECT_TRUE(store.contains(pinned));    // caller pin
+  EXPECT_FALSE(store.contains(expensive));  // dominated, unpinned
+  EXPECT_EQ(rep.rare_positions, 1u);  // position 9
+  // Idempotent: a second pass drops nothing further.
+  TrimReport again = store.trim({pinned});
+  EXPECT_EQ(again.dropped, 0u);
+  // Tombstones are durable: the drop survives replay and compaction.
+  CorpusStore reopened(dir.path);
+  ASSERT_TRUE(reopened.open(false).ok);
+  EXPECT_FALSE(reopened.contains(expensive));
+  EXPECT_EQ(reopened.size(), 3u);
+}
+
+// --- canonical export -------------------------------------------------------
+
+// Stores reaching the same live set through different histories (insertion
+// order, extra duplicates, trim timing, compaction count) must export
+// byte-identical canonical packs.
+TEST(CorpusStoreTest, ExportCanonicalIsHistoryIndependent) {
+  auto entry = [&](CorpusStore& s, u64 tag) {
+    s.add_entry(blob(tag), 50 + tag, static_cast<u32>(tag), 1,
+                std::vector<u32>{static_cast<u32>(tag % 7)});
+  };
+  TempDir d1("exp1"), d2("exp2");
+  CorpusStore s1(d1.path), s2(d2.path);
+  ASSERT_TRUE(s1.open(true).ok);
+  ASSERT_TRUE(s2.open(true).ok);
+  for (u64 t : {1, 2, 3, 4, 5}) entry(s1, t);
+  s1.record_crash(0xAB, 1, 0, 5, blob(900));
+  std::string err;
+  ASSERT_TRUE(s1.compact(&err)) << err;
+
+  for (u64 t : {5, 4, 3, 2, 1}) entry(s2, t);
+  for (u64 t : {2, 4}) entry(s2, t);  // dup observations
+  s2.record_crash(0xAB, 1, 0, 5, blob(900));
+  ASSERT_TRUE(s2.compact(&err)) << err;
+  ASSERT_TRUE(s2.compact(&err)) << err;  // extra generation
+
+  ASSERT_TRUE(s1.export_canonical(d1.path + "/c.bin", &err)) << err;
+  ASSERT_TRUE(s2.export_canonical(d2.path + "/c.bin", &err)) << err;
+  const std::vector<u8> c1 = read_all(d1.path + "/c.bin");
+  ASSERT_FALSE(c1.empty());
+  EXPECT_EQ(c1, read_all(d2.path + "/c.bin"));
+  // The live packs differ (generation counters); only the export is
+  // history-free.
+  EXPECT_NE(s1.generation(), s2.generation());
+}
+
+// --- pending retries under injected I/O faults ------------------------------
+
+TEST(CorpusStoreTest, FailedWalAppendIsPendingUntilFlushed) {
+  TempDir dir("pending");
+  FaultPlan plan;
+  // Occurrence 0 of kNoSpace is the fresh open's WAL header write,
+  // occurrence 1 the first add's append — target the second add.
+  plan.triggers.push_back(FaultTrigger{FaultSite::kNoSpace, 0, 2});
+  FaultInjector inj(99, plan);
+  CorpusStore store(dir.path, persist::FaultCtx{&inj, 0});
+  ASSERT_TRUE(store.open(true).ok);
+  u64 h1 = 0, h2 = 0;
+  bool durable = false;
+  ASSERT_TRUE(store.add_entry(blob(1), 10, 0, 0, std::vector<u32>{1}, &h1,
+                              &durable));
+  EXPECT_TRUE(durable);
+  // Second append hits the injected ENOSPC: entry stays live but volatile.
+  ASSERT_TRUE(store.add_entry(blob(2), 10, 0, 0, std::vector<u32>{2}, &h2,
+                              &durable));
+  EXPECT_FALSE(durable);
+  EXPECT_TRUE(store.contains(h2));
+  EXPECT_TRUE(store.durable(h1));
+  EXPECT_FALSE(store.durable(h2));
+  // A crash here would lose it — replay sees only the durable entry.
+  {
+    CorpusStore probe(dir.path);
+    ASSERT_TRUE(probe.open(false).ok);
+    EXPECT_TRUE(probe.contains(h1));
+    EXPECT_FALSE(probe.contains(h2));
+  }
+  // The one-shot fault has passed; the retry lands and durability returns.
+  std::string err;
+  EXPECT_TRUE(store.flush_pending(&err)) << err;
+  EXPECT_TRUE(store.durable(h2));
+  CorpusStore reopened(dir.path);
+  ASSERT_TRUE(reopened.open(false).ok);
+  EXPECT_TRUE(reopened.contains(h2));
+}
+
+// --- crash rows -------------------------------------------------------------
+
+TEST(CorpusStoreTest, CrashRowAggregatesAndDedupsReplays) {
+  TempDir dir("crash");
+  CorpusStore store(dir.path);
+  ASSERT_TRUE(store.open(true).ok);
+  const u64 stack = 0xFEEDFACE;
+  EXPECT_TRUE(store.record_crash(stack, 7, 2, 100, blob(1)));
+  EXPECT_TRUE(store.record_crash(stack, 7, 2, 250, {}));
+  // Replayed event (exec_seq <= last seen for the instance): dropped.
+  EXPECT_FALSE(store.record_crash(stack, 7, 2, 250, {}));
+  EXPECT_FALSE(store.record_crash(stack, 7, 2, 90, {}));
+  // Smaller instance id takes over the witness.
+  EXPECT_TRUE(store.record_crash(stack, 7, 0, 40, blob(2)));
+  ASSERT_EQ(store.crash_row_count(), 1u);
+  const CrashRow row = store.crash_rows()[0];
+  EXPECT_EQ(row.bug_id, 7u);
+  EXPECT_EQ(row.occurrences(), 3u);
+  EXPECT_EQ(row.witness_instance, 0u);
+  EXPECT_EQ(row.witness, blob(2));
+  EXPECT_EQ(row.sightings.at(2).first_exec, 100u);
+  EXPECT_EQ(row.sightings.at(2).last_exec, 250u);
+  // All of it survives replay.
+  CorpusStore reopened(dir.path);
+  ASSERT_TRUE(reopened.open(false).ok);
+  ASSERT_EQ(reopened.crash_row_count(), 1u);
+  const CrashRow replayed = reopened.crash_rows()[0];
+  EXPECT_EQ(replayed.occurrences(), 3u);
+  EXPECT_EQ(replayed.witness, blob(2));
+  EXPECT_EQ(replayed.witness_instance, 0u);
+}
+
+// --- fsck -------------------------------------------------------------------
+
+TEST(CorpusStoreTest, FsckReportsTornTailAsWarning) {
+  TempDir dir("fsck_tail");
+  {
+    CorpusStore store(dir.path);
+    ASSERT_TRUE(store.open(true).ok);
+    populate(store, 21, 3);
+  }
+  // Append garbage — a torn in-flight append.
+  {
+    std::ofstream out(dir.path + "/corpus.wal",
+                      std::ios::binary | std::ios::app);
+    out.write("garbage", 7);
+  }
+  CorpusStore probe(dir.path);
+  FsckReport rep = probe.fsck();
+  EXPECT_TRUE(rep.ok);  // recoverable by design
+  EXPECT_GT(rep.torn_tail_bytes, 0u);
+  EXPECT_EQ(rep.entries, 3u);
+  EXPECT_EQ(rep.live_hashes.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(rep.live_hashes.begin(), rep.live_hashes.end()));
+  // open() repairs (truncates); fsck is then clean.
+  CorpusStore repair(dir.path);
+  ASSERT_TRUE(repair.open(false).ok);
+  CorpusStore again(dir.path);
+  FsckReport clean = again.fsck();
+  EXPECT_TRUE(clean.ok);
+  EXPECT_EQ(clean.torn_tail_bytes, 0u);
+}
+
+TEST(CorpusStoreTest, FsckFailsOnCorruptPack) {
+  TempDir dir("fsck_pack");
+  {
+    CorpusStore store(dir.path);
+    ASSERT_TRUE(store.open(true).ok);
+    populate(store, 22, 3);
+    std::string err;
+    ASSERT_TRUE(store.compact(&err)) << err;
+  }
+  std::vector<u8> pack = read_all(dir.path + "/corpus.pack");
+  pack[pack.size() / 2] ^= 0xFF;
+  write_all(dir.path + "/corpus.pack", pack);
+  CorpusStore probe(dir.path);
+  FsckReport rep = probe.fsck();
+  EXPECT_FALSE(rep.ok);
+  EXPECT_FALSE(rep.errors.empty());
+}
+
+}  // namespace
+}  // namespace bigmap::corpus

@@ -57,6 +57,10 @@ CampaignSnapshot small_snapshot() {
   s.saturated_updates = 0;
   s.bug_ids = {3, 17};
   s.stack_hashes = {0x1111222233334444ull};
+  s.in_cycle = true;
+  s.cycle_qi = 1;
+  s.cycle_len = 1;
+  s.cycle_avg_ns = 1200;
   return s;
 }
 
@@ -95,6 +99,10 @@ void expect_equal(const CampaignSnapshot& a, const CampaignSnapshot& b) {
   EXPECT_EQ(a.top_entry, b.top_entry);
   EXPECT_EQ(a.top_factor, b.top_factor);
   EXPECT_EQ(a.top_covered, b.top_covered);
+  EXPECT_EQ(a.in_cycle, b.in_cycle);
+  EXPECT_EQ(a.cycle_qi, b.cycle_qi);
+  EXPECT_EQ(a.cycle_len, b.cycle_len);
+  EXPECT_EQ(a.cycle_avg_ns, b.cycle_avg_ns);
   EXPECT_EQ(a.virgin_queue, b.virgin_queue);
   EXPECT_EQ(a.virgin_crash, b.virgin_crash);
   EXPECT_EQ(a.virgin_hang, b.virgin_hang);
@@ -185,6 +193,13 @@ TEST(SnapshotFormatTest, RandomizedStatesRoundTrip) {
     s.stack_hashes.resize(pick(8));
     for (u64& v : s.stack_hashes) v = rng();
 
+    s.in_cycle = pick(2) != 0;
+    if (s.in_cycle) {
+      s.cycle_len = pick(num_entries + 1);
+      s.cycle_qi = pick(s.cycle_len + 1);
+      s.cycle_avg_ns = rng();
+    }
+
     DecodeResult d = decode_snapshot(encode_snapshot(s));
     ASSERT_EQ(d.status, LoadStatus::kOk) << "seed " << seed;
     ASSERT_TRUE(d.snapshot.has_value()) << "seed " << seed;
@@ -203,18 +218,19 @@ TEST(SnapshotFormatTest, GoldenV1Layout) {
   const RecordType expected_sequence[] = {
       RecordType::kCampaignHeader, RecordType::kCounters,
       RecordType::kRngState,       RecordType::kQueueMeta,
-      RecordType::kQueueEntry,     RecordType::kTopRated,
+      RecordType::kCycleCursor,    RecordType::kQueueEntry,
+      RecordType::kTopRated,       RecordType::kVirginMap,
       RecordType::kVirginMap,      RecordType::kVirginMap,
-      RecordType::kVirginMap,      RecordType::kMapState,
-      RecordType::kTriage,         RecordType::kCommit,
+      RecordType::kMapState,       RecordType::kTriage,
+      RecordType::kCommit,
   };
   ASSERT_EQ(parsed.records.size(), std::size(expected_sequence));
   for (usize i = 0; i < parsed.records.size(); ++i) {
     EXPECT_EQ(parsed.records[i].type, expected_sequence[i]) << i;
   }
 
-  EXPECT_EQ(bytes.size(), 604u);
-  EXPECT_EQ(crc32({bytes.data(), bytes.size()}), 0x271F63E7u);
+  EXPECT_EQ(bytes.size(), 641u);
+  EXPECT_EQ(crc32({bytes.data(), bytes.size()}), 0x870CCD3Bu);
 }
 
 // Corruption drill: flipping any single byte anywhere in the file must
