@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
-# Bench smoke pass: run the two headline benches at a reduced scale with
+# Bench smoke pass: run the headline benches at a reduced scale with
 # machine-readable output and validate the BENCH_*.json schema. CI runs
 # this to catch bench bit-rot and schema drift without paying for a
 # full-scale reproduction.
 #
 # Usage: scripts/bench_smoke.sh [output-dir]   (default: bench-artifacts)
 # Requires the bench binaries to be built (scripts/verify.sh or
-# `cmake --build build --target bench_fig6_throughput bench_fig9_parallel_scaling`).
+# `cmake --build build --target bench_fig6_throughput
+#  bench_fig9_parallel_scaling bench_tracing_fastpath`).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -26,6 +27,10 @@ BIGMAP_REAL_THREADS=1 BIGMAP_REAL_PROCS=1 \
   "$BUILD_DIR/bench/bench_fig9_parallel_scaling" \
   --json "$OUT_DIR/BENCH_fig9.json" \
   --telemetry-dir "$OUT_DIR/telemetry_fig9"
+
+echo
+echo "== bench_tracing_fastpath (scale $BIGMAP_BENCH_SCALE) =="
+"$BUILD_DIR/bench/bench_tracing_fastpath" --json "$OUT_DIR/BENCH_tracing.json"
 
 echo
 echo "== validating JSON schema and telemetry consistency =="
@@ -68,10 +73,13 @@ fig9 = load("BENCH_fig9.json", "fig9",
             ["normalized_throughput", "speedup_vs_afl",
              "real_thread_scaling", "telemetry_consistency",
              "real_process_degradation"])
+tracing = load("BENCH_tracing.json", "tracing",
+               ["tracing_ratio", "speedup"])
 
 # Every report must record which whole-map kernel produced it, so perf
 # trajectories in committed BENCH_*.json artifacts are attributable.
-for name, doc in (("BENCH_fig6.json", fig6), ("BENCH_fig9.json", fig9)):
+for name, doc in (("BENCH_fig6.json", fig6), ("BENCH_fig9.json", fig9),
+                  ("BENCH_tracing.json", tracing)):
     kernel = doc.get("meta", {}).get("kernel")
     check(kernel in ("scalar", "swar", "sse2", "avx2"),
           f"{name}: meta.kernel is {kernel!r}, not a known kernel")
@@ -104,12 +112,41 @@ ratio = float(degraded[cols.index("vs (N-1)")].rstrip("x"))
 check(ratio >= 0.8,
       f"fig9: degraded fleet throughput collapsed ({ratio}x of baseline)")
 
-# Fleet series snapshots must be present and monotone in execs.
-check(len(fig9.get("series", [])) >= 2, "fig9: missing fleet series")
-for series in fig9["series"]:
-    execs = [s["execs"] for s in series["snapshots"]]
-    check(execs == sorted(execs),
-          f"fig9: non-monotone exec series {series['name']}")
+# Fleet series snapshots must be present and monotone in execs. A bench
+# that silently emits zero or one snapshot per series (e.g. a telemetry
+# interval larger than the budget) must fail loudly, not pass vacuously.
+def check_series(doc, name, min_series):
+    series_list = doc.get("series", [])
+    check(len(series_list) >= min_series,
+          f"{name}: expected >= {min_series} series, got {len(series_list)}")
+    for series in series_list:
+        execs = [s["execs"] for s in series["snapshots"]]
+        check(len(execs) >= 2,
+              f"{name}: series {series['name']} has {len(execs)} snapshots "
+              "(need >= 2)")
+        check(execs == sorted(execs),
+              f"{name}: non-monotone exec series {series['name']}")
+
+
+check_series(fig9, "fig9", 2)
+
+# Tracing fast path: every dual-mode row must run >80% of steady-state
+# execs untraced and find exactly what always-trace finds.
+ratio_t = next(t for t in tracing["tables"] if t["name"] == "tracing_ratio")
+cols = ratio_t["columns"]
+check(len(ratio_t["rows"]) >= 4, "tracing: expected >= 4 tracing_ratio rows")
+for row in ratio_t["rows"]:
+    pct = float(row[cols.index("Steady untraced")].rstrip("%"))
+    check(pct > 80.0,
+          f"tracing: steady untraced ratio {pct}% <= 80% in row {row}")
+speed_t = next(t for t in tracing["tables"] if t["name"] == "speedup")
+cols = speed_t["columns"]
+check(len(speed_t["rows"]) == len(ratio_t["rows"]),
+      "tracing: speedup/tracing_ratio row count mismatch")
+for row in speed_t["rows"]:
+    check(row[cols.index("Finds equal")] == "yes",
+          f"tracing: dual-mode finds differ from always-trace in row {row}")
+check_series(tracing, "tracing", 1)
 
 # Emitted AFL-style trees: fuzzer_stats + plot_data for fleet and each
 # instance of the n=4 runs, under <scheme>/.
@@ -128,5 +165,6 @@ if failures:
 print("bench smoke OK:",
       f"fig6 tables={len(fig6['tables'])},",
       f"fig9 tables={len(fig9['tables'])},",
-      f"series={len(fig9['series'])}")
+      f"series={len(fig9['series'])},",
+      f"tracing tables={len(tracing['tables'])}")
 EOF

@@ -227,6 +227,10 @@ class Campaign {
     s.trimmed_bytes = res_.trimmed_bytes;
     s.faulted_execs = res_.faulted_execs;
     s.injected_hangs = res_.injected_hangs;
+    s.tracing_untraced_execs = res_.tracing_untraced_execs;
+    s.tracing_traced_execs = res_.tracing_traced_execs;
+    s.tracing_oracle_fires = res_.tracing_oracle_fires;
+    s.tracing_reexec_ns = res_.tracing_reexec_ns;
     s.crashes_total = triage_.total();
     s.crashes_afl_unique = triage_.afl_unique();
 
@@ -470,6 +474,10 @@ class Campaign {
     res_.trimmed_bytes = s.trimmed_bytes;
     res_.faulted_execs = s.faulted_execs;
     res_.injected_hangs = s.injected_hangs;
+    res_.tracing_untraced_execs = s.tracing_untraced_execs;
+    res_.tracing_traced_execs = s.tracing_traced_execs;
+    res_.tracing_oracle_fires = s.tracing_oracle_fires;
+    res_.tracing_reexec_ns = s.tracing_reexec_ns;
     res_.resumed = true;
     res_.resumed_from_execs = s.execs;
 
@@ -485,6 +493,10 @@ class Campaign {
         cfg_.telemetry->trim_execs.add(s.trim_execs);
         cfg_.telemetry->faulted_execs.add(s.faulted_execs);
         cfg_.telemetry->injected_hangs.add(s.injected_hangs);
+        cfg_.telemetry->tracing_untraced_execs.add(s.tracing_untraced_execs);
+        cfg_.telemetry->tracing_traced_execs.add(s.tracing_traced_execs);
+        cfg_.telemetry->tracing_oracle_fires.add(s.tracing_oracle_fires);
+        cfg_.telemetry->tracing_reexec_ns.add(s.tracing_reexec_ns);
       }
     }
     if (cfg_.control != nullptr) {
@@ -527,9 +539,69 @@ class Campaign {
 
   // Runs one input; adds it to the queue when interesting (or when it is a
   // non-crashing seed — AFL keeps all seeds). Returns true if queued.
+  //
+  // Under TracingMode::kDual a non-seed input first runs UNTRACED: only the
+  // inline interest oracle observes the execution, and a boring run (no
+  // oracle fire, no crash, no hang) costs neither trace emission nor any
+  // whole-map operation. Firing runs — and every crash/hang, which needs
+  // the exact virgin_crash/virgin_hang compare — replay through the full
+  // traced pipeline. The oracle is exact against the queue virgin map
+  // (see Executor::run_untraced), so the traced pipeline observes
+  // precisely the interesting/crash/hang executions it would have
+  // observed under kAlways; everything downstream (queue, triage, sync,
+  // corpus, checkpoints) is therefore stream-identical between the modes,
+  // and beyond crash/hang replays a re-execution is only ever paid for an
+  // actually-interesting input.
   bool process(Input input, u32 depth, bool is_seed) {
     if (!fault_gate()) return false;
-    auto out = ex_.run(input, res_.timing);
+    typename Executor<Map, Metric>::Outcome out;
+    if (cfg_.tracing == TracingMode::kDual && !is_seed) {
+      const auto fast = ex_.run_untraced(input, res_.timing);
+      if (fast.fired) {
+        ++res_.tracing_oracle_fires;
+        if (cfg_.telemetry != nullptr) {
+          cfg_.telemetry->tracing_oracle_fires.add();
+        }
+      }
+      const bool reexec =
+          fast.fired || fast.exec.crashed() || fast.exec.hung();
+      if (!reexec) {
+        // Boring exec: count it and keep going — no map pipeline at all.
+        ++res_.execs;
+        ++res_.tracing_untraced_execs;
+        if (cfg_.telemetry != nullptr) {
+          cfg_.telemetry->tracing_untraced_execs.add();
+          cfg_.telemetry->exec_ns.record(fast.exec_ns);
+        }
+        note_exec();
+        maybe_sample_series();
+        maybe_stamp_telemetry();
+        maybe_checkpoint();
+        maybe_compact_corpus();
+        return false;
+      }
+      // Traced re-execution. It passes the fault gate again: an aborted
+      // re-exec counts in NEITHER tracing counter and not against the
+      // budget — and since the untraced run mutated no campaign state,
+      // the breakpoint stays armed for the next time this coverage shows
+      // up.
+      if (!fault_gate()) return false;
+      const u64 reexec_start = monotonic_ns();
+      out = ex_.run(input, res_.timing);
+      const u64 reexec_ns = monotonic_ns() - reexec_start;
+      res_.tracing_reexec_ns += reexec_ns;
+      ++res_.tracing_traced_execs;
+      if (cfg_.telemetry != nullptr) {
+        cfg_.telemetry->tracing_traced_execs.add();
+        cfg_.telemetry->tracing_reexec_ns.add(reexec_ns);
+      }
+    } else {
+      out = ex_.run(input, res_.timing);
+      ++res_.tracing_traced_execs;
+      if (cfg_.telemetry != nullptr) {
+        cfg_.telemetry->tracing_traced_execs.add();
+      }
+    }
     ++res_.execs;
     note_exec();
     maybe_sample_series();
@@ -634,8 +706,12 @@ class Campaign {
         auto sr = ex_.run_for_hash(candidate, res_.timing);
         ++res_.execs;
         ++res_.trim_execs;
+        ++res_.tracing_traced_execs;  // hash runs use the full map pipeline
         note_exec();
-        if (cfg_.telemetry != nullptr) cfg_.telemetry->trim_execs.add();
+        if (cfg_.telemetry != nullptr) {
+          cfg_.telemetry->trim_execs.add();
+          cfg_.telemetry->tracing_traced_execs.add();
+        }
         maybe_sample_series();
         maybe_stamp_telemetry();
         maybe_checkpoint();

@@ -57,10 +57,30 @@ struct ExecHook {
   virtual void on_exec(u64 execs) = 0;
 };
 
+// Execution tracing policy (coverage-guided tracing, Nagy & Hicks).
+//
+//   kAlways  every exec runs fully traced through the whole-map pipeline
+//            (classic AFL behaviour; the control arm for diff testing).
+//   kDual    non-seed execs first run UNTRACED with only the inline
+//            interest oracle; the exec is re-executed traced iff the
+//            oracle fires or the run crashes/hangs. Seeds always run
+//            traced (the queue needs their trace for scoring), as do
+//            trim executions. The two modes provably produce identical
+//            find/crash/queue streams — mode_diff_test pins this.
+enum class TracingMode : u8 {
+  kAlways = 0,
+  kDual = 1,
+};
+
 struct CampaignConfig {
   MapScheme scheme = MapScheme::kTwoLevel;
   MetricKind metric = MetricKind::kEdge;
   MapOptions map;
+
+  // Coverage-guided tracing fast path: untraced-by-default execution with
+  // traced re-execution on oracle fire. Dual is the default because the
+  // modes are find-equivalent; benches compare against kAlways explicitly.
+  TracingMode tracing = TracingMode::kDual;
 
   u64 seed = 1;
 
@@ -236,6 +256,16 @@ struct CampaignResult {
   // Trimming statistics (when trim_enabled).
   u64 trim_execs = 0;
   u64 trimmed_bytes = 0;
+
+  // Coverage-guided tracing accounting. Invariant:
+  //   tracing_untraced_execs + tracing_traced_execs == execs
+  // (an exec counts as traced when it ran a map pipeline — seeds,
+  // oracle-fire re-executions, crash/hang replays, trim executions, and
+  // every exec under TracingMode::kAlways).
+  u64 tracing_untraced_execs = 0;
+  u64 tracing_traced_execs = 0;
+  u64 tracing_oracle_fires = 0;  // untraced runs stopped by the oracle
+  u64 tracing_reexec_ns = 0;     // wall time spent in traced re-executions
 
   // Corpus-store accounting (zero without a CorpusStore).
   u64 corpus_appends = 0;     // entries this instance added to the store

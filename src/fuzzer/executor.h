@@ -20,7 +20,9 @@
 
 #include <concepts>
 #include <span>
+#include <vector>
 
+#include "core/classify.h"
 #include "core/map_options.h"
 #include "core/virgin.h"
 #include "instrumentation/metrics.h"
@@ -109,6 +111,94 @@ class Executor {
         break;
     }
 
+    return out;
+  }
+
+  // Outcome of an untraced (coverage-guided tracing) run.
+  struct UntracedOutcome {
+    ExecResult exec;
+    // The interest oracle stopped the execution: this input may produce
+    // new coverage and must be re-executed with full tracing. The partial
+    // ExecResult is meaningless and must be discarded.
+    bool fired = false;
+    u64 exec_ns = 0;
+  };
+
+  // Runs one input with NO trace emission and NO whole-map operations —
+  // only the inline interest oracle. The oracle is EXACT against the
+  // queue virgin map: it fires if and only if the traced pipeline would
+  // report new bits for this input. Two parts compose:
+  //
+  //  - first-hit breakpoint (two-level scheme): the metric key has no
+  //    condensed slot yet (slot_of == kUnassigned). A fresh key lands in
+  //    a fresh 0xFF virgin byte — guaranteed new bits — and untraced mode
+  //    must never mutate the index, so execution stops immediately.
+  //  - final-count check: otherwise the run completes fully while a
+  //    sparse per-position u8 counter mirrors the map's counter (same
+  //    256-wrap); afterwards, fired = any touched position with
+  //    classify_count(final_count) & virgin — byte-for-byte the test
+  //    classify + compare_update would perform. Intermediate counts are
+  //    deliberately NOT checked against virgin mid-run: a traced run
+  //    clears only its FINAL bucket's bit, so lower-bucket bits stay
+  //    virgin indefinitely and checking them over-fires on nearly every
+  //    exec; the hot per-block path therefore touches no virgin byte at
+  //    all, only the two count arrays.
+  //
+  // Crashes and hangs complete normally (fired stays false); the caller
+  // decides to replay them traced for the exact crash/hang virgin compare.
+  // Nothing campaign-lifetime is touched: no index allocation, no virgin
+  // update — an aborted re-execution therefore leaves the breakpoint
+  // armed and the same input fires again.
+  UntracedOutcome run_untraced(std::span<const u8> input,
+                               OpTimeBreakdown& timing) {
+    UntracedOutcome out;
+    if (oracle_counts_.empty()) {
+      oracle_counts_.assign(virgin_positions(), 0);
+      oracle_touched_.reserve(1024);
+    }
+    const u64 start = monotonic_ns();
+    metric_.begin_execution();
+    out.exec = interp_.run_until(
+        *prog_, input, &out.fired, [this](u32 block_index) {
+          if constexpr (ContextAwareMetric<Metric>) {
+            const Block& b = prog_->blocks[block_index];
+            if (b.kind == BlockKind::kCall) {
+              metric_.on_call(b.targets[0]);
+            } else if (b.kind == BlockKind::kReturn) {
+              metric_.on_return();
+            }
+          }
+          const u32 key = metric_.visit(block_index);
+          u32 pos;
+          if constexpr (Map::kScheme == MapScheme::kTwoLevel) {
+            pos = map_.slot_of(key);
+            if (pos == Map::kUnassigned) return true;
+          } else {
+            pos = key & static_cast<u32>(map_.map_size() - 1);
+          }
+          const u8 c = ++oracle_counts_[pos];
+          if (c == 1) oracle_touched_.push_back(pos);
+          return false;
+        });
+    // Fused final-count check + sparse counter reset, one branchless pass
+    // over the touched positions (LUT classify, like the traced pipeline's
+    // classify_counts). Runs on every exit path so the scratch is always
+    // clean for the next run; after an early first-hit stop the touched
+    // list is short and `novel` is simply ignored. The touched list can
+    // hold a duplicate after a 256-wrap; the extra zero store is harmless.
+    {
+      const u8* virgin = virgin_queue_.data();
+      const auto& lut = count_class_lookup8();
+      bool novel = false;
+      for (u32 pos : oracle_touched_) {
+        novel |= (virgin[pos] & lut[oracle_counts_[pos]]) != 0;
+        oracle_counts_[pos] = 0;
+      }
+      oracle_touched_.clear();
+      out.fired = out.fired || novel;
+    }
+    out.exec_ns = monotonic_ns() - start;
+    timing.add(MapOp::kExecution, out.exec_ns);
     return out;
   }
 
@@ -219,6 +309,11 @@ class Executor {
   VirginMap virgin_hang_;
   Interpreter interp_;
   bool merged_;
+  // Untraced-mode scratch: per-exec u8 hit counts per virgin position
+  // (lazily allocated on the first run_untraced) and the positions touched
+  // this run, for sparse reset.
+  std::vector<u8> oracle_counts_;
+  std::vector<u32> oracle_touched_;
 };
 
 }  // namespace bigmap

@@ -29,6 +29,7 @@ const char* record_type_name(RecordType t) noexcept {
     case RecordType::kCorpusMeta: return "corpus-meta";
     case RecordType::kQueueEntryRef: return "queue-entry-ref";
     case RecordType::kCycleCursor: return "cycle-cursor";
+    case RecordType::kTracingState: return "tracing-state";
   }
   return "unknown";
 }

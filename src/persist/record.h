@@ -59,6 +59,7 @@ enum class RecordType : u32 {
   kCorpusMeta = 16,     // corpus pack: live entry/crash counts
   kQueueEntryRef = 17,  // snapshot: queue entry by corpus content hash
   kCycleCursor = 18,    // snapshot: main-loop cycle cursor (stream-exact resume)
+  kTracingState = 19,   // snapshot: coverage-guided tracing lifetime counters
 };
 
 const char* record_type_name(RecordType t) noexcept;

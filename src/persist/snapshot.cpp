@@ -76,6 +76,15 @@ std::vector<u8> encode_snapshot(const CampaignSnapshot& s) {
     w.put_u64(s.crashes_afl_unique);
   });
 
+  // Additive (like kCycleCursor): readers that predate the record skip it,
+  // snapshots that lack it decode with zeroed tracing counters.
+  rw.append(RecordType::kTracingState, [&](PayloadWriter& w) {
+    w.put_u64(s.tracing_untraced_execs);
+    w.put_u64(s.tracing_traced_execs);
+    w.put_u64(s.tracing_oracle_fires);
+    w.put_u64(s.tracing_reexec_ns);
+  });
+
   rw.append(RecordType::kRngState, [&](PayloadWriter& w) {
     for (u64 v : s.rng_state) w.put_u64(v);
     for (u64 v : s.mutator_rng_state) w.put_u64(v);
@@ -197,6 +206,15 @@ DecodeResult decode_snapshot(std::span<const u8> file) {
             !r.get_u64(&s.trimmed_bytes) || !r.get_u64(&s.faulted_execs) ||
             !r.get_u64(&s.injected_hangs) || !r.get_u64(&s.crashes_total) ||
             !r.get_u64(&s.crashes_afl_unique)) {
+          return fail();
+        }
+        break;
+      }
+      case RecordType::kTracingState: {
+        if (!r.get_u64(&s.tracing_untraced_execs) ||
+            !r.get_u64(&s.tracing_traced_execs) ||
+            !r.get_u64(&s.tracing_oracle_fires) ||
+            !r.get_u64(&s.tracing_reexec_ns)) {
           return fail();
         }
         break;

@@ -62,6 +62,16 @@ struct CampaignSnapshot {
   u64 crashes_total = 0;
   u64 crashes_afl_unique = 0;
 
+  // Coverage-guided tracing counters (kTracingState record, additive like
+  // kCycleCursor: a snapshot without the record restores these as zero —
+  // only lifetime accounting is affected, never correctness, because the
+  // oracle's breakpoint set is derived from the virgin maps + index bitmap
+  // above, which are already snapshotted).
+  u64 tracing_untraced_execs = 0;
+  u64 tracing_traced_execs = 0;
+  u64 tracing_oracle_fires = 0;
+  u64 tracing_reexec_ns = 0;
+
   // --- RNG stream positions ----------------------------------------------
   std::array<u64, 4> rng_state{};
   std::array<u64, 4> mutator_rng_state{};

@@ -70,6 +70,37 @@ class Interpreter {
   template <typename OnBlock>
   ExecResult run(const Program& prog, std::span<const u8> input,
                  OnBlock&& on_block) {
+    return run_impl(prog, input, [&](u32 block) {
+      on_block(block);
+      return false;
+    });
+  }
+
+  // Untraced fast path (coverage-guided tracing): like run(), but the
+  // per-block callback is an interest oracle — returning true stops the
+  // execution immediately and sets *stopped (the caller then re-executes
+  // with full tracing). Block ordering, step accounting, and all outcome
+  // semantics are identical to run(), so a run the oracle never stops is
+  // bit-for-bit the execution a traced run would have performed.
+  template <typename Oracle>
+  ExecResult run_until(const Program& prog, std::span<const u8> input,
+                       bool* stopped, Oracle&& oracle) {
+    bool hit = false;
+    ExecResult res = run_impl(prog, input, [&](u32 block) {
+      hit = oracle(block);
+      return hit;
+    });
+    *stopped = hit;
+    return res;
+  }
+
+ private:
+  // Shared execution loop. on_block returns true to stop mid-execution;
+  // the result then carries the steps executed so far with outcome kOk
+  // (the caller is expected to discard or replay it).
+  template <typename OnBlock>
+  ExecResult run_impl(const Program& prog, std::span<const u8> input,
+                      OnBlock&& on_block) {
     ExecResult res;
     if (prog.blocks.empty()) return res;
     begin_run(prog.blocks.size());
@@ -82,7 +113,7 @@ class Interpreter {
         break;
       }
       ++res.steps;
-      on_block(cur);
+      if (on_block(cur)) break;
       for (u32 w = 0; w < work_per_block_; ++w) {
         work_acc = work_acc * 6364136223846793005ULL + cur;
       }

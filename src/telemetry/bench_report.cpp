@@ -33,6 +33,10 @@ void write_snapshot_json(JsonWriter& w, const StatsSnapshot& s) {
   w.field("faulted_execs", s.faulted_execs);
   w.field("injected_hangs", s.injected_hangs);
   w.field("restarts", s.restarts);
+  w.field("tracing_untraced_execs", s.tracing_untraced_execs);
+  w.field("tracing_traced_execs", s.tracing_traced_execs);
+  w.field("tracing_oracle_fires", s.tracing_oracle_fires);
+  w.field("tracing_reexec_ns", s.tracing_reexec_ns);
   w.field("checkpoints_written", s.checkpoints_written);
   w.field("checkpoints_loaded", s.checkpoints_loaded);
   w.field("checkpoint_bytes", s.checkpoint_bytes);

@@ -55,6 +55,10 @@ std::string render_fuzzer_stats(const StatsSnapshot& s,
   kv(out, "faulted_execs", s.faulted_execs);
   kv(out, "injected_hangs", s.injected_hangs);
   kv(out, "restarts", s.restarts);
+  kv(out, "tracing_untraced", s.tracing_untraced_execs);
+  kv(out, "tracing_traced", s.tracing_traced_execs);
+  kv(out, "tracing_fires", s.tracing_oracle_fires);
+  kv(out, "tracing_reexec_ns", s.tracing_reexec_ns);
   kv(out, "checkpoints_written", s.checkpoints_written);
   kv(out, "checkpoints_loaded", s.checkpoints_loaded);
   kv(out, "checkpoint_bytes", s.checkpoint_bytes);

@@ -29,6 +29,10 @@ StatsSnapshot TelemetrySink::live_at(u64 relative_ms) const {
   s.faulted_execs = faulted_execs.get();
   s.injected_hangs = injected_hangs.get();
   s.restarts = restarts.get();
+  s.tracing_untraced_execs = tracing_untraced_execs.get();
+  s.tracing_traced_execs = tracing_traced_execs.get();
+  s.tracing_oracle_fires = tracing_oracle_fires.get();
+  s.tracing_reexec_ns = tracing_reexec_ns.get();
 
   s.checkpoints_written = checkpoints_written.get();
   s.checkpoints_loaded = checkpoints_loaded.get();
@@ -123,6 +127,10 @@ StatsSnapshot FleetTelemetry::fleet_total() const {
     total.sync_imported += s.sync_imported;
     total.faulted_execs += s.faulted_execs;
     total.injected_hangs += s.injected_hangs;
+    total.tracing_untraced_execs += s.tracing_untraced_execs;
+    total.tracing_traced_execs += s.tracing_traced_execs;
+    total.tracing_oracle_fires += s.tracing_oracle_fires;
+    total.tracing_reexec_ns += s.tracing_reexec_ns;
     total.checkpoints_written += s.checkpoints_written;
     total.checkpoints_loaded += s.checkpoints_loaded;
     total.checkpoint_bytes += s.checkpoint_bytes;

@@ -46,6 +46,14 @@ class TelemetrySink {
   Counter injected_hangs;
   Counter restarts;  // bumped by the supervisor, not the campaign
 
+  // Coverage-guided tracing counters (see CampaignConfig::tracing):
+  // untraced/traced exec split, oracle fires, and wall time spent in traced
+  // re-executions.
+  Counter tracing_untraced_execs;
+  Counter tracing_traced_execs;
+  Counter tracing_oracle_fires;
+  Counter tracing_reexec_ns;
+
   // Persistence counters (bumped by the campaign's checkpoint path; see
   // persist/checkpoint.h for the recovery-cause taxonomy).
   Counter checkpoints_written;

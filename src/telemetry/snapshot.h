@@ -36,6 +36,13 @@ struct StatsSnapshot {
   u64 injected_hangs = 0;
   u64 restarts = 0;
 
+  // Coverage-guided tracing accounting (untraced fast path vs. traced
+  // pipeline split; tracing_reexec_ns is wall time in traced replays).
+  u64 tracing_untraced_execs = 0;
+  u64 tracing_traced_execs = 0;
+  u64 tracing_oracle_fires = 0;
+  u64 tracing_reexec_ns = 0;
+
   // Persistence accounting (checkpoint/journal layer). Recovery counters
   // split by cause: a torn snapshot tail, a CRC mismatch, a stale or
   // foreign format version.

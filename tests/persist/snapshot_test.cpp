@@ -33,6 +33,10 @@ CampaignSnapshot small_snapshot() {
   s.injected_hangs = 1;
   s.crashes_total = 9;
   s.crashes_afl_unique = 4;
+  s.tracing_untraced_execs = 9000;
+  s.tracing_traced_execs = 1000;
+  s.tracing_oracle_fires = 40;
+  s.tracing_reexec_ns = 123456;
   s.rng_state = {1, 2, 3, 4};
   s.mutator_rng_state = {5, 6, 7, 8};
   QueueEntrySnap e;
@@ -83,6 +87,10 @@ void expect_equal(const CampaignSnapshot& a, const CampaignSnapshot& b) {
   EXPECT_EQ(a.injected_hangs, b.injected_hangs);
   EXPECT_EQ(a.crashes_total, b.crashes_total);
   EXPECT_EQ(a.crashes_afl_unique, b.crashes_afl_unique);
+  EXPECT_EQ(a.tracing_untraced_execs, b.tracing_untraced_execs);
+  EXPECT_EQ(a.tracing_traced_execs, b.tracing_traced_execs);
+  EXPECT_EQ(a.tracing_oracle_fires, b.tracing_oracle_fires);
+  EXPECT_EQ(a.tracing_reexec_ns, b.tracing_reexec_ns);
   EXPECT_EQ(a.rng_state, b.rng_state);
   EXPECT_EQ(a.mutator_rng_state, b.mutator_rng_state);
   ASSERT_EQ(a.entries.size(), b.entries.size());
@@ -148,6 +156,10 @@ TEST(SnapshotFormatTest, RandomizedStatesRoundTrip) {
     s.injected_hangs = rng();
     s.crashes_total = rng();
     s.crashes_afl_unique = rng();
+    s.tracing_untraced_execs = rng();
+    s.tracing_traced_execs = rng();
+    s.tracing_oracle_fires = rng();
+    s.tracing_reexec_ns = rng();
     for (u64& v : s.rng_state) v = rng();
     for (u64& v : s.mutator_rng_state) v = rng();
 
@@ -217,20 +229,83 @@ TEST(SnapshotFormatTest, GoldenV1Layout) {
   ASSERT_EQ(parsed.status, LoadStatus::kOk);
   const RecordType expected_sequence[] = {
       RecordType::kCampaignHeader, RecordType::kCounters,
-      RecordType::kRngState,       RecordType::kQueueMeta,
-      RecordType::kCycleCursor,    RecordType::kQueueEntry,
-      RecordType::kTopRated,       RecordType::kVirginMap,
+      RecordType::kTracingState,   RecordType::kRngState,
+      RecordType::kQueueMeta,      RecordType::kCycleCursor,
+      RecordType::kQueueEntry,     RecordType::kTopRated,
       RecordType::kVirginMap,      RecordType::kVirginMap,
-      RecordType::kMapState,       RecordType::kTriage,
-      RecordType::kCommit,
+      RecordType::kVirginMap,      RecordType::kMapState,
+      RecordType::kTriage,         RecordType::kCommit,
   };
   ASSERT_EQ(parsed.records.size(), std::size(expected_sequence));
   for (usize i = 0; i < parsed.records.size(); ++i) {
     EXPECT_EQ(parsed.records[i].type, expected_sequence[i]) << i;
   }
 
-  EXPECT_EQ(bytes.size(), 641u);
-  EXPECT_EQ(crc32({bytes.data(), bytes.size()}), 0x870CCD3Bu);
+  EXPECT_EQ(bytes.size(), 685u);
+  EXPECT_EQ(crc32({bytes.data(), bytes.size()}), 0x75811041u);
+}
+
+// Golden pin of the kTracingState record itself (the PR's additive record,
+// following the kCycleCursor precedent): payload is exactly 4 little-endian
+// u64s in untraced/traced/fires/reexec_ns order. The byte-level pin keeps
+// the record decodable by every future reader.
+TEST(SnapshotFormatTest, GoldenTracingStateRecordLayout) {
+  const std::vector<u8> bytes = encode_snapshot(small_snapshot());
+  ParsedFile parsed = parse_records(bytes);
+  ASSERT_EQ(parsed.status, LoadStatus::kOk);
+
+  const RecordView* rec = nullptr;
+  for (const RecordView& r : parsed.records) {
+    if (r.type == RecordType::kTracingState) rec = &r;
+  }
+  ASSERT_NE(rec, nullptr);
+  ASSERT_EQ(rec->payload.size(), 32u);
+
+  const auto le64 = [&](usize off) {
+    u64 v = 0;
+    for (usize i = 0; i < 8; ++i) {
+      v |= static_cast<u64>(rec->payload[off + i]) << (8 * i);
+    }
+    return v;
+  };
+  EXPECT_EQ(le64(0), 9000u);    // tracing_untraced_execs
+  EXPECT_EQ(le64(8), 1000u);    // tracing_traced_execs
+  EXPECT_EQ(le64(16), 40u);     // tracing_oracle_fires
+  EXPECT_EQ(le64(24), 123456u); // tracing_reexec_ns
+}
+
+// A snapshot encoded WITHOUT the kTracingState record (a pre-tracing
+// writer) must decode fine with zeroed tracing counters — the record is
+// additive, not versioned.
+TEST(SnapshotFormatTest, MissingTracingStateRecordDecodesAsZeros) {
+  const std::vector<u8> bytes = encode_snapshot(small_snapshot());
+  ParsedFile parsed = parse_records(bytes);
+  ASSERT_EQ(parsed.status, LoadStatus::kOk);
+
+  // Re-encode the file dropping the kTracingState record (header + every
+  // other record verbatim — records are self-contained, so splicing one
+  // out keeps the rest valid).
+  std::vector<u8> stripped(bytes.begin(),
+                           bytes.begin() + static_cast<long>(kFileHeaderSize));
+  usize off = kFileHeaderSize;
+  for (const RecordView& r : parsed.records) {
+    const usize rec_size =
+        kRecordHeaderSize + r.payload.size() + kRecordTrailerSize;
+    if (r.type != RecordType::kTracingState) {
+      stripped.insert(stripped.end(), bytes.begin() + static_cast<long>(off),
+                      bytes.begin() + static_cast<long>(off + rec_size));
+    }
+    off += rec_size;
+  }
+
+  DecodeResult d = decode_snapshot(stripped);
+  ASSERT_EQ(d.status, LoadStatus::kOk);
+  ASSERT_TRUE(d.snapshot.has_value());
+  EXPECT_EQ(d.snapshot->tracing_untraced_execs, 0u);
+  EXPECT_EQ(d.snapshot->tracing_traced_execs, 0u);
+  EXPECT_EQ(d.snapshot->tracing_oracle_fires, 0u);
+  EXPECT_EQ(d.snapshot->tracing_reexec_ns, 0u);
+  EXPECT_EQ(d.snapshot->execs, 10000u);  // everything else survives
 }
 
 // Corruption drill: flipping any single byte anywhere in the file must

@@ -1,0 +1,205 @@
+// Interpreter determinism regression: same program + input + budget must
+// produce the identical execution in both tracing modes — step counts,
+// block sequences, and crash/hang verdicts. Dual-mode fuzzing leans on
+// this: an untraced run the oracle never stops must be bit-for-bit the
+// execution the traced re-run then performs.
+#include "target/interpreter.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "target/generator.h"
+
+namespace bigmap {
+namespace {
+
+GeneratedTarget determinism_target(u64 seed = 7) {
+  GeneratorParams p;
+  p.name = "determinism-target";
+  p.seed = seed;
+  p.live_blocks = 150;
+  p.num_bugs = 2;
+  p.bug_min_depth = 1;
+  p.bug_max_depth = 2;
+  return generate_target(p);
+}
+
+struct Trace {
+  ExecResult result;
+  std::vector<u32> blocks;
+};
+
+Trace run_traced(Interpreter& interp, const Program& prog,
+                 const std::vector<u8>& input) {
+  Trace t;
+  t.result = interp.run(prog, input,
+                        [&](u32 block) { t.blocks.push_back(block); });
+  return t;
+}
+
+template <typename Oracle>
+Trace run_untraced(Interpreter& interp, const Program& prog,
+                   const std::vector<u8>& input, bool* stopped,
+                   Oracle&& oracle) {
+  Trace t;
+  t.result = interp.run_until(prog, input, stopped, [&](u32 block) {
+    t.blocks.push_back(block);
+    return oracle(block);
+  });
+  return t;
+}
+
+void expect_identical(const Trace& a, const Trace& b) {
+  EXPECT_EQ(a.result.outcome, b.result.outcome);
+  EXPECT_EQ(a.result.steps, b.result.steps);
+  EXPECT_EQ(a.result.bug_id, b.result.bug_id);
+  EXPECT_EQ(a.result.faulting_block, b.result.faulting_block);
+  EXPECT_EQ(a.result.stack_hash, b.result.stack_hash);
+  EXPECT_EQ(a.blocks, b.blocks);
+}
+
+std::vector<std::vector<u8>> probe_inputs(const GeneratedTarget& target) {
+  std::vector<std::vector<u8>> inputs = make_seed_corpus(target, 8, 3);
+  inputs.push_back({});                        // empty input
+  inputs.push_back(std::vector<u8>(64, 0xFF));  // saturated bytes
+  for (u32 bug = 0; bug < target.program.num_bugs; ++bug) {
+    inputs.push_back(target.crashing_input(bug));
+  }
+  return inputs;
+}
+
+TEST(DeterminismTest, TracedRunsAreRepeatable) {
+  GeneratedTarget target = determinism_target();
+  Interpreter interp(1u << 14);
+  for (const auto& input : probe_inputs(target)) {
+    Trace first = run_traced(interp, target.program, input);
+    Trace second = run_traced(interp, target.program, input);
+    expect_identical(first, second);
+    EXPECT_GT(first.result.steps, 0u);
+    EXPECT_EQ(first.blocks.size(), first.result.steps);
+  }
+}
+
+TEST(DeterminismTest, UntracedRunsAreRepeatable) {
+  GeneratedTarget target = determinism_target();
+  Interpreter interp(1u << 14);
+  auto never = [](u32) { return false; };
+  for (const auto& input : probe_inputs(target)) {
+    bool s1 = true, s2 = true;
+    Trace first = run_untraced(interp, target.program, input, &s1, never);
+    Trace second = run_untraced(interp, target.program, input, &s2, never);
+    EXPECT_FALSE(s1);
+    EXPECT_FALSE(s2);
+    expect_identical(first, second);
+  }
+}
+
+// The mode-equivalence cornerstone: a run_until the oracle never stops IS
+// the run() execution — identical block stream, step count, and verdict.
+TEST(DeterminismTest, UntracedMatchesTracedWhenOracleNeverFires) {
+  GeneratedTarget target = determinism_target();
+  Interpreter interp(1u << 14);
+  for (const auto& input : probe_inputs(target)) {
+    Trace traced = run_traced(interp, target.program, input);
+    bool stopped = true;
+    Trace untraced = run_untraced(interp, target.program, input, &stopped,
+                                  [](u32) { return false; });
+    EXPECT_FALSE(stopped);
+    expect_identical(traced, untraced);
+  }
+}
+
+TEST(DeterminismTest, OracleStopEndsExecutionAtThatBlock) {
+  GeneratedTarget target = determinism_target();
+  Interpreter interp(1u << 14);
+  const std::vector<u8> input = make_seed_corpus(target, 1, 5)[0];
+
+  Trace full = run_traced(interp, target.program, input);
+  ASSERT_GT(full.result.steps, 4u);
+
+  // Stop at the 3rd executed block: exactly 3 steps happen and the stop
+  // flag is set; the partial result reports kOk (callers discard it).
+  u64 seen = 0;
+  bool stopped = false;
+  Trace partial =
+      run_untraced(interp, target.program, input, &stopped,
+                   [&](u32) { return ++seen == 3; });
+  EXPECT_TRUE(stopped);
+  EXPECT_EQ(partial.result.steps, 3u);
+  EXPECT_EQ(partial.result.outcome, ExecResult::Outcome::kOk);
+  ASSERT_EQ(partial.blocks.size(), 3u);
+  EXPECT_EQ(partial.blocks[0], full.blocks[0]);
+  EXPECT_EQ(partial.blocks[1], full.blocks[1]);
+  EXPECT_EQ(partial.blocks[2], full.blocks[2]);
+}
+
+// A mid-execution oracle stop must leave no residue in the interpreter —
+// the very next run (same or different input) is unaffected. This is what
+// lets the campaign re-execute a fired input on the same interpreter.
+TEST(DeterminismTest, OracleStopLeavesNoResidue) {
+  GeneratedTarget target = determinism_target();
+  Interpreter interp(1u << 14);
+  const auto inputs = probe_inputs(target);
+
+  std::vector<Trace> baseline;
+  for (const auto& input : inputs) {
+    baseline.push_back(run_traced(interp, target.program, input));
+  }
+
+  // Interleave: stop an untraced run after 1 block (possibly mid-call,
+  // with live loop counters), then immediately run traced and compare
+  // against the clean baseline.
+  for (usize i = 0; i < inputs.size(); ++i) {
+    bool stopped = false;
+    run_untraced(interp, target.program, inputs[i], &stopped,
+                 [](u32) { return true; });
+    EXPECT_TRUE(stopped);
+    Trace after = run_traced(interp, target.program, inputs[i]);
+    expect_identical(baseline[i], after);
+  }
+}
+
+TEST(DeterminismTest, CrashVerdictIdenticalInBothModes) {
+  GeneratedTarget target = determinism_target();
+  ASSERT_GT(target.program.num_bugs, 0u);
+  Interpreter interp(1u << 14);
+  for (u32 bug = 0; bug < target.program.num_bugs; ++bug) {
+    const std::vector<u8> input = target.crashing_input(bug);
+    Trace traced = run_traced(interp, target.program, input);
+    ASSERT_EQ(traced.result.outcome, ExecResult::Outcome::kCrash);
+    EXPECT_EQ(traced.result.bug_id, bug);
+
+    bool stopped = true;
+    Trace untraced = run_untraced(interp, target.program, input, &stopped,
+                                  [](u32) { return false; });
+    EXPECT_FALSE(stopped);
+    expect_identical(traced, untraced);
+  }
+}
+
+TEST(DeterminismTest, HangVerdictIdenticalInBothModes) {
+  GeneratedTarget target = determinism_target();
+  const std::vector<u8> input = make_seed_corpus(target, 1, 9)[0];
+
+  // Find the input's natural length, then starve the budget below it so
+  // the run deterministically hangs at exactly the budget boundary.
+  Interpreter probe(1u << 14);
+  Trace full = run_traced(probe, target.program, input);
+  ASSERT_EQ(full.result.outcome, ExecResult::Outcome::kOk);
+  ASSERT_GT(full.result.steps, 2u);
+
+  Interpreter starved(full.result.steps - 1);
+  Trace traced = run_traced(starved, target.program, input);
+  EXPECT_EQ(traced.result.outcome, ExecResult::Outcome::kHang);
+  EXPECT_EQ(traced.result.steps, full.result.steps - 1);
+
+  bool stopped = true;
+  Trace untraced = run_untraced(starved, target.program, input, &stopped,
+                                [](u32) { return false; });
+  EXPECT_FALSE(stopped);
+  expect_identical(traced, untraced);
+}
+
+}  // namespace
+}  // namespace bigmap

@@ -32,6 +32,10 @@ StatsSnapshot golden_snapshot() {
   s.faulted_execs = 5;
   s.injected_hangs = 2;
   s.restarts = 1;
+  s.tracing_untraced_execs = 11000;
+  s.tracing_traced_execs = 1345;
+  s.tracing_oracle_fires = 70;
+  s.tracing_reexec_ns = 654321;
   s.checkpoints_written = 7;
   s.checkpoints_loaded = 1;
   s.checkpoint_bytes = 4096;
@@ -76,6 +80,10 @@ TEST(FuzzerStatsGoldenTest, ExactFormat) {
       "faulted_execs     : 5\n"
       "injected_hangs    : 2\n"
       "restarts          : 1\n"
+      "tracing_untraced  : 11000\n"
+      "tracing_traced    : 1345\n"
+      "tracing_fires     : 70\n"
+      "tracing_reexec_ns : 654321\n"
       "checkpoints_written: 7\n"
       "checkpoints_loaded: 1\n"
       "checkpoint_bytes  : 4096\n"
@@ -153,6 +161,11 @@ TEST(BenchReportGoldenTest, SeriesSnapshotFields) {
   EXPECT_NE(json.find("\"kernel\":\"swar\""), std::string::npos);
   EXPECT_NE(json.find("\"checkpoints_written\":7"), std::string::npos);
   EXPECT_NE(json.find("\"recovery_torn_tail\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"tracing_untraced_execs\":11000"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"tracing_traced_execs\":1345"), std::string::npos);
+  EXPECT_NE(json.find("\"tracing_oracle_fires\":70"), std::string::npos);
+  EXPECT_NE(json.find("\"tracing_reexec_ns\":654321"), std::string::npos);
 }
 
 TEST(BenchReportTest, WriteFileRoundTrips) {
