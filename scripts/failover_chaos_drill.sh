@@ -1,0 +1,185 @@
+#!/usr/bin/env bash
+# Self-healing federation chaos drill (ISSUE acceptance: failover). Five
+# stages over the fixed failover_drill campaign shape (8 planted-bug
+# workers, deterministic timing), comparing one local fleet against a
+# 4-rank failover federation with the virgin-map oracle and incremental
+# delta sync on every link:
+#
+#   1. single          — one 8-worker fleet, no network; the reference
+#                        find-union and exec budget
+#   2. star4           — 4-rank federation (2 workers per rank), clean
+#                        network, no failures; epoch stays 1; must equal
+#                        single exactly
+#   3. failover-kill   — rank 0 (the founding leader) is SIGKILLed,
+#                        process group and all, mid-campaign; rank 1 is
+#                        elected into epoch 2, the spokes re-home, and the
+#                        resurrected victim rejoins the new epoch as a
+#                        spoke; must equal single exactly
+#   4. failover-stale  — same kill, but the victim resurrects stale-fatal:
+#                        it must observe the newer epoch and latch fenced,
+#                        never re-entering the federation, while its local
+#                        fleet still finishes its budget; must equal
+#                        single exactly
+#   5. failover-storm  — the kill plus a seeded network storm (drops,
+#                        delays, torn frames, resets) on the survivors
+#                        while they elect; must equal single exactly
+#
+# failover_drill self-checks that each failure actually engaged (elections
+# fired, the epoch advanced, delta sync rebuilt the promoted hub's oracle
+# models with zero re-executions, the stale node fenced) and exits
+# non-zero when the drill proved nothing; this script additionally asserts
+# the headline diagnostics and then runs statecheck over every stage's
+# wreckage — the federation WALs each rank journaled must decode with
+# monotone epochs and well-formed deltas. CI runs this as the
+# federation-failover job.
+#
+# Usage: scripts/failover_chaos_drill.sh [work-dir]   (default: mktemp -d)
+# Requires failover_drill and statecheck
+# (`cmake --build build --target failover_drill statecheck`).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+DRILL="$BUILD_DIR/src/fuzzer/failover_drill"
+STATECHECK="$BUILD_DIR/src/persist/statecheck"
+
+WORK_DIR="${1:-$(mktemp -d)}"
+mkdir -p "$WORK_DIR"
+rm -rf "$WORK_DIR/single" "$WORK_DIR/star4" "$WORK_DIR/kill" \
+  "$WORK_DIR/stale" "$WORK_DIR/storm"
+
+cleanup() {
+  # Each rank is a separate coordinator process with its own forked
+  # workers; -x matches the exact binary name only. pkill alone only
+  # QUEUES the signal — a rank reaping its own workers can outlive the
+  # script and leave orphans holding listener ports, so poll until every
+  # process is actually gone (bounded; SIGKILL is not ignorable,
+  # lingering past it means something is stuck in the kernel).
+  pkill -9 -x failover_drill 2> /dev/null || true
+  for _ in $(seq 1 50); do
+    pgrep -x failover_drill > /dev/null 2>&1 || return 0
+    sleep 0.1
+  done
+  echo "WARN: orphaned failover_drill processes survived cleanup" >&2
+  pgrep -ax failover_drill >&2 || true
+}
+trap cleanup EXIT
+
+# Compares the diff-friendly tail of two drill outputs; any divergence is
+# a drill failure (failover changed what the federation finds or how much
+# budget it delivers).
+compare_outputs() {
+  local label=$1 base=$2 got=$3
+  local key base_line got_line
+  for key in bug_ids stack_hashes total_execs all_completed; do
+    base_line=$(grep "^$key:" "$base")
+    got_line=$(grep "^$key:" "$got")
+    if [ "$base_line" != "$got_line" ]; then
+      echo "FAIL: $key diverged ($label)" >&2
+      echo "  single: $base_line" >&2
+      echo "  $label: $got_line" >&2
+      exit 1
+    fi
+    echo "  $key ok ($base_line)"
+  done
+}
+
+# Audits the federation WALs a stage left behind: every rank journal must
+# decode, epochs must be monotone, every delta record well-formed.
+audit_wreckage() {
+  local label=$1 dir=$2
+  if ! "$STATECHECK" --corpus "$dir" > "$dir.fsck" 2>&1; then
+    echo "FAIL: statecheck rejected the $label wreckage" >&2
+    cat "$dir.fsck" >&2
+    exit 1
+  fi
+  grep "federation.wal" "$dir.fsck" | sed 's/^/  /'
+  if ! grep -q "federation.wal: ok" "$dir.fsck"; then
+    echo "FAIL: $label left no federation WAL to audit" >&2
+    exit 1
+  fi
+}
+
+echo "== single fleet (no network) =="
+"$DRILL" single "$WORK_DIR/single" | tee "$WORK_DIR/single.txt"
+
+echo
+echo "== 4-rank failover federation, clean network =="
+"$DRILL" star4 "$WORK_DIR/star4" > "$WORK_DIR/star4.txt" \
+  2> "$WORK_DIR/star4.diag"
+cat "$WORK_DIR/star4.txt" "$WORK_DIR/star4.diag"
+compare_outputs star4 "$WORK_DIR/single.txt" "$WORK_DIR/star4.txt"
+# The clean federation must ship corpus and delta-sync the oracle models;
+# nothing may have been elected.
+grep -qE 'deltas_applied=[1-9]' "$WORK_DIR/star4.diag" || {
+  echo "FAIL: clean star4 applied no oracle deltas" >&2
+  exit 1
+}
+grep -qE 'elections=[1-9]' "$WORK_DIR/star4.diag" && {
+  echo "FAIL: clean star4 held an election" >&2
+  exit 1
+}
+audit_wreckage star4 "$WORK_DIR/star4"
+
+echo
+echo "== leader SIGKILL: election, re-home, victim rejoins =="
+"$DRILL" failover-kill "$WORK_DIR/kill" > "$WORK_DIR/kill.txt" \
+  2> "$WORK_DIR/kill.diag"
+cat "$WORK_DIR/kill.txt" "$WORK_DIR/kill.diag"
+compare_outputs failover-kill "$WORK_DIR/single.txt" "$WORK_DIR/kill.txt"
+# The survivors must have elected into a new epoch, the promoted hub must
+# have rebuilt oracle state from deltas, and the victim must have rejoined.
+grep -qE 'elections=[1-9]' "$WORK_DIR/kill.diag" || {
+  echo "FAIL: leader kill triggered no election" >&2
+  exit 1
+}
+grep -qE 'epoch=2' "$WORK_DIR/kill.diag" || {
+  echo "FAIL: the epoch never advanced past the kill" >&2
+  exit 1
+}
+grep -qE 'rejoins=[1-9]' "$WORK_DIR/kill.diag" || {
+  echo "FAIL: the resurrected leader never rejoined" >&2
+  exit 1
+}
+grep -qE 'deltas_applied=[1-9]' "$WORK_DIR/kill.diag" || {
+  echo "FAIL: the promoted hub applied no oracle deltas" >&2
+  exit 1
+}
+audit_wreckage failover-kill "$WORK_DIR/kill"
+
+echo
+echo "== leader SIGKILL with stale resurrection: must fence =="
+"$DRILL" failover-stale "$WORK_DIR/stale" > "$WORK_DIR/stale.txt" \
+  2> "$WORK_DIR/stale.diag"
+cat "$WORK_DIR/stale.txt" "$WORK_DIR/stale.diag"
+compare_outputs failover-stale "$WORK_DIR/single.txt" "$WORK_DIR/stale.txt"
+# The stale victim must latch fenced, and the new leader must have seen
+# and dropped its stale hello.
+grep -qE 'fenced=[1-9]' "$WORK_DIR/stale.diag" || {
+  echo "FAIL: the stale node never fenced" >&2
+  exit 1
+}
+grep -qE 'stale_hellos=[1-9]' "$WORK_DIR/stale.diag" || {
+  echo "FAIL: no stale hello was ever dropped" >&2
+  exit 1
+}
+audit_wreckage failover-stale "$WORK_DIR/stale"
+
+echo
+echo "== leader SIGKILL under network storm =="
+"$DRILL" failover-storm "$WORK_DIR/storm" > "$WORK_DIR/storm.txt" \
+  2> "$WORK_DIR/storm.diag"
+cat "$WORK_DIR/storm.txt" "$WORK_DIR/storm.diag"
+compare_outputs failover-storm "$WORK_DIR/single.txt" "$WORK_DIR/storm.txt"
+grep -qE 'elections=[1-9]' "$WORK_DIR/storm.diag" || {
+  echo "FAIL: storm stage held no election" >&2
+  exit 1
+}
+grep -qE 'reconnects=[1-9]' "$WORK_DIR/storm.diag" || {
+  echo "FAIL: the storm forced no reconnects" >&2
+  exit 1
+}
+audit_wreckage failover-storm "$WORK_DIR/storm"
+
+echo
+echo "failover chaos drill PASSED"

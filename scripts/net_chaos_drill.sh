@@ -44,8 +44,18 @@ rm -rf "$WORK_DIR/single" "$WORK_DIR/pair" "$WORK_DIR/storm" \
 
 cleanup() {
   # The federated halves are separate coordinator processes with their own
-  # forked workers; -x matches the exact binary name only.
+  # forked workers; -x matches the exact binary name only. pkill alone
+  # only QUEUES the signal — a half reaping its own workers can outlive
+  # the script and leave orphans holding listener ports, so poll until
+  # every process is actually gone (bounded; SIGKILL is not ignorable,
+  # lingering past it means something is stuck in the kernel).
   pkill -9 -x net_drill 2> /dev/null || true
+  for _ in $(seq 1 50); do
+    pgrep -x net_drill > /dev/null 2>&1 || return 0
+    sleep 0.1
+  done
+  echo "WARN: orphaned net_drill processes survived cleanup" >&2
+  pgrep -ax net_drill >&2 || true
 }
 trap cleanup EXIT
 

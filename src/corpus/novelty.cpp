@@ -1,11 +1,53 @@
 #include "corpus/novelty.h"
 
+#include <algorithm>
+
 #include "core/flat_map.h"
 #include "core/two_level_map.h"
 #include "fuzzer/executor.h"
+#include "persist/record.h"
 #include "util/hash.h"
 
 namespace bigmap::corpus {
+
+std::vector<u8> encode_oracle_delta(const OracleDelta& d) {
+  std::vector<u8> out;
+  persist::PayloadWriter w(out);
+  w.put_u64(d.epoch);
+  w.put_u64(d.seq);
+  w.put_u8(d.map_kind);
+  w.put_u32(static_cast<u32>(d.cells.size()));
+  for (const VirginDeltaCell& c : d.cells) {
+    w.put_u32(c.pos);
+    w.put_u8(c.value);
+  }
+  return out;
+}
+
+bool decode_oracle_delta(std::span<const u8> bytes, OracleDelta* out) {
+  persist::PayloadReader r(bytes);
+  OracleDelta d;
+  u32 count = 0;
+  if (!r.get_u64(&d.epoch) || !r.get_u64(&d.seq) || !r.get_u8(&d.map_kind) ||
+      !r.get_u32(&count)) {
+    return false;
+  }
+  if (d.map_kind > OracleDelta::kHang) return false;
+  d.cells.reserve(count);
+  for (u32 i = 0; i < count; ++i) {
+    VirginDeltaCell c;
+    if (!r.get_u32(&c.pos) || !r.get_u8(&c.value)) return false;
+    // Strictly ascending positions: duplicates or disorder mean a buggy
+    // (or forged) encoder, not a transport error — CRC framing already
+    // rules the latter out.
+    if (i > 0 && c.pos <= d.cells.back().pos) return false;
+    d.cells.push_back(c);
+  }
+  if (!r.done()) return false;
+  *out = std::move(d);
+  return true;
+}
+
 namespace {
 
 template <class Map, class Metric>
@@ -36,9 +78,103 @@ class OracleImpl final : public NoveltyOracle {
     return ex_.virgin_queue().count_covered();
   }
 
+  std::vector<OracleDelta> export_delta() override {
+    return export_impl(/*full=*/false);
+  }
+
+  std::vector<OracleDelta> export_full() override {
+    return export_impl(/*full=*/true);
+  }
+
+  bool apply_delta(const OracleDelta& d) override {
+    if (d.map_kind > OracleDelta::kHang) return false;
+    const usize n = ex_.map().map_size();
+    for (const VirginDeltaCell& c : d.cells) {
+      if (c.pos >= n) return false;  // wrong geometry; apply nothing
+    }
+    VirginMap& v = mutable_virgin_of(d.map_kind);
+    for (const VirginDeltaCell& c : d.cells) {
+      if constexpr (Map::kScheme == MapScheme::kTwoLevel) {
+        // Force a condensed slot for the original position. The scratch
+        // count this bumps is reset before any run; the slot assignment
+        // itself is the importer's own, which is all admit() depends on.
+        ex_.map().update(c.pos);
+        const u32 slot = ex_.map().slot_of(c.pos);
+        v.data()[slot] &= c.value;
+      } else {
+        v.data()[c.pos] &= c.value;
+      }
+    }
+    stats_.deltas_applied++;
+    stats_.cells_applied += d.cells.size();
+    return true;
+  }
+
  private:
+  const VirginMap& virgin_of(u8 kind) const {
+    switch (kind) {
+      case OracleDelta::kCrash: return ex_.virgin_crash();
+      case OracleDelta::kHang: return ex_.virgin_hang();
+      default: return ex_.virgin_queue();
+    }
+  }
+
+  VirginMap& mutable_virgin_of(u8 kind) {
+    switch (kind) {
+      case OracleDelta::kCrash: return ex_.mutable_virgin_crash();
+      case OracleDelta::kHang: return ex_.mutable_virgin_hang();
+      default: return ex_.mutable_virgin_queue();
+    }
+  }
+
+  // Current virgin byte for an ORIGINAL map position. Two-level positions
+  // without a condensed slot have never been touched: still 0xFF.
+  u8 current_virgin(const VirginMap& v, u32 pos) const {
+    if constexpr (Map::kScheme == MapScheme::kTwoLevel) {
+      const u32 slot = ex_.map().slot_of(pos);
+      return slot == Map::kUnassigned ? 0xFF : v.data()[slot];
+    } else {
+      return v.data()[pos];
+    }
+  }
+
+  std::vector<OracleDelta> export_impl(bool full) {
+    const usize n = ex_.map().map_size();
+    if (shadow_[0].empty()) {
+      for (auto& s : shadow_) s.assign(n, 0xFF);
+    }
+    std::vector<OracleDelta> out;
+    for (u8 kind = 0; kind <= OracleDelta::kHang; ++kind) {
+      std::vector<u8>& shadow = shadow_[kind];
+      if (full) std::fill(shadow.begin(), shadow.end(), 0xFF);
+      const VirginMap& v = virgin_of(kind);
+      OracleDelta d;
+      d.map_kind = kind;
+      // One O(map_size) scan per export. The dense two-level layout means
+      // nearly every probe is a one-branch slot_of miss; the cadence is
+      // tens of milliseconds, so this never shows against exec cost.
+      for (u32 p = 0; p < n; ++p) {
+        const u8 cur = current_virgin(v, p);
+        if (cur != shadow[p]) {
+          d.cells.push_back({p, cur});
+          shadow[p] = cur;
+        }
+      }
+      if (d.cells.empty() && !full) continue;
+      d.seq = export_seq_++;
+      stats_.deltas_exported++;
+      stats_.cells_exported += d.cells.size();
+      out.push_back(std::move(d));
+    }
+    return out;
+  }
+
   BlockIdTable ids_;
   Executor<Map, Metric> ex_;
+  // Per-map-kind view of the virgin state as of the last export, keyed by
+  // original position (lazily sized on first export).
+  std::vector<u8> shadow_[3];
+  u64 export_seq_ = 0;
 };
 
 template <class Metric>

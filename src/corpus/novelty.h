@@ -17,10 +17,22 @@
 // The oracle is deliberately deterministic: same seed + same admission
 // sequence -> same verdicts, so federation drills with the oracle enabled
 // still converge to exact find-union equality.
+//
+// Delta sync: a model can also be (re)built WITHOUT executing anything.
+// export_delta() emits the virgin-map cells that changed since the last
+// export; apply_delta() ANDs them into another oracle's virgin maps. Cells
+// are keyed by ORIGINAL map positions (`key & mask`), never by condensed
+// slots — slot assignment is execution-order-dependent and therefore
+// meaningless across processes, but virgin state over original keys is
+// exactly what admit() verdicts depend on. The two-level scheme's dense
+// [0, used_key) layout keeps the records tiny: only positions that ever
+// received coverage can differ from 0xFF. AND-application is idempotent
+// and order-insensitive, so replayed or re-sent deltas are harmless.
 #pragma once
 
 #include <memory>
 #include <span>
+#include <vector>
 
 #include "core/map_options.h"
 #include "instrumentation/metrics.h"
@@ -45,7 +57,37 @@ struct OracleStats {
   u64 checked = 0;
   u64 accepted = 0;
   u64 rejected = 0;
+  u64 deltas_exported = 0;
+  u64 cells_exported = 0;
+  u64 deltas_applied = 0;
+  u64 cells_applied = 0;
 };
+
+// One changed virgin cell, keyed by the ORIGINAL map position.
+struct VirginDeltaCell {
+  u32 pos = 0;
+  u8 value = 0;
+};
+
+// A batch of virgin-map changes for one of the three virgin maps.
+// `epoch` is stamped by the federation layer; `seq` counts exports per
+// oracle, so monotonicity violations in drill wreckage are detectable.
+struct OracleDelta {
+  static constexpr u8 kQueue = 0;
+  static constexpr u8 kCrash = 1;
+  static constexpr u8 kHang = 2;
+
+  u64 epoch = 0;
+  u64 seq = 0;
+  u8 map_kind = kQueue;
+  std::vector<VirginDeltaCell> cells;  // strictly ascending pos
+};
+
+// Wire/disk codec for one delta record (also the payload of the persist
+// layer's kVirginDelta record and the netfleet kDelta frame). decode
+// validates structure: exact length, strictly ascending unique positions.
+std::vector<u8> encode_oracle_delta(const OracleDelta& d);
+bool decode_oracle_delta(std::span<const u8> bytes, OracleDelta* out);
 
 class NoveltyOracle {
  public:
@@ -58,6 +100,21 @@ class NoveltyOracle {
 
   // Covered positions of the model's queue virgin map.
   virtual usize covered() const = 0;
+
+  // Virgin cells that changed since the last export (per map kind; empty
+  // kinds are omitted). Never executes anything.
+  virtual std::vector<OracleDelta> export_delta() = 0;
+
+  // Full model state: every cell that differs from virgin 0xFF, for all
+  // three map kinds (always emitted, even when empty, so a receiver can
+  // distinguish "empty model" from "nothing new"). Resets the export
+  // shadow, so the next export_delta() is relative to this snapshot.
+  virtual std::vector<OracleDelta> export_full() = 0;
+
+  // ANDs a delta into this model's virgin maps — the zero-execution
+  // rebuild path. False when the delta is malformed for this geometry
+  // (position out of range / unknown map kind); nothing is applied then.
+  virtual bool apply_delta(const OracleDelta& d) = 0;
 
   const OracleStats& stats() const noexcept { return stats_; }
 

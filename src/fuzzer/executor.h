@@ -129,10 +129,17 @@ class Executor {
   // queue virgin map: it fires if and only if the traced pipeline would
   // report new bits for this input. Two parts compose:
   //
-  //  - first-hit breakpoint (two-level scheme): the metric key has no
+  //  - first-hit check (two-level scheme): the metric key has no
   //    condensed slot yet (slot_of == kUnassigned). A fresh key lands in
   //    a fresh 0xFF virgin byte — guaranteed new bits — and untraced mode
-  //    must never mutate the index, so execution stops immediately.
+  //    must never mutate the index. On the non-context path this check is
+  //    BRANCHLESS: the unassigned sentinel is clamped (one cmov) onto a
+  //    spare counter slot just past the virgin positions, the run
+  //    completes like any other, and a touched spare slot reads back as
+  //    fired. The interpreter loop then needs no per-block stop check at
+  //    all (run_until_nostop). Context-aware metrics keep the stopping
+  //    oracle: their call/return bookkeeping already branches per block,
+  //    so the early stop costs nothing extra there.
   //  - final-count check: otherwise the run completes fully while a
   //    sparse per-position u8 counter mirrors the map's counter (same
   //    256-wrap); afterwards, fired = any touched position with
@@ -152,46 +159,72 @@ class Executor {
   UntracedOutcome run_untraced(std::span<const u8> input,
                                OpTimeBreakdown& timing) {
     UntracedOutcome out;
+    // One spare slot past the virgin positions absorbs unassigned
+    // two-level keys on the branchless path; flat maps never touch it.
+    const u32 spare = static_cast<u32>(virgin_positions());
     if (oracle_counts_.empty()) {
-      oracle_counts_.assign(virgin_positions(), 0);
+      oracle_counts_.assign(virgin_positions() + 1, 0);
       oracle_touched_.reserve(1024);
     }
     const u64 start = monotonic_ns();
     metric_.begin_execution();
-    out.exec = interp_.run_until(
-        *prog_, input, &out.fired, [this](u32 block_index) {
-          if constexpr (ContextAwareMetric<Metric>) {
+    if constexpr (ContextAwareMetric<Metric>) {
+      out.exec = interp_.run_until(
+          *prog_, input, &out.fired, [this](u32 block_index) {
             const Block& b = prog_->blocks[block_index];
             if (b.kind == BlockKind::kCall) {
               metric_.on_call(b.targets[0]);
             } else if (b.kind == BlockKind::kReturn) {
               metric_.on_return();
             }
-          }
-          const u32 key = metric_.visit(block_index);
-          u32 pos;
-          if constexpr (Map::kScheme == MapScheme::kTwoLevel) {
-            pos = map_.slot_of(key);
-            if (pos == Map::kUnassigned) return true;
-          } else {
-            pos = key & static_cast<u32>(map_.map_size() - 1);
-          }
-          const u8 c = ++oracle_counts_[pos];
-          if (c == 1) oracle_touched_.push_back(pos);
-          return false;
-        });
-    // Fused final-count check + sparse counter reset, one branchless pass
-    // over the touched positions (LUT classify, like the traced pipeline's
+            const u32 key = metric_.visit(block_index);
+            u32 pos;
+            if constexpr (Map::kScheme == MapScheme::kTwoLevel) {
+              pos = map_.slot_of(key);
+              if (pos == Map::kUnassigned) return true;
+            } else {
+              pos = key & static_cast<u32>(map_.map_size() - 1);
+            }
+            const u8 c = ++oracle_counts_[pos];
+            if (c == 1) oracle_touched_.push_back(pos);
+            return false;
+          });
+    } else {
+      out.exec = interp_.run_until_nostop(
+          *prog_, input, [this, spare](u32 block_index) {
+            const u32 key = metric_.visit(block_index);
+            u32 pos;
+            if constexpr (Map::kScheme == MapScheme::kTwoLevel) {
+              pos = map_.slot_of(key);
+              // Sentinel clamp compiles to a conditional move — no
+              // control-flow branch, no early exit.
+              pos = pos == Map::kUnassigned ? spare : pos;
+            } else {
+              pos = key & static_cast<u32>(map_.map_size() - 1);
+              (void)spare;
+            }
+            const u8 c = ++oracle_counts_[pos];
+            if (c == 1) oracle_touched_.push_back(pos);
+          });
+    }
+    // Fused final-count check + sparse counter reset, one pass over the
+    // touched positions (LUT classify, like the traced pipeline's
     // classify_counts). Runs on every exit path so the scratch is always
-    // clean for the next run; after an early first-hit stop the touched
-    // list is short and `novel` is simply ignored. The touched list can
-    // hold a duplicate after a 256-wrap; the extra zero store is harmless.
+    // clean for the next run. The spare slot appearing in the touched
+    // list means an unassigned key executed — a guaranteed-new first hit,
+    // detected by membership rather than by count so a 256-wrap back to
+    // zero cannot mask it. The touched list can hold a duplicate after a
+    // wrap; the extra zero store is harmless.
     {
       const u8* virgin = virgin_queue_.data();
       const auto& lut = count_class_lookup8();
       bool novel = false;
       for (u32 pos : oracle_touched_) {
-        novel |= (virgin[pos] & lut[oracle_counts_[pos]]) != 0;
+        if (pos == spare) {
+          novel = true;
+        } else {
+          novel |= (virgin[pos] & lut[oracle_counts_[pos]]) != 0;
+        }
         oracle_counts_[pos] = 0;
       }
       oracle_touched_.clear();

@@ -6,9 +6,11 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <exception>
 #include <set>
 #include <sstream>
+#include <thread>
 
 #include "fuzzer/netfleet/transport.h"
 #include "util/syscall.h"
@@ -89,9 +91,32 @@ std::string encode_half_report(const procfleet::ProcFleetResult& r, bool ok,
   os << "\nnet_partition_ms " << n.partition_ms_total;
   os << "\nnet_log_evicted " << n.log_evicted;
   os << "\nnet_lost_to_eviction " << n.lost_to_eviction;
+  os << "\nnet_deltas_sent " << n.deltas_sent;
+  os << "\nnet_deltas_received " << n.deltas_received;
+  os << "\nnet_resyncs_sent " << n.resyncs_sent;
+  os << "\nnet_resync_skipped " << n.resync_skipped;
+  os << "\nnet_stale_hellos_dropped " << n.stale_hellos_dropped;
+  os << "\nnet_epoch_ahead_seen " << n.epoch_ahead_seen;
   os << "\noracle_checked " << r.oracle.checked;
   os << "\noracle_accepted " << r.oracle.accepted;
   os << "\noracle_rejected " << r.oracle.rejected;
+  os << "\noracle_deltas_exported " << r.oracle.deltas_exported;
+  os << "\noracle_cells_exported " << r.oracle.cells_exported;
+  os << "\noracle_deltas_applied " << r.oracle.deltas_applied;
+  os << "\noracle_cells_applied " << r.oracle.cells_applied;
+  const FailoverStats& f = r.failover;
+  os << "\nfo_epoch " << f.epoch;
+  os << "\nfo_role " << f.role;
+  os << "\nfo_leader " << f.leader_rank;
+  os << "\nfo_elections " << f.elections;
+  os << "\nfo_promotions " << f.promotions;
+  os << "\nfo_rehomes " << f.rehomes;
+  os << "\nfo_rejoins " << f.rejoins;
+  os << "\nfo_fenced " << f.fenced;
+  os << "\nfo_handoff_reoffered " << f.handoff_reoffered;
+  os << "\nfo_dup_suppressed " << f.dup_suppressed;
+  os << "\nfo_deltas_shipped " << f.deltas_shipped;
+  os << "\nfo_deltas_applied " << f.deltas_applied;
   os << "\n";
   return os.str();
 }
@@ -171,12 +196,56 @@ bool decode_half_report(const std::string& text, HalfReport* out) {
       ls >> r.net.log_evicted;
     } else if (key == "net_lost_to_eviction") {
       ls >> r.net.lost_to_eviction;
+    } else if (key == "net_deltas_sent") {
+      ls >> r.net.deltas_sent;
+    } else if (key == "net_deltas_received") {
+      ls >> r.net.deltas_received;
+    } else if (key == "net_resyncs_sent") {
+      ls >> r.net.resyncs_sent;
+    } else if (key == "net_resync_skipped") {
+      ls >> r.net.resync_skipped;
+    } else if (key == "net_stale_hellos_dropped") {
+      ls >> r.net.stale_hellos_dropped;
+    } else if (key == "net_epoch_ahead_seen") {
+      ls >> r.net.epoch_ahead_seen;
     } else if (key == "oracle_checked") {
       ls >> r.oracle.checked;
     } else if (key == "oracle_accepted") {
       ls >> r.oracle.accepted;
     } else if (key == "oracle_rejected") {
       ls >> r.oracle.rejected;
+    } else if (key == "oracle_deltas_exported") {
+      ls >> r.oracle.deltas_exported;
+    } else if (key == "oracle_cells_exported") {
+      ls >> r.oracle.cells_exported;
+    } else if (key == "oracle_deltas_applied") {
+      ls >> r.oracle.deltas_applied;
+    } else if (key == "oracle_cells_applied") {
+      ls >> r.oracle.cells_applied;
+    } else if (key == "fo_epoch") {
+      ls >> r.failover.epoch;
+    } else if (key == "fo_role") {
+      ls >> r.failover.role;
+    } else if (key == "fo_leader") {
+      ls >> r.failover.leader_rank;
+    } else if (key == "fo_elections") {
+      ls >> r.failover.elections;
+    } else if (key == "fo_promotions") {
+      ls >> r.failover.promotions;
+    } else if (key == "fo_rehomes") {
+      ls >> r.failover.rehomes;
+    } else if (key == "fo_rejoins") {
+      ls >> r.failover.rejoins;
+    } else if (key == "fo_fenced") {
+      ls >> r.failover.fenced;
+    } else if (key == "fo_handoff_reoffered") {
+      ls >> r.failover.handoff_reoffered;
+    } else if (key == "fo_dup_suppressed") {
+      ls >> r.failover.dup_suppressed;
+    } else if (key == "fo_deltas_shipped") {
+      ls >> r.failover.deltas_shipped;
+    } else if (key == "fo_deltas_applied") {
+      ls >> r.failover.deltas_applied;
     }
   }
   if (!saw_ok) return false;
@@ -449,6 +518,272 @@ StarResult run_federated_star(const Program& program,
   for (const HalfReport& r : out.nodes) {
     out.all_completed = out.all_completed && r.all_completed;
   }
+  out.ok = true;
+  return out;
+}
+
+FailoverStarResult run_failover_star(
+    const Program& program, const std::vector<Input>& seeds,
+    std::vector<procfleet::ProcFleetConfig> nodes,
+    const FailoverDrillOpts& opts) {
+  FailoverStarResult out;
+  const usize n = nodes.size();
+  if (n < 2) {
+    out.error = "failover: need at least two ranks";
+    return out;
+  }
+  if (opts.kill_rank != FailoverDrillOpts::kNoKill && opts.kill_rank >= n) {
+    out.error = "failover: kill_rank out of range";
+    return out;
+  }
+  ignore_sigpipe();
+
+  // Shared session identity (same derivation as the star runner: only
+  // config the ranks genuinely have in common).
+  bool any_fp = false;
+  for (const procfleet::ProcFleetConfig& c : nodes) {
+    any_fp = any_fp || c.failover.link.session_fingerprint != 0;
+  }
+  if (!any_fp) {
+    u64 h = 0x6661696cull;  // "fail"
+    for (u64 v :
+         {nodes[0].base.max_execs, static_cast<u64>(nodes[0].base.scheme),
+          static_cast<u64>(nodes[0].base.metric),
+          static_cast<u64>(nodes[0].base.map.map_size)}) {
+      h = (h ^ v) * 0x100000001b3ull;
+    }
+    for (procfleet::ProcFleetConfig& c : nodes) {
+      c.failover.link.session_fingerprint = h;
+    }
+  }
+
+  // The full listener matrix: fds[h][s] is the socket rank s dials when
+  // rank h leads, bound in the parent so every future leadership already
+  // has its wiring. The parent keeps every fd open for the whole drill —
+  // a resurrected rank re-inherits its row on re-fork.
+  std::vector<std::vector<int>> fds(n, std::vector<int>(n, -1));
+  std::vector<std::vector<u16>> ports(n, std::vector<u16>(n, 0));
+  auto close_matrix = [&] {
+    for (auto& row : fds) {
+      for (int& fd : row) {
+        if (fd >= 0) xclose(fd);
+        fd = -1;
+      }
+    }
+  };
+  for (usize h = 0; h < n; ++h) {
+    for (usize s = 0; s < n; ++s) {
+      if (h == s) continue;
+      std::string err;
+      fds[h][s] = tcp_listen("127.0.0.1", &ports[h][s], &err);
+      if (fds[h][s] < 0) {
+        out.error = "failover: " + err;
+        close_matrix();
+        return out;
+      }
+    }
+  }
+
+  for (usize i = 0; i < n; ++i) {
+    procfleet::ProcFleetConfig& c = nodes[i];
+    c.net.enabled = false;
+    c.mesh_links.clear();
+    c.failover.enabled = true;
+    c.failover.rank = static_cast<u32>(i);
+    c.failover.num_nodes = static_cast<u32>(n);
+    c.failover.initial_leader = 0;
+    if (c.failover.initial_epoch == 0) c.failover.initial_epoch = 1;
+    c.failover.link.node_id = i;
+    c.failover.listen_fds.assign(n, -1);
+    c.failover.dial_ports.assign(n, 0);
+    for (usize j = 0; j < n; ++j) {
+      if (j == i) continue;
+      c.failover.listen_fds[j] = fds[i][j];
+      c.failover.dial_ports[j] = ports[j][i];
+    }
+  }
+
+  std::vector<std::array<int, 2>> pipes(n, {-1, -1});
+  auto close_pipes = [&] {
+    for (auto& p : pipes) {
+      if (p[0] >= 0) xclose(p[0]);
+      if (p[1] >= 0) xclose(p[1]);
+      p = {-1, -1};
+    }
+  };
+  for (auto& p : pipes) {
+    if (::pipe(p.data()) != 0) {
+      out.error = "failover: pipe failed";
+      close_pipes();
+      close_matrix();
+      return out;
+    }
+  }
+
+  // Forks rank i into its OWN process group, so one SIGKILL(-pgid) later
+  // takes the coordinator AND every worker it forked — exactly how a host
+  // dies. The child drops every matrix fd outside its own row (two
+  // processes accepting one listening socket would steal each other's
+  // connections) and every pipe but its own write end.
+  auto spawn = [&](usize i) -> pid_t {
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      (void)::setpgid(0, 0);
+      for (usize j = 0; j < pipes.size(); ++j) {
+        if (pipes[j][0] >= 0) xclose(pipes[j][0]);
+        if (j != i && pipes[j][1] >= 0) xclose(pipes[j][1]);
+      }
+      for (usize h = 0; h < n; ++h) {
+        if (h == i) continue;
+        for (usize s = 0; s < n; ++s) {
+          if (fds[h][s] >= 0) xclose(fds[h][s]);
+        }
+      }
+      child_main(program, seeds, nodes[i], pipes[i][1]);
+    }
+    if (pid > 0) (void)::setpgid(pid, pid);
+    return pid;
+  };
+
+  std::vector<pid_t> pids(n, -1);
+  std::vector<bool> alive(n, false);
+  bool fork_failed = false;
+  for (usize i = 0; i < n; ++i) {
+    pids[i] = spawn(i);
+    alive[i] = pids[i] > 0;
+    fork_failed = fork_failed || pids[i] < 0;
+  }
+  for (auto& p : pipes) {
+    xclose(p[1]);
+    p[1] = -1;
+  }
+  if (fork_failed) {
+    out.error = "failover: fork failed";
+    for (pid_t pid : pids) {
+      if (pid > 0) ::kill(-pid, SIGKILL);
+    }
+    for (pid_t pid : pids) {
+      int st = 0;
+      if (pid > 0) (void)xwaitpid(pid, &st, 0);
+    }
+    close_pipes();
+    close_matrix();
+    return out;
+  }
+
+  // Event loop: reap naturally-exiting ranks, fire the kill at its
+  // deadline, re-fork the victim at the resurrection deadline.
+  const u32 kill_rank = opts.kill_rank;
+  bool kill_pending = kill_rank != FailoverDrillOpts::kNoKill;
+  bool resurrect_pending =
+      kill_pending && opts.resurrect != FailoverDrillOpts::Resurrect::kNone;
+  bool was_killed = false;
+  u64 elapsed_ms = 0;
+  const u64 resurrect_at_ms =
+      static_cast<u64>(opts.kill_after_ms) + opts.resurrect_after_ms;
+  for (;;) {
+    bool any_alive = false;
+    for (usize i = 0; i < n; ++i) {
+      if (!alive[i]) continue;
+      int st = 0;
+      const pid_t r = ::waitpid(pids[i], &st, WNOHANG);
+      if (r == pids[i]) {
+        alive[i] = false;
+      } else {
+        any_alive = true;
+      }
+    }
+    if (kill_pending && elapsed_ms >= opts.kill_after_ms) {
+      kill_pending = false;
+      if (alive[kill_rank]) {
+        ::kill(-pids[kill_rank], SIGKILL);
+        int st = 0;
+        (void)xwaitpid(pids[kill_rank], &st, 0);
+        alive[kill_rank] = false;
+        was_killed = true;
+      }
+    }
+    if (resurrect_pending && !kill_pending && elapsed_ms >= resurrect_at_ms) {
+      resurrect_pending = false;
+      // Drain the dead generation's (empty or partial) report and give
+      // the resurrection a fresh pipe.
+      (void)read_all(pipes[kill_rank][0]);
+      xclose(pipes[kill_rank][0]);
+      if (::pipe(pipes[kill_rank].data()) != 0) {
+        out.error = "failover: resurrection pipe failed";
+        break;
+      }
+      procfleet::ProcFleetConfig& c = nodes[kill_rank];
+      c.resume = true;
+      c.failover.resume_probe = true;
+      c.failover.stale_fatal =
+          opts.resurrect == FailoverDrillOpts::Resurrect::kStale;
+      pids[kill_rank] = spawn(kill_rank);
+      xclose(pipes[kill_rank][1]);
+      pipes[kill_rank][1] = -1;
+      if (pids[kill_rank] < 0) {
+        out.error = "failover: resurrection fork failed";
+        break;
+      }
+      alive[kill_rank] = true;
+      any_alive = true;
+    }
+    if (!any_alive && !kill_pending && !resurrect_pending) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    elapsed_ms += 5;
+  }
+  if (!out.error.empty()) {
+    for (usize i = 0; i < n; ++i) {
+      if (alive[i]) {
+        ::kill(-pids[i], SIGKILL);
+        int st = 0;
+        (void)xwaitpid(pids[i], &st, 0);
+      }
+    }
+    close_pipes();
+    close_matrix();
+    return out;
+  }
+
+  std::vector<std::string> texts(n);
+  for (usize i = 0; i < n; ++i) {
+    texts[i] = read_all(pipes[i][0]);
+    xclose(pipes[i][0]);
+    pipes[i][0] = -1;
+  }
+  close_matrix();
+
+  out.nodes.resize(n);
+  std::set<u32> bugs;
+  std::set<u64> hashes;
+  bool all_completed = true;
+  for (usize i = 0; i < n; ++i) {
+    HalfReport& r = out.nodes[i];
+    const std::string who = "rank " + std::to_string(i);
+    if (i == kill_rank && was_killed &&
+        opts.resurrect == FailoverDrillOpts::Resurrect::kNone) {
+      r.ok = false;
+      r.error = "killed (no resurrection)";
+      continue;  // dead forever by design; not a drill failure
+    }
+    if (!decode_half_report(texts[i], &r)) {
+      out.error = "failover: " + who + " produced no report";
+      return out;
+    }
+    if (!r.ok) {
+      out.error = "failover: " + who + " failed: " + r.error;
+      return out;
+    }
+    bugs.insert(r.bug_ids.begin(), r.bug_ids.end());
+    hashes.insert(r.stack_hashes.begin(), r.stack_hashes.end());
+    out.total_execs += r.total_execs;
+    out.total_interesting += r.total_interesting;
+    out.total_crashes += r.total_crashes;
+    all_completed = all_completed && r.all_completed;
+  }
+  out.found_bug_ids.assign(bugs.begin(), bugs.end());
+  out.found_stack_hashes.assign(hashes.begin(), hashes.end());
+  out.all_completed = all_completed;
   out.ok = true;
   return out;
 }

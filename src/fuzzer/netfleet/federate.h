@@ -34,6 +34,10 @@ struct HalfReport {
   bool all_completed = false;
   LinkStats net;
   corpus::OracleStats oracle;
+  // Self-healing federation accounting (zeroed unless the node ran a
+  // FailoverMesh; its nested net/oracle fields stay zeroed here — the two
+  // members above carry them).
+  FailoverStats failover;
 };
 
 struct FederatedResult {
@@ -84,6 +88,51 @@ struct StarResult {
 StarResult run_federated_star(const Program& program,
                               const std::vector<Input>& seeds,
                               std::vector<procfleet::ProcFleetConfig> nodes);
+
+// Chaos control for the self-healing federation drill: which rank to
+// SIGKILL (whole process group: coordinator + its workers), when, and
+// whether/how it comes back.
+struct FailoverDrillOpts {
+  static constexpr u32 kNoKill = 0xFFFFFFFFu;
+
+  u32 kill_rank = kNoKill;
+  u32 kill_after_ms = 0;
+
+  enum class Resurrect {
+    kNone,    // stays dead; survivors elect and finish without it
+    kRejoin,  // restarts (resume + probe) and rejoins the new epoch
+    kStale,   // restarts with stale_fatal: must observe the newer epoch
+              // and latch fenced (the split-brain rejection proof)
+  };
+  Resurrect resurrect = Resurrect::kNone;
+  u32 resurrect_after_ms = 0;  // measured from the kill
+};
+
+struct FailoverStarResult {
+  bool ok = false;  // every (surviving or resurrected) node reported
+  std::string error;
+  std::vector<HalfReport> nodes;  // by rank; a never-resurrected killed
+                                  // rank reports ok=false, error "killed"
+
+  // Federation union / totals across every reporting node.
+  std::vector<u32> found_bug_ids;
+  std::vector<u64> found_stack_hashes;
+  u64 total_execs = 0;
+  u64 total_interesting = 0;
+  u64 total_crashes = 0;
+  bool all_completed = false;
+};
+
+// N-rank self-healing federation: every node runs a FailoverMesh; rank 0
+// leads epoch 1 initially. The parent pre-binds the full listener matrix
+// L[h][s] (the socket rank s dials when rank h leads) so ANY rank can be
+// promoted without coordination, forks each node into its own process
+// group, and applies `opts` (SIGKILL mid-campaign, optional resurrection
+// with resume + probe). Blocks until every live node exits.
+FailoverStarResult run_failover_star(
+    const Program& program, const std::vector<Input>& seeds,
+    std::vector<procfleet::ProcFleetConfig> nodes,
+    const FailoverDrillOpts& opts);
 
 // Serialization used across the child pipe (exposed for tests).
 std::string encode_half_report(const procfleet::ProcFleetResult& r,

@@ -31,6 +31,10 @@ PeerLink::PeerLink(const NetPeerConfig& config, FaultInjector* fault,
     c_conn_errors_ = &reg->counter("netfleet.conn_errors");
     c_rewinds_ = &reg->counter("netfleet.rewinds");
     c_partition_ms_ = &reg->counter("netfleet.partition_ms");
+    c_deltas_sent_ = &reg->counter("netfleet.deltas_sent");
+    c_deltas_received_ = &reg->counter("netfleet.deltas_received");
+    c_resyncs_ = &reg->counter("netfleet.resyncs_sent");
+    c_stale_hellos_ = &reg->counter("netfleet.stale_hellos_dropped");
   }
   if (cfg_.listener) {
     if (cfg_.listen_fd >= 0) {
@@ -61,6 +65,20 @@ PeerLink::~PeerLink() {
   if (listen_fd_ >= 0 && owns_listen_fd_) xclose(listen_fd_);
 }
 
+void PeerLink::push_record(OutRecord rec) {
+  log_.push_back(std::move(rec));
+  send_next_++;
+  // Evict from the front when the replay log overflows its bound. Never
+  // evict past send_pos_: dropping an un-transmitted record would silently
+  // lose corpus. An un-shippable backlog that large means the peer is gone
+  // for good anyway (timeout will fire long before).
+  while (log_.size() > cfg_.send_log_max && log_base_ < send_pos_) {
+    log_.pop_front();
+    log_base_++;
+    stats_.log_evicted++;
+  }
+}
+
 bool PeerLink::offer(Input input) {
   if (fatal_) return false;
   if (input.size() > cfg_.max_entry_size) return false;
@@ -71,23 +89,34 @@ bool PeerLink::offer(Input input) {
     bump(c_novelty_filtered_);
     return false;
   }
-  log_.push_back(std::move(input));
-  send_next_++;
-  // Evict from the front when the replay log overflows its bound. Never
-  // evict past send_pos_: dropping an un-transmitted entry would silently
-  // lose corpus. An un-shippable backlog that large means the peer is gone
-  // for good anyway (timeout will fire long before).
-  while (log_.size() > cfg_.send_log_max && log_base_ < send_pos_) {
-    log_.pop_front();
-    log_base_++;
-    stats_.log_evicted++;
-  }
+  push_record({OutRecord::kEntry, std::move(input)});
+  return true;
+}
+
+bool PeerLink::offer_delta(Input blob) {
+  if (fatal_) return false;
+  push_record({OutRecord::kDelta, std::move(blob)});
   return true;
 }
 
 std::vector<Input> PeerLink::take_received() {
   std::vector<Input> out;
   out.swap(received_);
+  return out;
+}
+
+std::vector<Input> PeerLink::take_received_deltas() {
+  std::vector<Input> out;
+  out.swap(received_deltas_);
+  return out;
+}
+
+std::vector<OutRecord> PeerLink::unacked_records() const {
+  std::vector<OutRecord> out;
+  const u64 from = std::max(peer_acked_, log_base_);
+  for (u64 s = from; s < send_next_; ++s) {
+    out.push_back(log_[static_cast<usize>(s - log_base_)]);
+  }
   return out;
 }
 
@@ -123,6 +152,9 @@ void PeerLink::establish(int fd, u64 now_ns) {
   hello.fingerprint = cfg_.session_fingerprint;
   hello.node_id = cfg_.node_id;
   hello.recv_cursor = recv_cursor_;
+  hello.epoch = cfg_.epoch;
+  hello.rank = cfg_.rank;
+  hello.log_base = log_base_;
   append_hello(outbox_, hello);
   hello_sent_ = true;
 }
@@ -169,6 +201,35 @@ void PeerLink::enter_partition(u64 now_ns) {
   drop_connection(now_ns, "partition", /*count_error=*/false);
 }
 
+// Announces the eviction frontier: the peer's cursor points at sequences
+// the bounded log no longer holds, so tell it to fast-forward. This is the
+// documented full-resync path — the gap is counted, never silent.
+void PeerLink::announce_resync() {
+  append_cursor(outbox_, NetMsg::kResync, log_base_);
+  stats_.resyncs_sent++;
+  bump(c_resyncs_);
+}
+
+// Receiver-side in-order acceptance shared by kEntry and kDelta: true when
+// `seq` is exactly the next expected record. Anything below the cursor was
+// provably already accepted (exactly-once); anything above is a gap the
+// sender's go-back-N rewind (or a kResync) must close.
+bool PeerLink::accept_in_order(u64 seq) {
+  if (seq < recv_cursor_) {
+    stats_.duplicates_dropped++;
+    bump(c_duplicates_);
+    return false;
+  }
+  if (seq > recv_cursor_) {
+    stats_.out_of_order_dropped++;
+    return false;
+  }
+  recv_cursor_++;
+  stats_.records_received++;
+  bump(c_records_received_);
+  return true;
+}
+
 void PeerLink::handle_ack(u64 cursor) {
   if (cursor > peer_acked_) {
     peer_acked_ = std::min(cursor, send_next_);
@@ -200,19 +261,57 @@ void PeerLink::handle_frame(const Frame& f, u64 now_ns) {
         gave_up_ = true;
         return;
       }
+      // Epoch fencing (epoch-aware federations only). An OLDER epoch is
+      // dropped: the stale side sees our higher epoch in our own hello and
+      // must rejoin or die — we never exchange with the past. A NEWER
+      // epoch is recorded for the owner (re-elect / re-home / latch
+      // stale-fatal) and likewise refused: this link's epoch is immutable.
+      if (cfg_.epoch != 0 || h.epoch != 0) {
+        if (h.epoch < cfg_.epoch) {
+          // Fence the FRAME, not the connection: our own hello (queued at
+          // establish, flushed after this handler) must still reach the
+          // stale peer so it can observe the newer epoch and rejoin or
+          // die. Closing here would race the close ahead of that flush
+          // and leave the stale side blind forever. Without a valid
+          // hello the session never exchanges records, and the heartbeat
+          // timeout reaps it if the peer lingers.
+          stats_.stale_hellos_dropped++;
+          bump(c_stale_hellos_);
+          return;
+        }
+        if (h.epoch > cfg_.epoch) {
+          if (h.epoch > observed_epoch_) {
+            observed_epoch_ = h.epoch;
+            observed_rank_ = h.rank;
+          }
+          stats_.epoch_ahead_seen++;
+          drop_connection(now_ns, "epoch ahead", /*count_error=*/false);
+          return;
+        }
+      }
       hello_received_ = true;
+      stats_.peer_epoch = h.epoch;
+      stats_.peer_rank = h.rank;
       // Session resume: the peer's cursor is authoritative for where
       // replay restarts. A cursor behind the eviction frontier means the
-      // bounded log already dropped entries it needed — count the gap and
-      // resume from what we still have.
+      // bounded log already dropped records it needed — count the gap,
+      // announce the resync, and resume from what we still have.
       u64 resume = h.recv_cursor;
       handle_ack(resume);
       if (resume < log_base_) {
         stats_.lost_to_eviction += log_base_ - resume;
         resume = log_base_;
+        announce_resync();
       }
       if (resume > send_next_) resume = send_next_;  // peer claims too much
       send_pos_ = resume;
+      // Mirror image: the peer's log base is ahead of what we have
+      // accepted — the records between recv_cursor_ and its base are gone
+      // for good. Fast-forward rather than dropping its replay forever.
+      if (h.log_base > recv_cursor_) {
+        stats_.resync_skipped += h.log_base - recv_cursor_;
+        recv_cursor_ = h.log_base;
+      }
       break;
     }
     case NetMsg::kEntry: {
@@ -222,26 +321,38 @@ void PeerLink::handle_frame(const Frame& f, u64 now_ns) {
         drop_connection(now_ns, "bad entry", /*count_error=*/true);
         return;
       }
-      if (seq < recv_cursor_) {
-        // Replay overlap after a resume/rewind — provably already
-        // accepted, drop. This is what makes accepted entries exactly-once.
-        stats_.duplicates_dropped++;
-        bump(c_duplicates_);
-        return;
-      }
-      if (seq > recv_cursor_) {
-        // A gap (injected drop ahead of us). Accepting out of order would
-        // desync the cumulative cursor, so drop and let the sender's
-        // go-back-N rewind close the gap.
-        stats_.out_of_order_dropped++;
-        return;
-      }
-      recv_cursor_++;
-      stats_.records_received++;
-      bump(c_records_received_);
+      if (!accept_in_order(seq)) return;
       // Anything the peer sent us is by definition known to it.
       remote_known_.insert(fnv1a64(data));
       received_.push_back(std::move(data));
+      break;
+    }
+    case NetMsg::kDelta: {
+      u64 seq = 0;
+      Input data;
+      if (!parse_delta(f.payload, &seq, &data)) {
+        drop_connection(now_ns, "bad delta", /*count_error=*/true);
+        return;
+      }
+      if (!accept_in_order(seq)) return;
+      stats_.deltas_received++;
+      bump(c_deltas_received_);
+      received_deltas_.push_back(std::move(data));
+      break;
+    }
+    case NetMsg::kResync: {
+      u64 new_base = 0;
+      if (!parse_cursor(f.payload, &new_base)) {
+        drop_connection(now_ns, "bad resync", /*count_error=*/true);
+        return;
+      }
+      // The sender's bounded log evicted records we never accepted; the
+      // gap is unrecoverable by rewind. Fast-forward over it (counted,
+      // never silent) so the stream flows again.
+      if (new_base > recv_cursor_) {
+        stats_.resync_skipped += new_base - recv_cursor_;
+        recv_cursor_ = new_base;
+      }
       break;
     }
     case NetMsg::kHeartbeat: {
@@ -256,6 +367,10 @@ void PeerLink::handle_frame(const Frame& f, u64 now_ns) {
       if (have_hb_cursor_ && cursor == last_hb_cursor_ &&
           cursor < send_pos_) {
         u64 target = std::max(cursor, log_base_);
+        // The stalled cursor points below our eviction frontier: no rewind
+        // can reach it. Re-announce the resync (the original kResync frame
+        // may itself have been lost to chaos) so the peer fast-forwards.
+        if (cursor < log_base_) announce_resync();
         if (target < send_pos_) {
           send_pos_ = target;
           stats_.rewinds++;
@@ -280,14 +395,15 @@ void PeerLink::handle_frame(const Frame& f, u64 now_ns) {
 }
 
 void PeerLink::queue_entries(u64 now_ns) {
-  if (!hello_received_) return;  // never ship entries before the handshake
+  if (!hello_received_) return;  // never ship records before the handshake
   while (send_pos_ < send_next_ && outbox_.size() < cfg_.outbox_max) {
     if (send_pos_ < log_base_) {  // evicted beneath us; skip the gap
       stats_.lost_to_eviction += log_base_ - send_pos_;
       send_pos_ = log_base_;
+      announce_resync();
       continue;
     }
-    const Input& entry = log_[static_cast<usize>(send_pos_ - log_base_)];
+    const OutRecord& rec = log_[static_cast<usize>(send_pos_ - log_base_)];
     const u64 seq = send_pos_;
     send_pos_++;
     if (fire(FaultSite::kNetDrop)) {
@@ -303,7 +419,13 @@ void PeerLink::queue_entries(u64 now_ns) {
       send_pos_ = seq;
       break;
     }
-    append_entry(outbox_, seq, entry);
+    if (rec.kind == OutRecord::kDelta) {
+      append_delta(outbox_, seq, rec.data);
+      stats_.deltas_sent++;
+      bump(c_deltas_sent_);
+    } else {
+      append_entry(outbox_, seq, rec.data);
+    }
     stats_.records_sent++;
     bump(c_records_sent_);
   }

@@ -13,11 +13,24 @@
 //    hashes of everything ever sent to or received from the peer) gates
 //    offer() — only entries the remote provably has not seen are shipped,
 //    AFL-style, so the wire carries novelty, not the whole corpus again;
-//  - session resume: offered entries get absolute sequence numbers in a
+//  - session resume: offered records get absolute sequence numbers in a
 //    bounded replay log. Each hello (and each heartbeat) carries the
-//    receiver's cumulative entry cursor; on (re)connect the sender replays
+//    receiver's cumulative record cursor; on (re)connect the sender replays
 //    exactly the suffix the peer missed — never a duplicate, because the
 //    receiver accepts strictly in cursor order and drops everything else;
+//  - full resync: when the bounded log evicted records a resuming peer
+//    still needed, the sender counts them lost and announces the new
+//    stream base (hello log_base + an explicit kResync frame); the
+//    receiver fast-forwards its cursor over the gap instead of waiting
+//    forever for sequences that no longer exist;
+//  - epoch fencing: in an epoch-aware federation (cfg.epoch != 0) a hello
+//    from an older epoch is dropped (the stale side sees our higher epoch
+//    in our own hello and must rejoin or die); a hello from a NEWER epoch
+//    is surfaced via observed_epoch() so the owner can re-elect/re-home —
+//    the link itself never adopts an epoch, it only fences;
+//  - delta records: offer_delta() ships opaque oracle-delta blobs through
+//    the same replay log and sequence space as entries, so virgin-map
+//    delta sync inherits the exactly-once guarantees for free;
 //  - loss recovery: an injected kNetDrop loses one frame; the receiver's
 //    cursor stops advancing, and two consecutive heartbeats with the same
 //    stale cursor rewind the send position to it (go-back-N). Frames
@@ -68,6 +81,13 @@ struct NetPeerConfig {
   u64 session_fingerprint = 0;
   u64 node_id = 0;
 
+  // Federation epoch + rank carried in our hello. epoch 0 means an
+  // epoch-agnostic link (the PR 7 pair topology): no fencing either way.
+  // In an epoch-aware federation the epoch is immutable per link — a new
+  // epoch always means a new PeerLink (promotion or re-home).
+  u64 epoch = 0;
+  u32 rank = 0;
+
   // Liveness and reconnect policy.
   u32 heartbeat_ms = 50;
   u32 peer_timeout_ms = 1000;
@@ -100,8 +120,10 @@ struct NetPeerConfig {
 struct LinkStats {
   u64 bytes_sent = 0;
   u64 bytes_received = 0;
-  u64 records_sent = 0;      // entry frames queued to the wire
-  u64 records_received = 0;  // entry frames accepted (in order)
+  u64 records_sent = 0;      // entry+delta frames queued to the wire
+  u64 records_received = 0;  // entry+delta frames accepted (in order)
+  u64 deltas_sent = 0;       // delta frames queued to the wire
+  u64 deltas_received = 0;   // delta frames accepted (in order)
   u64 entries_offered = 0;   // offer() calls that passed the size gate
   u64 novelty_filtered = 0;  // offers suppressed by the remote-virgin set
   u64 duplicates_dropped = 0;     // received entries below our cursor
@@ -120,12 +142,27 @@ struct LinkStats {
   u64 partition_ms_total = 0;
   u64 log_evicted = 0;       // replay-log entries evicted by the bound
   u64 lost_to_eviction = 0;  // entries a resuming peer needed but were gone
+  u64 resyncs_sent = 0;      // kResync announcements of an evicted gap
+  u64 resync_skipped = 0;    // sequences we fast-forwarded over as receiver
+  u64 stale_hellos_dropped = 0;  // hellos fenced out for an older epoch
+  u64 epoch_ahead_seen = 0;  // hellos observed from a NEWER epoch
   u64 send_next = 0;         // next sequence to be assigned by offer()
-  u64 peer_acked = 0;        // peer's cumulative entry cursor
-  u64 recv_cursor = 0;       // entries accepted from the peer
+  u64 peer_acked = 0;        // peer's cumulative record cursor
+  u64 recv_cursor = 0;       // records accepted from the peer
+  u64 peer_epoch = 0;        // epoch from the last accepted hello
+  u64 peer_rank = 0;         // rank from the last accepted hello
   bool connected = false;
   bool partitioned = false;
   bool gave_up = false;      // reconnect retry budget exhausted
+};
+
+// One replay-log record: a corpus entry or an opaque oracle-delta blob.
+// Both kinds share the sequence space, so cursor/ack/rewind semantics are
+// identical and a delta can never overtake or shadow an entry.
+struct OutRecord {
+  enum Kind : u8 { kEntry = 0, kDelta = 1 };
+  u8 kind = kEntry;
+  Input data;
 };
 
 class PeerLink {
@@ -150,8 +187,27 @@ class PeerLink {
   // entry was suppressed (novelty filter, size gate, or dead link).
   bool offer(Input input);
 
+  // Queues one opaque oracle-delta blob. Deltas bypass the novelty filter
+  // (they are state, not corpus) but ride the same replay log, so delivery
+  // is exactly-once in sequence with the entries around them.
+  bool offer_delta(Input blob);
+
   // Entries accepted from the peer since the last call, in arrival order.
   std::vector<Input> take_received();
+
+  // Delta blobs accepted from the peer since the last call, in order.
+  std::vector<Input> take_received_deltas();
+
+  // Snapshot of the not-yet-acked replay-log suffix, for carrying across
+  // an epoch boundary: a re-homing spoke re-offers these to the successor
+  // hub so nothing the dead hub never acked is lost.
+  std::vector<OutRecord> unacked_records() const;
+
+  // Highest epoch seen in a peer hello that is AHEAD of cfg.epoch (0 when
+  // none). The owner reacts — rejoin at the new epoch or latch stale-fatal
+  // — the link itself only refuses to exchange across epochs.
+  u64 observed_epoch() const noexcept { return observed_epoch_; }
+  u32 observed_rank() const noexcept { return observed_rank_; }
 
   // Drives connect/accept, reads, frame handling, heartbeats, fault
   // injection, and writes. Non-blocking; call often (every few ms).
@@ -170,6 +226,9 @@ class PeerLink {
   void enter_partition(u64 now_ns);
   void handle_frame(const Frame& f, u64 now_ns);
   void handle_ack(u64 cursor);
+  void announce_resync();
+  bool accept_in_order(u64 seq);
+  void push_record(OutRecord rec);
   void queue_entries(u64 now_ns);
   void flush(u64 now_ns);
   void bump(telemetry::Counter* c, u64 n = 1) {
@@ -199,9 +258,9 @@ class PeerLink {
   FrameDecoder decoder_;
   std::vector<u8> outbox_;
 
-  // Bounded replay log: log_ holds entries [log_base_, send_next_);
+  // Bounded replay log: log_ holds records [log_base_, send_next_);
   // send_pos_ is the next sequence to transmit.
-  std::deque<Input> log_;
+  std::deque<OutRecord> log_;
   u64 log_base_ = 0;
   u64 send_next_ = 0;
   u64 send_pos_ = 0;
@@ -211,7 +270,10 @@ class PeerLink {
 
   u64 recv_cursor_ = 0;
   std::vector<Input> received_;
+  std::vector<Input> received_deltas_;
   std::unordered_set<u64> remote_known_;
+  u64 observed_epoch_ = 0;
+  u32 observed_rank_ = 0;
 
   u64 last_rx_ns_ = 0;
   u64 last_hb_tx_ns_ = 0;
@@ -234,6 +296,10 @@ class PeerLink {
   telemetry::Counter* c_conn_errors_ = nullptr;
   telemetry::Counter* c_rewinds_ = nullptr;
   telemetry::Counter* c_partition_ms_ = nullptr;
+  telemetry::Counter* c_deltas_sent_ = nullptr;
+  telemetry::Counter* c_deltas_received_ = nullptr;
+  telemetry::Counter* c_resyncs_ = nullptr;
+  telemetry::Counter* c_stale_hellos_ = nullptr;
 };
 
 }  // namespace bigmap::netfleet

@@ -1,5 +1,6 @@
 #include "fuzzer/netfleet/mesh.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace bigmap::netfleet {
@@ -10,6 +11,8 @@ LinkStats sum_link_stats(const LinkStats& a, const LinkStats& b) {
   s.bytes_received += b.bytes_received;
   s.records_sent += b.records_sent;
   s.records_received += b.records_received;
+  s.deltas_sent += b.deltas_sent;
+  s.deltas_received += b.deltas_received;
   s.entries_offered += b.entries_offered;
   s.novelty_filtered += b.novelty_filtered;
   s.duplicates_dropped += b.duplicates_dropped;
@@ -28,9 +31,15 @@ LinkStats sum_link_stats(const LinkStats& a, const LinkStats& b) {
   s.partition_ms_total += b.partition_ms_total;
   s.log_evicted += b.log_evicted;
   s.lost_to_eviction += b.lost_to_eviction;
+  s.resyncs_sent += b.resyncs_sent;
+  s.resync_skipped += b.resync_skipped;
+  s.stale_hellos_dropped += b.stale_hellos_dropped;
+  s.epoch_ahead_seen += b.epoch_ahead_seen;
   s.send_next += b.send_next;
   s.peer_acked += b.peer_acked;
   s.recv_cursor += b.recv_cursor;
+  s.peer_epoch = std::max(a.peer_epoch, b.peer_epoch);
+  s.peer_rank = std::max(a.peer_rank, b.peer_rank);
   s.connected = a.connected || b.connected;
   s.partitioned = a.partitioned || b.partitioned;
   s.gave_up = a.gave_up || b.gave_up;
@@ -145,9 +154,14 @@ corpus::OracleStats MeshHub::aggregate_oracle_stats() const {
   corpus::OracleStats out;
   for (const Peer& p : peers_) {
     if (p.oracle == nullptr) continue;
-    out.checked += p.oracle->stats().checked;
-    out.accepted += p.oracle->stats().accepted;
-    out.rejected += p.oracle->stats().rejected;
+    const corpus::OracleStats& os = p.oracle->stats();
+    out.checked += os.checked;
+    out.accepted += os.accepted;
+    out.rejected += os.rejected;
+    out.deltas_exported += os.deltas_exported;
+    out.cells_exported += os.cells_exported;
+    out.deltas_applied += os.deltas_applied;
+    out.cells_applied += os.cells_applied;
   }
   return out;
 }

@@ -14,6 +14,8 @@ const char* net_msg_name(NetMsg m) noexcept {
     case NetMsg::kEntry: return "entry";
     case NetMsg::kHeartbeat: return "heartbeat";
     case NetMsg::kBye: return "bye";
+    case NetMsg::kDelta: return "delta";
+    case NetMsg::kResync: return "resync";
   }
   return "unknown";
 }
@@ -41,16 +43,46 @@ void append_hello(std::vector<u8>& out, const HelloMsg& hello) {
   w.put_u64(hello.fingerprint);
   w.put_u64(hello.node_id);
   w.put_u64(hello.recv_cursor);
+  w.put_u64(hello.epoch);
+  w.put_u32(hello.rank);
+  w.put_u64(hello.log_base);
   append_frame(out, NetMsg::kHello, payload);
 }
 
-void append_entry(std::vector<u8>& out, u64 seq, std::span<const u8> data) {
+namespace {
+
+void append_seq_blob(std::vector<u8>& out, NetMsg type, u64 seq,
+                     std::span<const u8> data) {
   std::vector<u8> payload;
   persist::PayloadWriter w(payload);
   w.put_u64(seq);
   w.put_u32(static_cast<u32>(data.size()));
   w.put_bytes(data);
-  append_frame(out, NetMsg::kEntry, payload);
+  append_frame(out, type, payload);
+}
+
+bool parse_seq_blob(std::span<const u8> payload, u64* seq, Input* data) {
+  persist::PayloadReader r(payload);
+  u64 s = 0;
+  u32 n = 0;
+  std::span<const u8> bytes;
+  if (!r.get_u64(&s) || !r.get_u32(&n) || !r.get_bytes(n, &bytes) ||
+      !r.done()) {
+    return false;
+  }
+  *seq = s;
+  data->assign(bytes.begin(), bytes.end());
+  return true;
+}
+
+}  // namespace
+
+void append_entry(std::vector<u8>& out, u64 seq, std::span<const u8> data) {
+  append_seq_blob(out, NetMsg::kEntry, seq, data);
+}
+
+void append_delta(std::vector<u8>& out, u64 seq, std::span<const u8> data) {
+  append_seq_blob(out, NetMsg::kDelta, seq, data);
 }
 
 void append_cursor(std::vector<u8>& out, NetMsg type, u64 cursor) {
@@ -64,7 +96,9 @@ bool parse_hello(std::span<const u8> payload, HelloMsg* out) {
   persist::PayloadReader r(payload);
   HelloMsg h;
   if (!r.get_u32(&h.proto_version) || !r.get_u64(&h.fingerprint) ||
-      !r.get_u64(&h.node_id) || !r.get_u64(&h.recv_cursor) || !r.done()) {
+      !r.get_u64(&h.node_id) || !r.get_u64(&h.recv_cursor) ||
+      !r.get_u64(&h.epoch) || !r.get_u32(&h.rank) ||
+      !r.get_u64(&h.log_base) || !r.done()) {
     return false;
   }
   *out = h;
@@ -72,17 +106,11 @@ bool parse_hello(std::span<const u8> payload, HelloMsg* out) {
 }
 
 bool parse_entry(std::span<const u8> payload, u64* seq, Input* data) {
-  persist::PayloadReader r(payload);
-  u64 s = 0;
-  u32 n = 0;
-  std::span<const u8> bytes;
-  if (!r.get_u64(&s) || !r.get_u32(&n) || !r.get_bytes(n, &bytes) ||
-      !r.done()) {
-    return false;
-  }
-  *seq = s;
-  data->assign(bytes.begin(), bytes.end());
-  return true;
+  return parse_seq_blob(payload, seq, data);
+}
+
+bool parse_delta(std::span<const u8> payload, u64* seq, Input* data) {
+  return parse_seq_blob(payload, seq, data);
 }
 
 bool parse_cursor(std::span<const u8> payload, u64* cursor) {

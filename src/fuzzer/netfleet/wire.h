@@ -15,16 +15,24 @@
 // on-disk framing means the same golden CRC rule guards both failure
 // domains — disks that lie and networks that lie.
 //
-// Message types (netfleet protocol v1, independent of the on-disk
+// Message types (netfleet protocol v2, independent of the on-disk
 // RecordType space — the streams never mix):
 //
 //   kHello      session (re)establishment: protocol version, config
-//               fingerprint, node id, and the receiver's entry cursor —
-//               the peer resumes replay exactly there
+//               fingerprint, node id, the receiver's entry cursor (the
+//               peer resumes replay exactly there), plus the federation
+//               epoch + rank (stale-hub fencing, successor election) and
+//               the sender's replay-log base (full-resync detection)
 //   kEntry      one novelty-filtered corpus entry, tagged with its
 //               absolute sequence number in the sender's lifetime stream
 //   kHeartbeat  liveness + cumulative ack (receiver's entry cursor)
 //   kBye        orderly goodbye carrying the final cursor
+//   kDelta      one opaque oracle-delta blob riding the same reliable
+//               sequence space as kEntry (virgin-map delta sync)
+//   kResync     the sender's replay log evicted entries the receiver never
+//               accepted; carries the new stream base — the receiver
+//               fast-forwards its cursor, counting the gap as lost, and
+//               exchange resumes (the documented full-resync path)
 #pragma once
 
 #include <optional>
@@ -37,13 +45,15 @@
 
 namespace bigmap::netfleet {
 
-inline constexpr u32 kProtocolVersion = 1;
+inline constexpr u32 kProtocolVersion = 2;
 
 enum class NetMsg : u32 {
   kHello = 1,
   kEntry = 2,
   kHeartbeat = 3,
   kBye = 4,
+  kDelta = 5,
+  kResync = 6,
 };
 
 const char* net_msg_name(NetMsg m) noexcept;
@@ -52,7 +62,10 @@ struct HelloMsg {
   u32 proto_version = kProtocolVersion;
   u64 fingerprint = 0;  // both sides must agree (config identity)
   u64 node_id = 0;
-  u64 recv_cursor = 0;  // entries this side has accepted from the peer
+  u64 recv_cursor = 0;  // records this side has accepted from the peer
+  u64 epoch = 0;        // federation epoch (0 = epoch-agnostic pair link)
+  u32 rank = 0;         // sender's position in the static rank table
+  u64 log_base = 0;     // sender's replay-log eviction frontier
 };
 
 // One decoded frame; `payload` is an owned copy so frames outlive the
@@ -69,14 +82,17 @@ void append_preamble(std::vector<u8>& out);
 void append_frame(std::vector<u8>& out, NetMsg type,
                   std::span<const u8> payload);
 
-// Typed encoders.
+// Typed encoders. kEntry and kDelta share one payload shape — a sequence
+// number plus an opaque length-prefixed blob — so both ride the replay log.
 void append_hello(std::vector<u8>& out, const HelloMsg& hello);
 void append_entry(std::vector<u8>& out, u64 seq, std::span<const u8> data);
+void append_delta(std::vector<u8>& out, u64 seq, std::span<const u8> data);
 void append_cursor(std::vector<u8>& out, NetMsg type, u64 cursor);
 
 // Typed decoders; false on structural mismatch.
 bool parse_hello(std::span<const u8> payload, HelloMsg* out);
 bool parse_entry(std::span<const u8> payload, u64* seq, Input* data);
+bool parse_delta(std::span<const u8> payload, u64* seq, Input* data);
 bool parse_cursor(std::span<const u8> payload, u64* cursor);
 
 // Incremental stream parser: feed() raw socket bytes, next() complete

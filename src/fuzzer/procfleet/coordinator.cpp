@@ -17,11 +17,13 @@
 #include <unordered_set>
 
 #include "corpus/novelty.h"
+#include "fuzzer/netfleet/failover.h"
 #include "fuzzer/netfleet/mesh.h"
 #include "fuzzer/netfleet/nethub.h"
 #include "fuzzer/procfleet/shm.h"
 #include "fuzzer/procfleet/shm_hub.h"
 #include "fuzzer/procfleet/worker.h"
+#include "persist/federation.h"
 #include "persist/fleet.h"
 #include "util/syscall.h"
 #include "util/timing.h"
@@ -96,6 +98,24 @@ ProcFleetResult run_process_fleet(const Program& program,
         "run_process_fleet: net.enabled and mesh_links are mutually "
         "exclusive (a coordinator is a spoke or the hub, not both)");
   }
+  if (config.failover.enabled &&
+      (config.net.enabled || !config.mesh_links.empty())) {
+    throw std::invalid_argument(
+        "run_process_fleet: failover is mutually exclusive with net / "
+        "mesh_links (the FailoverMesh subsumes both roles)");
+  }
+  if (config.failover.enabled &&
+      (config.failover.num_nodes < 2 ||
+       config.failover.rank >= config.failover.num_nodes ||
+       config.failover.initial_leader >= config.failover.num_nodes ||
+       config.failover.initial_epoch == 0 ||
+       config.failover.listen_fds.size() != config.failover.num_nodes ||
+       config.failover.dial_ports.size() != config.failover.num_nodes)) {
+    throw std::invalid_argument(
+        "run_process_fleet: malformed failover config (need >= 2 nodes, "
+        "rank/leader in range, epoch >= 1, and num_nodes-sized "
+        "listen_fds/dial_ports)");
+  }
   telemetry::FleetTelemetry* fleet = config.telemetry;
   if (fleet != nullptr && fleet->num_instances() < config.num_workers) {
     throw std::invalid_argument(
@@ -141,7 +161,8 @@ ProcFleetResult run_process_fleet(const Program& program,
   // (the gateway) so imports flow to workers through ordinary fetch_new
   // and exports are exactly what the gateway's own fetch_new returns. The
   // gateway slot is shared by all links — a star hub still reserves one.
-  const bool net_enabled = config.net.enabled || !config.mesh_links.empty();
+  const bool net_enabled = config.net.enabled || !config.mesh_links.empty() ||
+                           config.failover.enabled;
   const u32 gateway_id = config.num_workers;
 
   ShmGeometry geom;
@@ -155,12 +176,11 @@ ProcFleetResult run_process_fleet(const Program& program,
   // the gateway's publish/fetch traffic.
   ShmHub hub(&segment, hub_opts, nullptr);
 
-  // Builds one gateway link from a peer config, applying the shared
-  // defaults (fingerprint from the fleet identity, entry-size clamp).
-  auto make_link = [&](netfleet::NetPeerConfig net_cfg) {
+  // Applies the shared peer-config defaults: fingerprint from the fleet
+  // identity (both sides of a correctly-configured federation derive the
+  // same value) and the entry-size clamp.
+  auto fill_net_defaults = [&](netfleet::NetPeerConfig net_cfg) {
     if (net_cfg.session_fingerprint == 0) {
-      // Default identity: the fleet fingerprint fields. Both sides of a
-      // correctly-configured federation derive the same value.
       u64 h = 0xb1674a95ull;
       for (u64 v : {static_cast<u64>(fp.num_instances), fp.base_seed,
                     fp.seed_stride, fp.max_execs, static_cast<u64>(fp.scheme),
@@ -172,8 +192,12 @@ ProcFleetResult run_process_fleet(const Program& program,
     if (net_cfg.max_entry_size > config.sync_max_input_size) {
       net_cfg.max_entry_size = config.sync_max_input_size;
     }
+    return net_cfg;
+  };
+  // Builds one gateway link from a peer config.
+  auto make_link = [&](const netfleet::NetPeerConfig& net_cfg) {
     auto link = std::make_unique<netfleet::PeerLink>(
-        net_cfg, coord_fault, gateway_id,
+        fill_net_defaults(net_cfg), coord_fault, gateway_id,
         fleet != nullptr ? &fleet->registry() : nullptr);
     if (!link->ok()) {
       throw std::runtime_error("run_process_fleet: " + link->error());
@@ -196,7 +220,19 @@ ProcFleetResult run_process_fleet(const Program& program,
 
   std::unique_ptr<netfleet::NetHub> nethub;
   std::unique_ptr<netfleet::MeshHub> meshhub;
-  if (!config.mesh_links.empty()) {
+  std::unique_ptr<netfleet::FailoverMesh> fomesh;
+  if (config.failover.enabled) {
+    netfleet::FailoverNodeConfig fo = config.failover;
+    fo.link = fill_net_defaults(fo.link);
+    if (fo.wal_path.empty()) {
+      fo.wal_path = persist::federation_wal_path(config.persist_dir);
+    }
+    netfleet::FailoverMesh::OracleFactory factory;
+    if (config.net_virgin_oracle) factory = make_oracle;
+    fomesh = std::make_unique<netfleet::FailoverMesh>(
+        &hub, gateway_id, std::move(fo), std::move(factory), coord_fault,
+        fleet != nullptr ? &fleet->registry() : nullptr);
+  } else if (!config.mesh_links.empty()) {
     meshhub = std::make_unique<netfleet::MeshHub>(&hub, gateway_id);
     for (const netfleet::NetPeerConfig& ml : config.mesh_links) {
       meshhub->add_link(make_link(ml), make_oracle());
@@ -762,6 +798,7 @@ ProcFleetResult run_process_fleet(const Program& program,
 
     if (nethub) nethub->pump(now);
     if (meshhub) meshhub->pump(now);
+    if (fomesh) fomesh->pump(now);
 
     if (unfinished == 0) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(config.poll_ms));
@@ -781,6 +818,12 @@ ProcFleetResult run_process_fleet(const Program& program,
     for (usize i = 0; i < meshhub->link_count(); ++i) {
       out.mesh.push_back(meshhub->link_stats(i));
     }
+  }
+  if (fomesh) {
+    fomesh->shutdown(monotonic_ns());
+    out.failover = fomesh->failover_stats();
+    out.net = out.failover.net;
+    out.oracle = out.failover.oracle;
   }
 
   out.wall_seconds = static_cast<double>(monotonic_ns() - start_ns) * 1e-9;

@@ -46,6 +46,7 @@
 
 #include "corpus/novelty.h"
 #include "fuzzer/campaign.h"
+#include "fuzzer/netfleet/failover.h"
 #include "fuzzer/netfleet/link.h"
 #include "fuzzer/sync.h"
 #include "persist/checkpoint.h"
@@ -134,6 +135,15 @@ struct ProcFleetConfig {
   // only when it would flip virgin bits there. Opt-in so oracle-free
   // federation runs stay bit-identical.
   bool net_virgin_oracle = false;
+
+  // Self-healing federation node (netfleet/failover.h): elects a new hub
+  // when the current one dies, fences stale epochs, syncs oracle state by
+  // delta. Mutually exclusive with net.enabled and mesh_links — the
+  // FailoverMesh subsumes both roles and switches between them at
+  // runtime. Its wal_path defaults to <persist_dir>/federation.wal; with
+  // net_virgin_oracle set its models are built by make_novelty_oracle
+  // exactly like the mesh's.
+  netfleet::FailoverNodeConfig failover;
 };
 
 enum class WorkerState : u8 {
@@ -193,6 +203,10 @@ struct ProcFleetResult {
   // Gateway novelty-oracle accounting, aggregated over every link (zeroed
   // unless net_virgin_oracle was set).
   corpus::OracleStats oracle;
+
+  // Self-healing federation accounting (zeroed unless failover.enabled;
+  // its net/oracle fields are also copied into the two members above).
+  netfleet::FailoverStats failover;
 
   // Final fleet-level telemetry snapshot (zeroed without telemetry).
   telemetry::StatsSnapshot fleet_total;

@@ -30,6 +30,8 @@ const char* record_type_name(RecordType t) noexcept {
     case RecordType::kQueueEntryRef: return "queue-entry-ref";
     case RecordType::kCycleCursor: return "cycle-cursor";
     case RecordType::kTracingState: return "tracing-state";
+    case RecordType::kFederationEpoch: return "federation-epoch";
+    case RecordType::kVirginDelta: return "virgin-delta";
   }
   return "unknown";
 }

@@ -60,6 +60,8 @@ enum class RecordType : u32 {
   kQueueEntryRef = 17,  // snapshot: queue entry by corpus content hash
   kCycleCursor = 18,    // snapshot: main-loop cycle cursor (stream-exact resume)
   kTracingState = 19,   // snapshot: coverage-guided tracing lifetime counters
+  kFederationEpoch = 20,  // federation WAL: epoch transition (election/rejoin)
+  kVirginDelta = 21,    // federation WAL: one oracle virgin-map delta record
 };
 
 const char* record_type_name(RecordType t) noexcept;

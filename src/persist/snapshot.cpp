@@ -327,8 +327,10 @@ DecodeResult decode_snapshot(std::span<const u8> file) {
       case RecordType::kCorpusCrash:
       case RecordType::kCorpusTombstone:
       case RecordType::kCorpusMeta:
-        // Journal / corpus-store records inside a snapshot file: wrong
-        // file kind.
+      case RecordType::kFederationEpoch:
+      case RecordType::kVirginDelta:
+        // Journal / corpus-store / federation-WAL records inside a
+        // snapshot file: wrong file kind.
         return fail();
     }
   }

@@ -6,10 +6,13 @@
 //                                           snapshot)
 //   statecheck [--dump] --corpus <dir>      fsck a corpus store (WAL +
 //                                           pack CRC/payload/content-hash
-//                                           integrity, torn tail) and
+//                                           integrity, torn tail),
 //                                           cross-check every snap-*.bms
 //                                           store ref under <dir> against
-//                                           the live entry set
+//                                           the live entry set, and audit
+//                                           every federation.wal for epoch
+//                                           monotonicity and delta
+//                                           well-formedness
 //
 // --corpus accepts either the store directory itself (corpus.wal /
 // corpus.pack) or a fleet directory with a corpus/ subdirectory. The check
@@ -27,7 +30,9 @@
 #include <string>
 #include <vector>
 
+#include "corpus/novelty.h"
 #include "corpus/store.h"
+#include "persist/federation.h"
 #include "persist/fleet.h"
 #include "persist/io.h"
 #include "persist/record.h"
@@ -214,6 +219,105 @@ bool cross_validate(const std::string& dir, const JournalSummary& js) {
   return ok;
 }
 
+// Fsck of one federation WAL (failover journal). Two record families are
+// meaningful; anything else in the file is foreign and reported:
+//
+//  - kFederationEpoch: epoch transitions must decode and the epoch stamps
+//    must be monotone nondecreasing in journal order — a regression means
+//    the node re-entered an older epoch, i.e. split brain made it to disk;
+//  - kVirginDelta: each payload must be a structurally valid oracle delta
+//    (corpus::decode_oracle_delta enforces exact length and strictly
+//    ascending unique cell positions) and the delta epoch stamps must be
+//    monotone nondecreasing too (deltas journaled for an older epoch after
+//    a newer one were shipped across a fence).
+//
+// A torn tail is a warning (appends race SIGKILL in drills by design).
+bool check_federation_wal(const std::string& path, bool dump) {
+  std::vector<u8> bytes;
+  std::string err;
+  if (!read_file(path, &bytes, FaultCtx{}, &err)) {
+    std::printf("%s: MISSING (%s)\n", path.c_str(), err.c_str());
+    return false;
+  }
+  ParsedFile parsed = parse_records(bytes);
+  bool ok = true;
+  u64 epochs = 0, deltas = 0, foreign = 0;
+  u64 last_epoch = 0, last_delta_epoch = 0;
+  bool have_epoch = false, have_delta = false;
+  for (const RecordView& rec : parsed.records) {
+    if (rec.type == RecordType::kFederationEpoch) {
+      FederationEpochRecord fe;
+      if (!parse_federation_epoch(rec.payload, &fe)) {
+        std::printf("%s: INVALID (epoch record %llu failed to decode)\n",
+                    path.c_str(), static_cast<unsigned long long>(epochs));
+        ok = false;
+        continue;
+      }
+      ++epochs;
+      if (have_epoch && fe.epoch < last_epoch) {
+        std::printf(
+            "%s: EPOCH REGRESSION (transition to epoch %llu after %llu — "
+            "split brain reached the journal)\n",
+            path.c_str(), static_cast<unsigned long long>(fe.epoch),
+            static_cast<unsigned long long>(last_epoch));
+        ok = false;
+      }
+      last_epoch = fe.epoch;
+      have_epoch = true;
+      if (dump) {
+        std::printf("  epoch %-8llu leader=%u rank=%u reason=%s\n",
+                    static_cast<unsigned long long>(fe.epoch), fe.leader,
+                    fe.rank,
+                    epoch_reason_name(static_cast<EpochReason>(fe.reason)));
+      }
+    } else if (rec.type == RecordType::kVirginDelta) {
+      corpus::OracleDelta d;
+      if (!corpus::decode_oracle_delta(rec.payload, &d)) {
+        std::printf("%s: INVALID (malformed oracle delta record %llu)\n",
+                    path.c_str(), static_cast<unsigned long long>(deltas));
+        ok = false;
+        continue;
+      }
+      ++deltas;
+      if (have_delta && d.epoch < last_delta_epoch) {
+        std::printf(
+            "%s: DELTA EPOCH REGRESSION (delta stamped epoch %llu after "
+            "%llu — a delta crossed an epoch fence)\n",
+            path.c_str(), static_cast<unsigned long long>(d.epoch),
+            static_cast<unsigned long long>(last_delta_epoch));
+        ok = false;
+      }
+      last_delta_epoch = d.epoch;
+      have_delta = true;
+      if (dump) {
+        std::printf("  delta epoch=%llu seq=%llu map=%u cells=%zu\n",
+                    static_cast<unsigned long long>(d.epoch),
+                    static_cast<unsigned long long>(d.seq), d.map_kind,
+                    d.cells.size());
+      }
+    } else {
+      ++foreign;
+      std::printf("%s: FOREIGN RECORD (%s does not belong in a federation "
+                  "WAL)\n",
+                  path.c_str(), record_type_name(rec.type));
+      ok = false;
+    }
+  }
+  if (ok) {
+    if (parsed.status != LoadStatus::kOk) {
+      std::printf(
+          "%s: ok with torn tail (%s; valid prefix %zu of %zu bytes)\n",
+          path.c_str(), load_status_name(parsed.status), parsed.valid_bytes,
+          bytes.size());
+    } else {
+      std::printf("%s: ok (%llu epoch transition(s), %llu delta(s))\n",
+                  path.c_str(), static_cast<unsigned long long>(epochs),
+                  static_cast<unsigned long long>(deltas));
+    }
+  }
+  return ok;
+}
+
 // Fsck of a corpus store plus ref cross-validation: every kQueueEntryRef
 // in every snapshot under `root` must resolve to a live store entry —
 // a dangling ref means a resumed campaign would lose that queue entry.
@@ -273,12 +377,17 @@ bool check_corpus_dir(const std::string& root, bool dump) {
   // data loss. Skipped when the store itself is damaged (refs against a
   // partial live set would be noise).
   u64 refs = 0, dangling = 0;
+  std::vector<std::string> fed_wals;
   for (auto it = fs::recursive_directory_iterator(
            root, fs::directory_options::skip_permission_denied, ec);
        it != fs::recursive_directory_iterator(); it.increment(ec)) {
     u64 seq;
-    if (ec || !it->is_regular_file(ec) ||
-        !parse_snap_seq(it->path().filename().string(), &seq)) {
+    if (ec || !it->is_regular_file(ec)) continue;
+    if (it->path().filename().string() == kFederationWalName) {
+      fed_wals.push_back(it->path().string());
+      continue;
+    }
+    if (!parse_snap_seq(it->path().filename().string(), &seq)) {
       continue;
     }
     std::vector<u8> bytes;
@@ -304,6 +413,13 @@ bool check_corpus_dir(const std::string& root, bool dump) {
   std::printf("  %llu store ref(s) across snapshots, %llu dangling\n",
               static_cast<unsigned long long>(refs),
               static_cast<unsigned long long>(dangling));
+
+  // Federation WALs left by failover drills ride along in the same tree;
+  // audit each one (epoch monotonicity, delta well-formedness).
+  std::sort(fed_wals.begin(), fed_wals.end());
+  for (const std::string& wal : fed_wals) {
+    ok = check_federation_wal(wal, dump) && ok;
+  }
   return ok;
 }
 

@@ -23,6 +23,7 @@
 
 #include <algorithm>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "target/program.h"
@@ -70,10 +71,9 @@ class Interpreter {
   template <typename OnBlock>
   ExecResult run(const Program& prog, std::span<const u8> input,
                  OnBlock&& on_block) {
-    return run_impl(prog, input, [&](u32 block) {
-      on_block(block);
-      return false;
-    });
+    // The void wrapper selects run_impl's no-stop-check specialization
+    // (and deliberately ignores any value the callback returns).
+    return run_impl(prog, input, [&](u32 block) { on_block(block); });
   }
 
   // Untraced fast path (coverage-guided tracing): like run(), but the
@@ -94,10 +94,25 @@ class Interpreter {
     return res;
   }
 
+  // Branchless variant of run_until: the oracle observes every block but
+  // returns void, so the interpreter loop carries no per-block stop check
+  // at all — the same code run() executes. The caller detects "would have
+  // stopped" after the run from state the oracle accumulated (e.g. a
+  // spare counter slot absorbing first-hit keys). Outcome semantics are
+  // exactly run()'s: the execution always completes (or crashes/hangs) as
+  // a traced run would.
+  template <typename Oracle>
+  ExecResult run_until_nostop(const Program& prog, std::span<const u8> input,
+                              Oracle&& oracle) {
+    return run_impl(prog, input, std::forward<Oracle>(oracle));
+  }
+
  private:
-  // Shared execution loop. on_block returns true to stop mid-execution;
-  // the result then carries the steps executed so far with outcome kOk
-  // (the caller is expected to discard or replay it).
+  // Shared execution loop. A bool-returning on_block returns true to stop
+  // mid-execution; the result then carries the steps executed so far with
+  // outcome kOk (the caller is expected to discard or replay it). A
+  // void-returning on_block compiles to a loop with no stop check — the
+  // fast shape both run() and run_until_nostop() share.
   template <typename OnBlock>
   ExecResult run_impl(const Program& prog, std::span<const u8> input,
                       OnBlock&& on_block) {
@@ -113,7 +128,11 @@ class Interpreter {
         break;
       }
       ++res.steps;
-      if (on_block(cur)) break;
+      if constexpr (std::is_void_v<std::invoke_result_t<OnBlock&, u32>>) {
+        on_block(cur);
+      } else {
+        if (on_block(cur)) break;
+      }
       for (u32 w = 0; w < work_per_block_; ++w) {
         work_acc = work_acc * 6364136223846793005ULL + cur;
       }

@@ -128,5 +128,106 @@ TEST(NoveltyOracleTest, CoverageMonotone) {
   EXPECT_GT(last, 0u);
 }
 
+// ------------------------------------------------------- delta sync --
+
+TEST(OracleDeltaTest, CodecRoundTripsAndRejectsMalformed) {
+  OracleDelta d;
+  d.epoch = 7;
+  d.seq = 3;
+  d.map_kind = OracleDelta::kCrash;
+  d.cells = {{2, 0xFE}, {9, 0x7F}, {1000, 0x00}};
+
+  OracleDelta back;
+  ASSERT_TRUE(decode_oracle_delta(encode_oracle_delta(d), &back));
+  EXPECT_EQ(back.epoch, 7u);
+  EXPECT_EQ(back.seq, 3u);
+  EXPECT_EQ(back.map_kind, OracleDelta::kCrash);
+  ASSERT_EQ(back.cells.size(), 3u);
+  EXPECT_EQ(back.cells[1].pos, 9u);
+  EXPECT_EQ(back.cells[1].value, 0x7F);
+
+  // Truncation and trailing garbage are structural failures.
+  std::vector<u8> bytes = encode_oracle_delta(d);
+  OracleDelta junk;
+  EXPECT_FALSE(decode_oracle_delta(
+      std::span<const u8>(bytes.data(), bytes.size() - 1), &junk));
+  bytes.push_back(0);
+  EXPECT_FALSE(decode_oracle_delta(bytes, &junk));
+
+  // Positions must be strictly ascending (unique).
+  OracleDelta dup = d;
+  dup.cells = {{5, 1}, {5, 2}};
+  EXPECT_FALSE(decode_oracle_delta(encode_oracle_delta(dup), &junk));
+  OracleDelta desc = d;
+  desc.cells = {{9, 1}, {2, 2}};
+  EXPECT_FALSE(decode_oracle_delta(encode_oracle_delta(desc), &junk));
+}
+
+// The tentpole acceptance differential: an oracle rebuilt purely from
+// another's exported deltas — zero candidate executions — must issue the
+// same admit() verdicts as one built from scratch by executing everything.
+TEST(OracleDeltaTest, DeltaRebuiltOracleMatchesFromScratch) {
+  const u64 seed = 21;
+  const GeneratedTarget t = small_target(seed);
+  const OracleConfig oc = oracle_config(seed);
+
+  // Source oracle A executes the first half of the stream, exporting
+  // incrementally like a spoke on a delta cadence.
+  auto a = make_novelty_oracle(t.program, oc);
+  auto b = make_novelty_oracle(t.program, oc);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  const std::vector<std::vector<u8>> stream = candidate_stream(t, seed);
+  const usize half = stream.size() / 2;
+  std::vector<OracleDelta> shipped = a->export_full();
+  for (usize i = 0; i < half; ++i) {
+    (void)a->admit(stream[i]);
+    if (i % 4 == 3) {
+      for (OracleDelta& d : a->export_delta()) {
+        shipped.push_back(std::move(d));
+      }
+    }
+  }
+  for (OracleDelta& d : a->export_delta()) shipped.push_back(std::move(d));
+
+  // Rebuild B by applying the shipped records — never executing.
+  for (const OracleDelta& d : shipped) {
+    ASSERT_TRUE(b->apply_delta(d));
+  }
+  EXPECT_EQ(b->stats().checked, 0u);  // the zero-execution guarantee
+  EXPECT_GT(b->stats().deltas_applied, 0u);
+  EXPECT_EQ(b->covered(), a->covered());
+
+  // From here both must agree verdict-for-verdict on fresh candidates
+  // (each admit advances both models identically, so they stay locked).
+  for (usize i = half; i < stream.size(); ++i) {
+    EXPECT_EQ(b->admit(stream[i]), a->admit(stream[i])) << "input " << i;
+  }
+}
+
+TEST(OracleDeltaTest, ApplyIsIdempotentAndAtomicOnMalformed) {
+  const GeneratedTarget t = small_target(3);
+  auto a = make_novelty_oracle(t.program, oracle_config(3));
+  auto b = make_novelty_oracle(t.program, oracle_config(3));
+  for (const auto& in : make_seed_corpus(t, 8, 3)) (void)a->admit(in);
+  const std::vector<OracleDelta> full = a->export_full();
+
+  for (const OracleDelta& d : full) ASSERT_TRUE(b->apply_delta(d));
+  const usize covered = b->covered();
+  // AND-application: replaying the same records moves nothing.
+  for (const OracleDelta& d : full) ASSERT_TRUE(b->apply_delta(d));
+  EXPECT_EQ(b->covered(), covered);
+
+  // A cell outside this geometry is refused with nothing applied.
+  OracleDelta bad;
+  bad.map_kind = OracleDelta::kQueue;
+  bad.cells = {{0x7FFFFFFFu, 0}};
+  EXPECT_FALSE(b->apply_delta(bad));
+  EXPECT_EQ(b->covered(), covered);
+  OracleDelta unknown;
+  unknown.map_kind = 9;
+  EXPECT_FALSE(b->apply_delta(unknown));
+}
+
 }  // namespace
 }  // namespace bigmap::corpus

@@ -1,16 +1,20 @@
 // Tests for the federation tier: wire codec, PeerLink session machine
 // (novelty filter, session resume, go-back-N recovery, fault injection,
-// fingerprint refusal), the NetHub gateway, and the half-report
+// fingerprint refusal, epoch fencing, eviction resync), the NetHub
+// gateway, the FailoverMesh election machine, and the half-report
 // serialization the federated-pair harness speaks over its child pipes.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "fuzzer/netfleet/failover.h"
 #include "fuzzer/netfleet/federate.h"
 #include "fuzzer/netfleet/link.h"
 #include "fuzzer/netfleet/nethub.h"
+#include "fuzzer/netfleet/transport.h"
 #include "fuzzer/netfleet/wire.h"
 #include "fuzzer/sync.h"
 #include "util/fault.h"
@@ -36,9 +40,14 @@ TEST(WireTest, RoundTripsEveryMessageType) {
   hello.fingerprint = 0xDEADBEEFu;
   hello.node_id = 7;
   hello.recv_cursor = 42;
+  hello.epoch = 3;
+  hello.rank = 2;
+  hello.log_base = 17;
   append_hello(bytes, hello);
   append_entry(bytes, 9, Input{1, 2, 3});
+  append_delta(bytes, 10, Input{0xD0, 0xD1});
   append_cursor(bytes, NetMsg::kHeartbeat, 13);
+  append_cursor(bytes, NetMsg::kResync, 21);
   append_cursor(bytes, NetMsg::kBye, 14);
 
   FrameDecoder dec;
@@ -53,6 +62,9 @@ TEST(WireTest, RoundTripsEveryMessageType) {
   EXPECT_EQ(h.fingerprint, 0xDEADBEEFu);
   EXPECT_EQ(h.node_id, 7u);
   EXPECT_EQ(h.recv_cursor, 42u);
+  EXPECT_EQ(h.epoch, 3u);
+  EXPECT_EQ(h.rank, 2u);
+  EXPECT_EQ(h.log_base, 17u);
 
   auto f2 = dec.next();
   ASSERT_TRUE(f2.has_value());
@@ -63,11 +75,24 @@ TEST(WireTest, RoundTripsEveryMessageType) {
   EXPECT_EQ(seq, 9u);
   EXPECT_EQ(data, (Input{1, 2, 3}));
 
+  auto fd = dec.next();
+  ASSERT_TRUE(fd.has_value());
+  EXPECT_EQ(fd->type, NetMsg::kDelta);
+  ASSERT_TRUE(parse_delta(fd->payload, &seq, &data));
+  EXPECT_EQ(seq, 10u);
+  EXPECT_EQ(data, (Input{0xD0, 0xD1}));
+
   auto f3 = dec.next();
   ASSERT_TRUE(f3.has_value());
   u64 cursor = 0;
   ASSERT_TRUE(parse_cursor(f3->payload, &cursor));
   EXPECT_EQ(cursor, 13u);
+
+  auto fr = dec.next();
+  ASSERT_TRUE(fr.has_value());
+  EXPECT_EQ(fr->type, NetMsg::kResync);
+  ASSERT_TRUE(parse_cursor(fr->payload, &cursor));
+  EXPECT_EQ(cursor, 21u);
 
   auto f4 = dec.next();
   ASSERT_TRUE(f4.has_value());
@@ -324,6 +349,152 @@ TEST(PeerLinkTest, PeerSilenceTriggersTimeoutAndReconnectBudget) {
   EXPECT_LE(lone.stats().connects, 3u);
 }
 
+TEST(PeerLinkTest, DeltaRecordsShareReplayLogWithEntries) {
+  LinkPair p;
+  p.pump(4);
+  ASSERT_TRUE(p.a->connected());
+
+  EXPECT_TRUE(p.a->offer(Input{1}));
+  EXPECT_TRUE(p.a->offer_delta(Input{0xD0, 0xD0}));
+  EXPECT_TRUE(p.a->offer(Input{2}));
+  // Deltas are state, not corpus: the novelty filter does not apply, so
+  // re-shipping identical bytes is allowed.
+  EXPECT_TRUE(p.a->offer_delta(Input{0xD0, 0xD0}));
+  p.pump(6);
+
+  auto entries = p.b->take_received();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0], (Input{1}));
+  EXPECT_EQ(entries[1], (Input{2}));
+  auto deltas = p.b->take_received_deltas();
+  ASSERT_EQ(deltas.size(), 2u);
+  EXPECT_EQ(deltas[0], (Input{0xD0, 0xD0}));
+  // One shared sequence space: all four records accepted in order.
+  EXPECT_EQ(p.a->stats().deltas_sent, 2u);
+  EXPECT_EQ(p.b->stats().deltas_received, 2u);
+  EXPECT_EQ(p.b->stats().records_received, 4u);
+  EXPECT_EQ(p.b->stats().recv_cursor, 4u);
+}
+
+TEST(PeerLinkTest, StaleHelloIsFencedYetTeachesTheNewerEpoch) {
+  // Epoch 2 listener vs. epoch 1 dialer: the stale side must never
+  // exchange records — but it MUST learn the newer epoch from the
+  // listener's own hello. (Regression: fencing used to drop the whole
+  // connection, clearing the unflushed hello with it, so a resurrected
+  // stale hub probed forever without ever observing the new epoch.)
+  NetPeerConfig ca;
+  ca.enabled = true;
+  ca.listener = true;
+  ca.port = 0;
+  ca.session_fingerprint = 44;
+  ca.heartbeat_ms = 5;
+  ca.peer_timeout_ms = 100;
+  ca.reconnect_initial_ms = 1;
+  ca.reconnect_cap_ms = 5;
+  ca.epoch = 2;
+  ca.rank = 1;
+  PeerLink fresh(ca, nullptr, 0, nullptr);
+  ASSERT_TRUE(fresh.ok()) << fresh.error();
+
+  NetPeerConfig cb = ca;
+  cb.listener = false;
+  cb.port = fresh.listen_port();
+  cb.epoch = 1;
+  cb.rank = 0;
+  PeerLink stale(cb, nullptr, 0, nullptr);
+  ASSERT_TRUE(stale.ok()) << stale.error();
+
+  (void)stale.offer(Input{0x5A});
+  u64 now = 1 * kMs;
+  for (int i = 0; i < 40; ++i) {
+    fresh.pump(now);
+    stale.pump(now);
+    now += 6 * kMs;
+  }
+
+  EXPECT_GE(fresh.stats().stale_hellos_dropped, 1u);
+  EXPECT_FALSE(fresh.connected());
+  EXPECT_TRUE(fresh.take_received().empty());
+  EXPECT_EQ(fresh.stats().records_received, 0u);
+  // The stale side observed the fresh epoch — the signal its owner needs
+  // to rejoin or fence itself.
+  EXPECT_GE(stale.stats().epoch_ahead_seen, 1u);
+  EXPECT_EQ(stale.observed_epoch(), 2u);
+  EXPECT_EQ(stale.observed_rank(), 1u);
+}
+
+TEST(PeerLinkTest, CursorRewindPastEvictionForcesFullResync) {
+  // A peer resuming from a cursor the bounded replay log has already
+  // evicted must be routed through the documented full-resync path:
+  // the gap is counted lost, a kResync fast-forwards the receiver, and
+  // the exchange resumes — never a silent gap, never a stall.
+  NetPeerConfig ca;
+  ca.enabled = true;
+  ca.listener = true;
+  ca.port = 0;
+  ca.session_fingerprint = 55;
+  ca.heartbeat_ms = 5;
+  ca.peer_timeout_ms = 200;
+  ca.reconnect_initial_ms = 1;
+  ca.reconnect_cap_ms = 5;
+  ca.send_log_max = 4;
+  PeerLink a(ca, nullptr, 0, nullptr);
+  ASSERT_TRUE(a.ok()) << a.error();
+
+  NetPeerConfig cb = ca;
+  cb.listener = false;
+  cb.port = a.listen_port();
+  u64 now = 1 * kMs;
+  auto pump_both = [&](PeerLink& b, int rounds) {
+    for (int i = 0; i < rounds; ++i) {
+      a.pump(now);
+      b.pump(now);
+      now += 6 * kMs;
+    }
+  };
+
+  {
+    PeerLink b(cb, nullptr, 0, nullptr);
+    ASSERT_TRUE(b.ok()) << b.error();
+    pump_both(b, 4);
+    ASSERT_TRUE(a.connected());
+    for (u8 i = 0; i < 3; ++i) EXPECT_TRUE(a.offer(Input{i, 0xE0}));
+    pump_both(b, 6);
+    EXPECT_EQ(b.take_received().size(), 3u);
+
+    // The peer goes silent (no pumps, no acks) while the campaign keeps
+    // finding. Acked records trim the log, so eviction needs a
+    // transmitted-but-UNACKED backlog: interleave offers with sender
+    // pumps so send_pos_ runs ahead, then let the bound bite.
+    for (u8 i = 0; i < 10; ++i) {
+      EXPECT_TRUE(a.offer(Input{i, 0xE1}));
+      a.pump(now);
+      now += 3 * kMs;  // below the heartbeat timeout
+    }
+    EXPECT_GT(a.stats().log_evicted, 0u);
+  }  // b dies without a goodbye; its cursor state dies with it
+
+  // A replacement session resumes from cursor 0 — far behind log_base.
+  PeerLink b2(cb, nullptr, 0, nullptr);
+  ASSERT_TRUE(b2.ok()) << b2.error();
+  pump_both(b2, 30);
+  EXPECT_TRUE(a.offer(Input{0xFF, 0xE2}));  // exchange must have resumed
+  pump_both(b2, 10);
+
+  const LinkStats sa = a.stats();
+  const LinkStats sb = b2.stats();
+  EXPECT_GT(sa.lost_to_eviction, 0u);
+  EXPECT_GE(sa.resyncs_sent, 1u);
+  EXPECT_EQ(sb.resync_skipped, sa.lost_to_eviction);
+  // No silent gap: every sequence a ever assigned is accounted for as
+  // either lost-to-eviction or accepted by the resumed receiver.
+  const std::vector<Input> got = b2.take_received();
+  EXPECT_EQ(sa.lost_to_eviction + got.size(), sa.send_next);
+  EXPECT_EQ(sb.recv_cursor, sa.send_next);
+  ASSERT_FALSE(got.empty());
+  EXPECT_EQ(got.back(), (Input{0xFF, 0xE2}));
+}
+
 TEST(PeerLinkTest, OversizeEntriesAreRejectedAtOffer) {
   NetPeerConfig ca;
   ca.enabled = true;
@@ -389,6 +560,167 @@ TEST(NetHubTest, GatewayBridgesTwoLocalHubsWithoutEcho) {
   net_b.shutdown(now);
 }
 
+// ------------------------------------------------------------ failover --
+
+// Three FailoverMesh nodes wired over a real pre-bound listener matrix,
+// driven by fake time from one thread — the in-process twin of the forked
+// failover drill, small enough for the sanitizer jobs.
+struct FailoverRing {
+  static constexpr u32 kN = 3;
+  std::vector<std::unique_ptr<SyncHub>> hubs;
+  std::vector<std::unique_ptr<FailoverMesh>> meshes;
+  int fds[kN][kN];
+  u16 ports[kN][kN];
+  u64 now = 1 * kMs;
+
+  FailoverRing() {
+    for (u32 h = 0; h < kN; ++h) {
+      for (u32 s = 0; s < kN; ++s) {
+        fds[h][s] = -1;
+        ports[h][s] = 0;
+        if (h == s) continue;
+        std::string err;
+        fds[h][s] = tcp_listen("127.0.0.1", &ports[h][s], &err);
+        EXPECT_GE(fds[h][s], 0) << err;
+      }
+    }
+    for (u32 i = 0; i < kN; ++i) {
+      hubs.push_back(std::make_unique<SyncHub>(2));
+      meshes.push_back(make_mesh(i, /*resume_probe=*/false,
+                                 /*stale_fatal=*/false,
+                                 /*initial_epoch=*/1));
+    }
+  }
+
+  ~FailoverRing() {
+    meshes.clear();
+    for (u32 h = 0; h < kN; ++h) {
+      for (u32 s = 0; s < kN; ++s) {
+        if (fds[h][s] >= 0) ::close(fds[h][s]);
+      }
+    }
+  }
+
+  std::unique_ptr<FailoverMesh> make_mesh(u32 rank, bool resume_probe,
+                                          bool stale_fatal, u64 epoch) {
+    FailoverNodeConfig fc;
+    fc.enabled = true;
+    fc.rank = rank;
+    fc.num_nodes = kN;
+    fc.initial_leader = 0;
+    fc.initial_epoch = epoch;
+    fc.listen_fds.assign(kN, -1);
+    fc.dial_ports.assign(kN, 0);
+    for (u32 j = 0; j < kN; ++j) {
+      if (j == rank) continue;
+      fc.listen_fds[j] = fds[rank][j];
+      fc.dial_ports[j] = ports[j][rank];
+    }
+    fc.link.session_fingerprint = 77;
+    fc.link.node_id = rank;
+    fc.link.heartbeat_ms = 5;
+    fc.link.peer_timeout_ms = 60;
+    fc.link.reconnect_initial_ms = 1;
+    fc.link.reconnect_cap_ms = 5;
+    fc.election_timeout_ms = 120;
+    fc.delta_interval_ms = 0;
+    fc.resume_probe = resume_probe;
+    fc.stale_fatal = stale_fatal;
+    fc.probe_timeout_ms = 240;
+    return std::make_unique<FailoverMesh>(hubs[rank].get(), 1, fc,
+                                          nullptr, nullptr, nullptr);
+  }
+
+  // Pumps every live mesh `rounds` times at 6ms fake steps.
+  void pump(int rounds) {
+    for (int i = 0; i < rounds; ++i) {
+      for (auto& m : meshes) {
+        if (m != nullptr) m->pump(now);
+      }
+      now += 6 * kMs;
+    }
+  }
+};
+
+TEST(FailoverTest, ElectsSuccessorRehomesAndFencesStaleNode) {
+  FailoverRing ring;
+  ring.pump(8);
+  EXPECT_EQ(ring.meshes[0]->failover_stats().role, 0u);  // founding leader
+  EXPECT_EQ(ring.meshes[1]->failover_stats().role, 1u);
+  EXPECT_EQ(ring.meshes[2]->failover_stats().role, 1u);
+
+  // Epoch-1 exchange: a find on node 1 reaches node 0 and node 2.
+  EXPECT_TRUE(ring.meshes[1]->publish(0, Input{0xAA, 0xBB}));
+  ring.pump(10);
+  auto at0 = ring.meshes[0]->fetch_new(0);
+  auto at2 = ring.meshes[2]->fetch_new(0);
+  ASSERT_EQ(at0.size(), 1u);
+  EXPECT_EQ(at0[0], (Input{0xAA, 0xBB}));
+  ASSERT_EQ(at2.size(), 1u);
+
+  // Kill the leader. Its listener sockets stay bound (the parent-held
+  // matrix), so spokes see connects that never hello — exactly the
+  // silence the election timeout is specified against.
+  ring.meshes[0].reset();
+  ring.pump(60);  // > election_timeout at 6ms steps
+
+  const FailoverStats s1 = ring.meshes[1]->failover_stats();
+  const FailoverStats s2 = ring.meshes[2]->failover_stats();
+  EXPECT_EQ(s1.epoch, 2u);
+  EXPECT_EQ(s1.role, 0u);  // succ(0) == 1 promoted itself
+  EXPECT_EQ(s1.leader_rank, 1u);
+  EXPECT_EQ(s1.elections, 1u);
+  EXPECT_EQ(s1.promotions, 1u);
+  EXPECT_EQ(s2.epoch, 2u);
+  EXPECT_EQ(s2.role, 1u);  // re-homed spoke
+  EXPECT_EQ(s2.leader_rank, 1u);
+  EXPECT_EQ(s2.elections, 1u);
+  EXPECT_GE(s2.rehomes, 1u);
+
+  // Exchange works in the new epoch.
+  EXPECT_TRUE(ring.meshes[2]->publish(0, Input{0xCC, 0xDD}));
+  ring.pump(10);
+  auto at1 = ring.meshes[1]->fetch_new(0);
+  ASSERT_EQ(at1.size(), 1u);
+  EXPECT_EQ(at1[0], (Input{0xCC, 0xDD}));
+
+  // Resurrect rank 0 as a stale-fatal prober at its journaled epoch 1:
+  // it must observe epoch 2 from the new leader and latch fenced — the
+  // split-brain rejection — while the leader fences its hello out.
+  ring.meshes[0] = ring.make_mesh(0, /*resume_probe=*/true,
+                                  /*stale_fatal=*/true, /*epoch=*/1);
+  ring.pump(30);
+  const FailoverStats s0 = ring.meshes[0]->failover_stats();
+  EXPECT_EQ(s0.fenced, 1u);
+  EXPECT_EQ(s0.role, 3u);
+  EXPECT_GE(s0.net.epoch_ahead_seen, 1u);
+  EXPECT_GE(ring.meshes[1]->failover_stats().net.stale_hellos_dropped, 1u);
+  // Fenced means out: node 0 exchanges nothing ever again.
+  EXPECT_TRUE(ring.meshes[0]->fetch_new(0).empty());
+}
+
+TEST(FailoverTest, ResumeProbeFindsUnchangedLeaderAndRejoinsQuietly) {
+  FailoverRing ring;
+  ring.pump(8);
+  // Node 2 restarts while the epoch-1 leader is alive and well: the probe
+  // must resolve to the journaled topology without an election.
+  ring.meshes[2] = ring.make_mesh(2, /*resume_probe=*/true,
+                                  /*stale_fatal=*/false, /*epoch=*/1);
+  ring.pump(20);
+  const FailoverStats s2 = ring.meshes[2]->failover_stats();
+  EXPECT_EQ(s2.epoch, 1u);
+  EXPECT_EQ(s2.role, 1u);
+  EXPECT_EQ(s2.leader_rank, 0u);
+  EXPECT_EQ(s2.elections, 0u);
+  EXPECT_EQ(s2.fenced, 0u);
+
+  EXPECT_TRUE(ring.meshes[2]->publish(0, Input{0x11, 0x22}));
+  ring.pump(10);
+  auto at0 = ring.meshes[0]->fetch_new(0);
+  ASSERT_EQ(at0.size(), 1u);
+  EXPECT_EQ(at0[0], (Input{0x11, 0x22}));
+}
+
 // ------------------------------------------------------------ federate --
 
 TEST(FederateTest, HalfReportRoundTrips) {
@@ -404,6 +736,28 @@ TEST(FederateTest, HalfReportRoundTrips) {
   r.net.reconnects = 2;
   r.net.partition_ms_total = 500;
   r.net.lost_to_eviction = 1;
+  r.net.deltas_sent = 5;
+  r.net.deltas_received = 4;
+  r.net.resyncs_sent = 1;
+  r.net.resync_skipped = 9;
+  r.net.stale_hellos_dropped = 3;
+  r.net.epoch_ahead_seen = 2;
+  r.oracle.deltas_exported = 6;
+  r.oracle.cells_exported = 60;
+  r.oracle.deltas_applied = 7;
+  r.oracle.cells_applied = 70;
+  r.failover.epoch = 4;
+  r.failover.role = 1;
+  r.failover.leader_rank = 2;
+  r.failover.elections = 1;
+  r.failover.promotions = 1;
+  r.failover.rehomes = 2;
+  r.failover.rejoins = 1;
+  r.failover.fenced = 1;
+  r.failover.handoff_reoffered = 8;
+  r.failover.dup_suppressed = 12;
+  r.failover.deltas_shipped = 13;
+  r.failover.deltas_applied = 14;
 
   HalfReport h;
   ASSERT_TRUE(decode_half_report(encode_half_report(r, true, ""), &h));
@@ -420,6 +774,28 @@ TEST(FederateTest, HalfReportRoundTrips) {
   EXPECT_EQ(h.net.reconnects, 2u);
   EXPECT_EQ(h.net.partition_ms_total, 500u);
   EXPECT_EQ(h.net.lost_to_eviction, 1u);
+  EXPECT_EQ(h.net.deltas_sent, 5u);
+  EXPECT_EQ(h.net.deltas_received, 4u);
+  EXPECT_EQ(h.net.resyncs_sent, 1u);
+  EXPECT_EQ(h.net.resync_skipped, 9u);
+  EXPECT_EQ(h.net.stale_hellos_dropped, 3u);
+  EXPECT_EQ(h.net.epoch_ahead_seen, 2u);
+  EXPECT_EQ(h.oracle.deltas_exported, 6u);
+  EXPECT_EQ(h.oracle.cells_exported, 60u);
+  EXPECT_EQ(h.oracle.deltas_applied, 7u);
+  EXPECT_EQ(h.oracle.cells_applied, 70u);
+  EXPECT_EQ(h.failover.epoch, 4u);
+  EXPECT_EQ(h.failover.role, 1u);
+  EXPECT_EQ(h.failover.leader_rank, 2u);
+  EXPECT_EQ(h.failover.elections, 1u);
+  EXPECT_EQ(h.failover.promotions, 1u);
+  EXPECT_EQ(h.failover.rehomes, 2u);
+  EXPECT_EQ(h.failover.rejoins, 1u);
+  EXPECT_EQ(h.failover.fenced, 1u);
+  EXPECT_EQ(h.failover.handoff_reoffered, 8u);
+  EXPECT_EQ(h.failover.dup_suppressed, 12u);
+  EXPECT_EQ(h.failover.deltas_shipped, 13u);
+  EXPECT_EQ(h.failover.deltas_applied, 14u);
 }
 
 TEST(FederateTest, FailureReportCarriesError) {
